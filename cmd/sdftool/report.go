@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	sdfreduce "repro"
+)
+
+// cmdReport writes a self-contained Markdown analysis report of the graph:
+// structure, consistency, throughput through all applicable engines,
+// latency, both HSDF conversions, and — when the name-based inference
+// applies — the abstraction with its Theorem-1 bound.
+func cmdReport(w io.Writer, g *sdfreduce.Graph) error {
+	fmt.Fprintf(w, "# Analysis report: %s\n\n", g.Name())
+
+	fmt.Fprintln(w, "## Structure")
+	fmt.Fprintf(w, "- actors: %d\n- channels: %d\n- initial tokens: %d\n",
+		g.NumActors(), g.NumChannels(), g.TotalInitialTokens())
+	fmt.Fprintf(w, "- homogeneous: %v\n- strongly connected: %v\n", g.IsHSDF(), g.IsStronglyConnected())
+
+	q, err := sdfreduce.RepetitionVector(g)
+	if err != nil {
+		fmt.Fprintf(w, "- **not consistent**: %v\n", err)
+		return nil
+	}
+	var iterLen int64
+	for _, v := range q {
+		iterLen += v
+	}
+	fmt.Fprintf(w, "- consistent: yes (iteration length %d)\n", iterLen)
+	if !sdfreduce.IsLive(g) {
+		fmt.Fprintln(w, "- **deadlocks**: no complete iteration exists")
+		return nil
+	}
+	fmt.Fprintln(w, "- live: yes")
+
+	fmt.Fprintln(w, "\n## Repetition vector")
+	for i, v := range q {
+		fmt.Fprintf(w, "- %s: %d\n", g.Actor(sdfreduce.ActorID(i)).Name, v)
+	}
+
+	fmt.Fprintln(w, "\n## Throughput")
+	methods := []sdfreduce.Method{sdfreduce.MethodMatrix, sdfreduce.MethodHSDF}
+	if g.IsStronglyConnected() {
+		methods = append(methods, sdfreduce.MethodStateSpace)
+	}
+	for _, m := range methods {
+		tp, err := sdfreduce.ComputeThroughput(g, m)
+		if err != nil {
+			fmt.Fprintf(w, "- engine %v: error: %v\n", m, err)
+			continue
+		}
+		if tp.Unbounded {
+			fmt.Fprintf(w, "- engine %v: unbounded\n", m)
+			continue
+		}
+		fmt.Fprintf(w, "- engine %v: iteration period **%v**\n", m, tp.Period)
+	}
+
+	if rep, err := sdfreduce.ComputeLatency(g); err == nil && g.TotalInitialTokens() > 0 {
+		fmt.Fprintln(w, "\n## Latency")
+		fmt.Fprintf(w, "- cold-start iteration makespan: %d\n", rep.Makespan)
+		fmt.Fprintf(w, "- maximum token-to-token latency: %d\n", rep.MaxTokenLatency)
+	}
+
+	fmt.Fprintln(w, "\n## HSDF conversions")
+	if _, tstats, err := sdfreduce.ConvertTraditional(g); err == nil {
+		fmt.Fprintf(w, "- traditional: %d actors, %d channels, %d tokens\n",
+			tstats.Actors, tstats.Edges, tstats.Tokens)
+	}
+	if _, r, nstats, err := sdfreduce.ConvertSymbolic(g); err == nil {
+		n := r.NumTokens()
+		fmt.Fprintf(w, "- novel (symbolic): %d actors (bound N(N+2) = %d for N = %d), %d channels, %d tokens\n",
+			nstats.Actors(), n*(n+2), n, nstats.Edges, nstats.Tokens)
+	}
+
+	if ab, err := sdfreduce.InferAbstraction(g); err == nil && ab.N() > 1 {
+		fmt.Fprintln(w, "\n## Abstraction")
+		abstract, res, err := sdfreduce.Abstract(g, ab)
+		if err == nil {
+			fmt.Fprintf(w, "- %d actors grouped into %d abstract actors (N = %d)\n",
+				g.NumActors(), abstract.NumActors(), res.N)
+			if g.IsHSDF() {
+				if err := sdfreduce.VerifyAbstractionConservative(g, ab); err == nil {
+					fmt.Fprintln(w, "- conservativity: proved via the N-fold unfolding (Theorem 1)")
+				} else {
+					fmt.Fprintf(w, "- conservativity proof failed: %v\n", err)
+				}
+				if r, err := sdfreduce.MaxCycleMean(abstract); err == nil && r.HasCycle {
+					if bound, err := sdfreduce.AbstractionThroughputBound(r.CycleMean, res.N); err == nil {
+						fmt.Fprintf(w, "- abstract period %v, throughput bound τ(a) ≥ %v\n", r.CycleMean, bound)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

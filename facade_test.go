@@ -1,0 +1,145 @@
+package sdfreduce
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFacadeSurface touches every re-exported entry point once, so that
+// the facade cannot silently drift from the internal packages.
+func TestFacadeSurface(t *testing.T) {
+	g := Figure2()
+
+	// Serialisation wrappers.
+	var xml strings.Builder
+	if err := WriteXML(&xml, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadXML(strings.NewReader(xml.String())); err != nil {
+		t.Fatal(err)
+	}
+	var js strings.Builder
+	if err := WriteJSON(&js, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(strings.NewReader(js.String())); err != nil {
+		t.Fatal(err)
+	}
+	var dot strings.Builder
+	if err := WriteDOT(&dot, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph") {
+		t.Error("DOT output malformed")
+	}
+	var txt strings.Builder
+	if err := WriteText(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadText(strings.NewReader(txt.String())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scheduling and analysis wrappers.
+	if _, err := SequentialSchedule(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComputeLatency(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InferAbstractionByLevels(g, map[string]string{"A1": "A", "A2": "A", "A3": "A"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mapping wrappers.
+	bind, err := GreedyBind(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bind.Processors() != 2 {
+		t.Errorf("Processors = %d", bind.Processors())
+	}
+	if _, err := UtilisationBound(g, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Buffer wrappers.
+	if got := MinimalBufferCapacity(Channel{Prod: 2, Cons: 3}); got != 4 {
+		t.Errorf("MinimalBufferCapacity = %d, want 4", got)
+	}
+	if ch := DataChannels(g); len(ch) == 0 {
+		t.Error("DataChannels empty")
+	}
+	caps := map[ChannelID]int{}
+	for _, id := range DataChannels(g) {
+		caps[id] = 4
+	}
+	if _, err := WithBufferCapacities(g, caps); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conversion with observers through the facade.
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := g.ActorByName("B1")
+	opts := DefaultBuildOptions()
+	opts.Observe = []Observer{{Name: "B1", Times: r.ActorCompletion[b1]}}
+	h, stats, err := BuildHSDF("fig2obs", r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ObserverActors == 0 {
+		t.Error("no observer actors")
+	}
+	if _, ok := h.ActorByName("obs_B1"); !ok {
+		t.Error("collector missing")
+	}
+
+	// Generators.
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomGraph(rng, RandomOptions{Actors: 3, MaxRep: 2, MaxExec: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomRegular(rng, RegularOptions{Groups: 2, Copies: 3, Links: 1, MaxExec: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prefetch(8, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Buffer exploration end to end on a small bounded graph.
+	pc := NewGraph("pc")
+	p := pc.MustAddActor("P", 1)
+	c := pc.MustAddActor("C", 4)
+	pc.MustAddChannel(p, p, 1, 1, 1)
+	pc.MustAddChannel(c, c, 1, 1, 1)
+	fwd := pc.MustAddChannel(p, c, 1, 1, 0)
+	res, err := ExploreBuffers(pc, BufferOptions{Channels: []ChannelID{fwd}, MaxSteps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("buffer exploration did not converge")
+	}
+}
+
+func TestFacadeRetiming(t *testing.T) {
+	g := NewGraph("ring")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 2)
+	g.MustAddChannel(a, b, 1, 1, 1)
+	g.MustAddChannel(b, a, 1, 1, 1)
+	h, err := Retime(g, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Channel(0).Initial != 2 || h.Channel(1).Initial != 0 {
+		t.Errorf("retimed tokens = %d, %d", h.Channel(0).Initial, h.Channel(1).Initial)
+	}
+	if _, _, err := CanonicalRetiming(g, a); err != nil {
+		t.Fatal(err)
+	}
+}

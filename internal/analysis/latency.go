@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/maxplus"
+	"repro/internal/sdf"
+)
+
+// LatencyReport summarises the latency structure of one graph iteration,
+// derived from the symbolic max-plus iteration matrix (the same object
+// the paper's Algorithm 1 computes). All quantities assume every initial
+// token available at time 0.
+type LatencyReport struct {
+	// Makespan is the completion time of one iteration from a cold start.
+	Makespan int64
+	// MaxTokenLatency is the largest finite coefficient g_{j,k}: the
+	// longest combinational delay from any initial token to any token
+	// produced within the same iteration.
+	MaxTokenLatency int64
+	// CriticalSource and CriticalTarget are token indices attaining
+	// MaxTokenLatency.
+	CriticalSource, CriticalTarget int
+	// TokenProduction[k] is the production time of token k in the first
+	// iteration (−1 when it depends on no initial token).
+	TokenProduction []int64
+}
+
+// ComputeLatency derives the latency report of g.
+func ComputeLatency(g *sdf.Graph) (*LatencyReport, error) {
+	r, err := core.SymbolicIteration(g)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: latency: %w", err)
+	}
+	rep := &LatencyReport{CriticalSource: -1, CriticalTarget: -1}
+	if ms, ok := r.Makespan(); ok {
+		rep.Makespan = ms
+	}
+	n := r.NumTokens()
+	maxLat := maxplus.NegInf
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			if v := r.G(j, k); v > maxLat {
+				maxLat = v
+				rep.CriticalSource, rep.CriticalTarget = j, k
+			}
+		}
+	}
+	if !maxLat.IsNegInf() {
+		rep.MaxTokenLatency = maxLat.Int()
+	}
+	zero := make(maxplus.Vec, n) // all zeros: cold start
+	prod := r.Matrix.Apply(zero)
+	rep.TokenProduction = make([]int64, n)
+	for k, v := range prod {
+		if v.IsNegInf() {
+			rep.TokenProduction[k] = -1
+		} else {
+			rep.TokenProduction[k] = v.Int()
+		}
+	}
+	return rep, nil
+}
+
+// MakespanAfter returns the completion time of the k-th iteration (k >= 1)
+// of g from a cold start: the time when the last firing belonging to
+// iterations 1…k ends under self-timed execution. It is computed in
+// O(log k) matrix products via the max-plus power of the iteration matrix,
+// so it stays cheap even for very large k. ok is false when no firing
+// depends on any initial token.
+func MakespanAfter(g *sdf.Graph, k int) (int64, bool, error) {
+	if k < 1 {
+		return 0, false, fmt.Errorf("analysis: MakespanAfter needs k >= 1")
+	}
+	r, err := core.SymbolicIteration(g)
+	if err != nil {
+		return 0, false, fmt.Errorf("analysis: makespan: %w", err)
+	}
+	n := r.NumTokens()
+	x := make(maxplus.Vec, n) // all zeros: cold start
+	if k > 1 {
+		x = r.Matrix.Power(k - 1).Apply(x)
+	}
+	// End of the slowest firing of iteration k: the completion vector
+	// applied to the token times at the start of that iteration.
+	best := maxplus.NegInf
+	for j, c := range r.Completion {
+		if c == maxplus.NegInf || x[j] == maxplus.NegInf {
+			continue
+		}
+		if s := c.Add(x[j]); s > best {
+			best = s
+		}
+	}
+	if best.IsNegInf() {
+		return 0, false, nil
+	}
+	return best.Int(), true, nil
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sdf"
+	"repro/internal/sim"
+)
+
+func TestComputeLatencyFigure1(t *testing.T) {
+	g, err := gen.Figure1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ComputeLatency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1: a single execution takes 23 time units.
+	if rep.Makespan != 23 {
+		t.Errorf("Makespan = %d, want 23", rep.Makespan)
+	}
+	// One initial token, regenerated after the full 23-unit iteration.
+	if len(rep.TokenProduction) != 1 || rep.TokenProduction[0] != 23 {
+		t.Errorf("TokenProduction = %v, want [23]", rep.TokenProduction)
+	}
+	if rep.MaxTokenLatency != 23 {
+		t.Errorf("MaxTokenLatency = %d, want 23", rep.MaxTokenLatency)
+	}
+	if rep.CriticalSource != 0 || rep.CriticalTarget != 0 {
+		t.Errorf("critical pair = (%d, %d), want (0, 0)", rep.CriticalSource, rep.CriticalTarget)
+	}
+}
+
+func TestComputeLatencyFigure3(t *testing.T) {
+	g := gen.Figure3(2)
+	rep, err := ComputeLatency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the verified symbolic trace: R ends at max(+8,+8,+5,+2) = 8.
+	if rep.Makespan != 8 {
+		t.Errorf("Makespan = %d, want 8", rep.Makespan)
+	}
+	if rep.MaxTokenLatency != 8 {
+		t.Errorf("MaxTokenLatency = %d, want 8", rep.MaxTokenLatency)
+	}
+	want := []int64{6, 8, 8, 8}
+	for k, w := range want {
+		if rep.TokenProduction[k] != w {
+			t.Errorf("TokenProduction[%d] = %d, want %d", k, rep.TokenProduction[k], w)
+		}
+	}
+}
+
+func TestComputeLatencyNoTokens(t *testing.T) {
+	g := sdf.NewGraph("pipe")
+	a := g.MustAddActor("A", 3)
+	b := g.MustAddActor("B", 4)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	rep, err := ComputeLatency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != 0 || rep.CriticalSource != -1 {
+		t.Errorf("report = %+v, want empty", rep)
+	}
+}
+
+func TestComputeLatencyDeadlock(t *testing.T) {
+	g := sdf.NewGraph("dead")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(b, a, 1, 1, 0)
+	if _, err := ComputeLatency(g); err == nil {
+		t.Error("deadlocked graph analysed without error")
+	}
+}
+
+func TestMakespanAfterFigure1(t *testing.T) {
+	g, err := gen.Figure1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One initial token, period 23: iteration k completes at 23k.
+	for _, k := range []int{1, 2, 5, 100, 1 << 20} {
+		ms, ok, err := MakespanAfter(g, k)
+		if err != nil || !ok {
+			t.Fatalf("k=%d: %v %v", k, ok, err)
+		}
+		if ms != int64(23*k) {
+			t.Errorf("MakespanAfter(%d) = %d, want %d", k, ms, 23*k)
+		}
+	}
+	if _, _, err := MakespanAfter(g, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// The analytical makespan must equal the simulator's horizon for every
+// iteration count: the strongest latency cross-check in the suite.
+func TestMakespanAfterMatchesSimulator(t *testing.T) {
+	graphs := []*sdf.Graph{gen.Figure3(2), gen.Figure2()}
+	g1, err := gen.Figure1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, g1)
+	for _, g := range graphs {
+		for _, k := range []int{1, 2, 3, 7, 15} {
+			ms, ok, err := MakespanAfter(g, k)
+			if err != nil || !ok {
+				t.Fatalf("%s k=%d: %v %v", g.Name(), k, ok, err)
+			}
+			tr, err := sim.Run(g, int64(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Horizon != ms {
+				t.Errorf("%s: MakespanAfter(%d) = %d, simulator horizon %d",
+					g.Name(), k, ms, tr.Horizon)
+			}
+		}
+	}
+}

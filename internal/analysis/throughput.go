@@ -1,0 +1,146 @@
+// Package analysis provides throughput and latency analysis of timed SDF
+// graphs through three independent engines that the test suite
+// cross-validates against each other:
+//
+//  1. Matrix: symbolic max-plus iteration matrix + Karp eigenvalue
+//     (the machinery behind the paper's Algorithm 1),
+//  2. StateSpace: explicit execution of the iteration recursion until a
+//     recurrent state, the method of Ghamarian et al. (ACSD'06) that the
+//     paper identifies as the most efficient known,
+//  3. HSDF: traditional conversion followed by maximum-cycle-mean
+//     analysis, the classical pipeline the paper's conversion replaces.
+//
+// All engines agree exactly on consistent, live graphs; they differ only
+// in cost, which the benchmark suite measures.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mcm"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+	"repro/internal/transform"
+)
+
+// Method selects a throughput engine.
+type Method int
+
+const (
+	// Matrix derives the iteration matrix symbolically and computes its
+	// max-plus eigenvalue with Karp's algorithm.
+	Matrix Method = iota
+	// StateSpace iterates the matrix on concrete time stamps until the
+	// normalised state recurs.
+	StateSpace
+	// HSDF converts traditionally and runs Howard's maximum cycle mean.
+	HSDF
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Matrix:
+		return "matrix"
+	case StateSpace:
+		return "statespace"
+	case HSDF:
+		return "hsdf"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Throughput is the result of a throughput analysis of a timed SDF graph
+// under self-timed execution.
+type Throughput struct {
+	// Unbounded is true when no dependency cycle constrains the steady
+	// state; the remaining fields are then meaningless.
+	Unbounded bool
+	// Period is the asymptotic duration Λ of one graph iteration.
+	Period rat.Rat
+	// Repetition is the repetition vector; actor a fires Repetition[a]
+	// times per Period.
+	Repetition []int64
+}
+
+// ActorThroughput returns τ(a) = q(a)/Λ, the asymptotic number of firings
+// of actor a per time unit.
+func (t Throughput) ActorThroughput(a sdf.ActorID) (rat.Rat, error) {
+	if t.Unbounded {
+		return rat.Rat{}, errors.New("analysis: throughput is unbounded")
+	}
+	if t.Period.IsZero() {
+		return rat.Rat{}, errors.New("analysis: zero period")
+	}
+	q := rat.FromInt(t.Repetition[a])
+	return q.Div(t.Period)
+}
+
+// IterationThroughput returns 1/Λ, the number of complete iterations per
+// time unit.
+func (t Throughput) IterationThroughput() (rat.Rat, error) {
+	if t.Unbounded {
+		return rat.Rat{}, errors.New("analysis: throughput is unbounded")
+	}
+	return rat.One().Div(t.Period)
+}
+
+// ComputeThroughput analyses g with the chosen engine. The graph must be
+// consistent and deadlock-free; a deadlock is reported as an error
+// wrapping the underlying cause.
+func ComputeThroughput(g *sdf.Graph, method Method) (Throughput, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return Throughput{}, fmt.Errorf("analysis: %w", err)
+	}
+	switch method {
+	case Matrix:
+		r, err := core.SymbolicIteration(g)
+		if err != nil {
+			return Throughput{}, fmt.Errorf("analysis: %w", err)
+		}
+		lam, hasCycle, err := r.Matrix.Eigenvalue()
+		if err != nil {
+			return Throughput{}, fmt.Errorf("analysis: %w", err)
+		}
+		if !hasCycle {
+			return Throughput{Unbounded: true, Repetition: q}, nil
+		}
+		return Throughput{Period: lam, Repetition: q}, nil
+
+	case StateSpace:
+		r, err := core.SymbolicIteration(g)
+		if err != nil {
+			return Throughput{}, fmt.Errorf("analysis: %w", err)
+		}
+		const maxIter = 1 << 22
+		res, ok, err := r.Matrix.PowerIteration(maxIter)
+		if err != nil {
+			return Throughput{}, fmt.Errorf("analysis: %w", err)
+		}
+		if !ok {
+			return Throughput{Unbounded: true, Repetition: q}, nil
+		}
+		return Throughput{Period: res.CycleMean, Repetition: q}, nil
+
+	case HSDF:
+		h, _, err := transform.Traditional(g)
+		if err != nil {
+			return Throughput{}, fmt.Errorf("analysis: %w", err)
+		}
+		res, err := mcm.MaxCycleRatio(h)
+		if err != nil {
+			return Throughput{}, fmt.Errorf("analysis: %w", err)
+		}
+		if !res.HasCycle {
+			return Throughput{Unbounded: true, Repetition: q}, nil
+		}
+		return Throughput{Period: res.CycleMean, Repetition: q}, nil
+
+	default:
+		return Throughput{}, fmt.Errorf("analysis: unknown method %v", method)
+	}
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+func TestFigure1ThroughputAllMethods(t *testing.T) {
+	g, err := gen.Figure1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{Matrix, StateSpace, HSDF} {
+		tp, err := ComputeThroughput(g, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if tp.Unbounded {
+			t.Fatalf("%v: unbounded", m)
+		}
+		if !tp.Period.Equal(rat.FromInt(23)) {
+			t.Errorf("%v: period = %v, want 23", m, tp.Period)
+		}
+		a1, _ := g.ActorByName("A1")
+		tau, err := tp.ActorThroughput(a1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tau.Equal(rat.MustNew(1, 23)) {
+			t.Errorf("%v: τ(A1) = %v, want 1/23", m, tau)
+		}
+	}
+}
+
+func TestFigure3ThroughputAllMethods(t *testing.T) {
+	g := gen.Figure3(2)
+	var got []rat.Rat
+	for _, m := range []Method{Matrix, StateSpace, HSDF} {
+		tp, err := ComputeThroughput(g, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		got = append(got, tp.Period)
+	}
+	if !got[0].Equal(got[1]) || !got[0].Equal(got[2]) {
+		t.Errorf("methods disagree: %v", got)
+	}
+	// q(L) = 2 per iteration: τ(L) = 2/Λ.
+	tp, err := ComputeThroughput(g, Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := g.ActorByName("L")
+	tau, err := tp.ActorThroughput(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := rat.FromInt(2)
+	want, err := two.Div(tp.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tau.Equal(want) {
+		t.Errorf("τ(L) = %v, want %v", tau, want)
+	}
+}
+
+func TestUnboundedPipeline(t *testing.T) {
+	// A pipeline without feedback has unbounded self-timed throughput
+	// (auto-concurrency lets every actor fire arbitrarily often).
+	g := sdf.NewGraph("pipe")
+	a := g.MustAddActor("A", 3)
+	b := g.MustAddActor("B", 4)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	for _, m := range []Method{Matrix, HSDF} {
+		tp, err := ComputeThroughput(g, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !tp.Unbounded {
+			t.Errorf("%v: pipeline not reported unbounded (period %v)", m, tp.Period)
+		}
+		if _, err := tp.IterationThroughput(); err == nil {
+			t.Errorf("%v: IterationThroughput on unbounded result succeeded", m)
+		}
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	g := sdf.NewGraph("dead")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(b, a, 1, 1, 0)
+	for _, m := range []Method{Matrix, StateSpace, HSDF} {
+		if _, err := ComputeThroughput(g, m); err == nil {
+			t.Errorf("%v: deadlocked graph analysed without error", m)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Matrix.String() != "matrix" || StateSpace.String() != "statespace" || HSDF.String() != "hsdf" {
+		t.Error("method names changed")
+	}
+	if Method(42).String() == "" {
+		t.Error("unknown method has empty name")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	g := sdf.NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	g.MustAddChannel(a, a, 1, 1, 1)
+	if _, err := ComputeThroughput(g, Method(42)); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+// The central cross-validation property of the repository: on random
+// consistent live SDF graphs, the symbolic-matrix engine, the state-space
+// engine and the classical traditional-conversion + MCM pipeline agree
+// exactly on the iteration period.
+func TestQuickEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 80; trial++ {
+		g, err := gen.RandomGraph(rng, gen.RandomOptions{
+			Actors:   2 + rng.Intn(6),
+			MaxRep:   4,
+			MaxExec:  12,
+			Chords:   rng.Intn(5),
+			SelfLoop: true, // keeps the graph strongly constrained
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpM, err := ComputeThroughput(g, Matrix)
+		if err != nil {
+			t.Fatalf("trial %d matrix: %v\n%s", trial, err, g)
+		}
+		tpS, err := ComputeThroughput(g, StateSpace)
+		if err != nil {
+			t.Fatalf("trial %d statespace: %v\n%s", trial, err, g)
+		}
+		tpH, err := ComputeThroughput(g, HSDF)
+		if err != nil {
+			t.Fatalf("trial %d hsdf: %v\n%s", trial, err, g)
+		}
+		if tpM.Unbounded != tpS.Unbounded || tpM.Unbounded != tpH.Unbounded {
+			t.Fatalf("trial %d: unbounded flags disagree: %v %v %v\n%s",
+				trial, tpM.Unbounded, tpS.Unbounded, tpH.Unbounded, g)
+		}
+		if tpM.Unbounded {
+			continue
+		}
+		if !tpM.Period.Equal(tpS.Period) || !tpM.Period.Equal(tpH.Period) {
+			t.Errorf("trial %d: periods disagree: matrix=%v statespace=%v hsdf=%v\n%s",
+				trial, tpM.Period, tpS.Period, tpH.Period, g)
+		}
+	}
+}
+
+// Without self-loops the graphs have large auto-concurrency; the engines
+// must still agree (including on unboundedness).
+func TestQuickEnginesAgreeNoSelfLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 60; trial++ {
+		g, err := gen.RandomGraph(rng, gen.RandomOptions{
+			Actors:  2 + rng.Intn(5),
+			MaxRep:  3,
+			MaxExec: 9,
+			Chords:  rng.Intn(4),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpM, errM := ComputeThroughput(g, Matrix)
+		tpH, errH := ComputeThroughput(g, HSDF)
+		if (errM == nil) != (errH == nil) {
+			t.Fatalf("trial %d: error disagreement: %v vs %v\n%s", trial, errM, errH, g)
+		}
+		if errM != nil {
+			continue
+		}
+		if tpM.Unbounded != tpH.Unbounded {
+			t.Fatalf("trial %d: unbounded flags disagree\n%s", trial, g)
+		}
+		if !tpM.Unbounded && !tpM.Period.Equal(tpH.Period) {
+			t.Errorf("trial %d: matrix=%v hsdf=%v\n%s", trial, tpM.Period, tpH.Period, g)
+		}
+	}
+}
+
+// Proposition 1, empirically: increasing execution times and removing
+// initial tokens can only increase the iteration period. This is the
+// monotonicity the conservativity proof of §5 rests on.
+func TestQuickProposition1Monotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 40; trial++ {
+		g, err := gen.RandomGraph(rng, gen.RandomOptions{
+			Actors:   2 + rng.Intn(5),
+			MaxRep:   3,
+			MaxExec:  9,
+			Chords:   rng.Intn(4),
+			SelfLoop: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpFast, err := ComputeThroughput(g, Matrix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Slow variant: every execution time grows by a random amount.
+		slow := g.Clone()
+		for a := 0; a < slow.NumActors(); a++ {
+			extra := rng.Int63n(5)
+			if err := slow.SetExec(sdf.ActorID(a), slow.Actor(sdf.ActorID(a)).Exec+extra); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tpSlow, err := ComputeThroughput(slow, Matrix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tpFast.Unbounded != tpSlow.Unbounded {
+			t.Fatalf("trial %d: unboundedness changed by slowing actors", trial)
+		}
+		if tpFast.Unbounded {
+			continue
+		}
+		if tpSlow.Period.Cmp(tpFast.Period) < 0 {
+			t.Errorf("trial %d: slower actors gave shorter period %v < %v\n%s",
+				trial, tpSlow.Period, tpFast.Period, g)
+		}
+
+		// Token-removal variant: drop one token from a channel with > 1
+		// tokens (keeping liveness plausible; skip when it deadlocks).
+		tight := g.Clone()
+		removed := false
+		for i := 0; i < tight.NumChannels(); i++ {
+			c := tight.Channel(sdf.ChannelID(i))
+			if c.Initial > 1 {
+				if err := tight.SetInitial(sdf.ChannelID(i), c.Initial-1); err != nil {
+					t.Fatal(err)
+				}
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			continue
+		}
+		tpTight, err := ComputeThroughput(tight, Matrix)
+		if err != nil {
+			continue // the tightened graph may deadlock; Prop 1 presumes liveness
+		}
+		if tpTight.Unbounded {
+			continue
+		}
+		if !tpFast.Unbounded && tpTight.Period.Cmp(tpFast.Period) < 0 {
+			t.Errorf("trial %d: fewer tokens gave shorter period %v < %v\n%s",
+				trial, tpTight.Period, tpFast.Period, g)
+		}
+	}
+}

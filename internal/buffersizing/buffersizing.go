@@ -1,0 +1,234 @@
+// Package buffersizing explores the throughput/buffer-size trade-off of
+// SDF graphs — the design problem behind the analyses the paper cites
+// ([18] Stuijk et al., exact trade-off exploration; [19] Wiggers et al.,
+// heuristics). Channel capacities are modelled as reverse credit channels
+// (internal/transform), so every bounded configuration is an ordinary SDF
+// graph analysed with the library's reduction-based engines.
+//
+// The explorer performs a steepest-ascent walk over capacity vectors:
+// starting from per-channel lower bounds it repeatedly enlarges the
+// channel whose single-step increase improves the iteration period most,
+// recording the Pareto-optimal (total buffer, period) points, until the
+// unbounded-buffer period is reached or the step budget is exhausted.
+// This matches the incremental scheme of [19]; it is a heuristic (the
+// exact Pareto set of [18] needs state-space storage dependencies), but
+// on monotone staircases — which capacity/throughput curves are — it
+// finds every Pareto point it passes.
+package buffersizing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/rat"
+	"repro/internal/schedule"
+	"repro/internal/sdf"
+	"repro/internal/transform"
+)
+
+// Point is one explored configuration.
+type Point struct {
+	// Capacities maps each sized channel to its capacity in tokens.
+	Capacities map[sdf.ChannelID]int
+	// Total is the sum of all capacities.
+	Total int
+	// Period is the iteration period under these capacities; only
+	// meaningful when Deadlock is false.
+	Period rat.Rat
+	// Deadlock marks configurations that cannot run at all.
+	Deadlock bool
+}
+
+// Options configures Explore.
+type Options struct {
+	// Channels to size; nil means every channel that is not a self-loop.
+	Channels []sdf.ChannelID
+	// MaxSteps bounds the number of capacity increases (default 256).
+	MaxSteps int
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// Pareto holds the non-dominated (Total, Period) points in order of
+	// increasing Total / improving Period, starting with the smallest
+	// non-deadlocking configuration.
+	Pareto []Point
+	// UnboundedPeriod is the iteration period with unbounded buffers, the
+	// best any capacity assignment can reach.
+	UnboundedPeriod rat.Rat
+	// Converged is true when the walk reached the unbounded period.
+	Converged bool
+}
+
+// DataChannels returns the channels of g that are not self-loops — the
+// default sizing targets.
+func DataChannels(g *sdf.Graph) []sdf.ChannelID {
+	var out []sdf.ChannelID
+	for i, c := range g.Channels() {
+		if c.Src != c.Dst {
+			out = append(out, sdf.ChannelID(i))
+		}
+	}
+	return out
+}
+
+// MinimalCapacity returns the smallest capacity under which the channel
+// can sustain a schedule in isolation: prod + cons − gcd(prod, cons),
+// corrected for the residue of the initial tokens, and never below the
+// initial tokens themselves (they must fit).
+func MinimalCapacity(c sdf.Channel) int {
+	g := int(rat.GCD(int64(c.Prod), int64(c.Cons)))
+	lower := c.Prod + c.Cons - g + c.Initial%g
+	if lower < c.Initial {
+		lower = c.Initial
+	}
+	return lower
+}
+
+// Explore walks the capacity space of g.
+func Explore(g *sdf.Graph, opts Options) (*Result, error) {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 256
+	}
+	channels := opts.Channels
+	if channels == nil {
+		channels = DataChannels(g)
+	}
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("buffersizing: no channels to size")
+	}
+	for _, id := range channels {
+		if id < 0 || int(id) >= g.NumChannels() {
+			return nil, fmt.Errorf("buffersizing: channel id %d out of range", id)
+		}
+	}
+
+	unbounded, err := analysis.ComputeThroughput(g, analysis.Matrix)
+	if err != nil {
+		return nil, fmt.Errorf("buffersizing: unbounded analysis: %w", err)
+	}
+	if unbounded.Unbounded {
+		return nil, fmt.Errorf("buffersizing: graph %s has unbounded throughput; bound it (e.g. with self-loops) before sizing buffers", g.Name())
+	}
+
+	caps := make(map[sdf.ChannelID]int, len(channels))
+	for _, id := range channels {
+		caps[id] = MinimalCapacity(g.Channel(id))
+	}
+
+	res := &Result{UnboundedPeriod: unbounded.Period}
+	evaluate := func(c map[sdf.ChannelID]int) (Point, error) {
+		bounded, err := transform.WithBufferCapacities(g, c)
+		if err != nil {
+			return Point{}, err
+		}
+		p := Point{Capacities: cloneCaps(c), Total: total(c)}
+		if !schedule.IsLive(bounded) {
+			p.Deadlock = true
+			return p, nil
+		}
+		tp, err := analysis.ComputeThroughput(bounded, analysis.Matrix)
+		if err != nil {
+			return Point{}, err
+		}
+		p.Period = tp.Period
+		return p, nil
+	}
+
+	// Grow out of deadlock first: enlarge the smallest channel until the
+	// configuration runs. Monotonicity of SDF timing in buffer space
+	// guarantees this terminates within the budget for live graphs.
+	cur, err := evaluate(caps)
+	if err != nil {
+		return nil, err
+	}
+	steps := 0
+	for cur.Deadlock && steps < opts.MaxSteps {
+		id := smallestChannel(caps, channels, g)
+		caps[id] += step(g.Channel(id))
+		steps++
+		cur, err = evaluate(caps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cur.Deadlock {
+		return nil, fmt.Errorf("buffersizing: still deadlocked after %d steps", steps)
+	}
+	res.Pareto = append(res.Pareto, cur)
+
+	for steps < opts.MaxSteps && !cur.Period.Equal(res.UnboundedPeriod) {
+		// Steepest ascent: try a single-step increase of every channel.
+		bestID := sdf.ChannelID(-1)
+		var best Point
+		for _, id := range channels {
+			caps[id] += step(g.Channel(id))
+			cand, err := evaluate(caps)
+			caps[id] -= step(g.Channel(id))
+			if err != nil {
+				return nil, err
+			}
+			if cand.Deadlock {
+				continue
+			}
+			if bestID < 0 || cand.Period.Cmp(best.Period) < 0 {
+				bestID, best = id, cand
+			}
+		}
+		if bestID < 0 {
+			break
+		}
+		caps[bestID] += step(g.Channel(bestID))
+		steps++
+		cur = best
+		last := res.Pareto[len(res.Pareto)-1]
+		if cur.Period.Cmp(last.Period) < 0 {
+			res.Pareto = append(res.Pareto, cur)
+		}
+		if cur.Period.Equal(res.UnboundedPeriod) {
+			res.Converged = true
+			break
+		}
+	}
+	if cur.Period.Equal(res.UnboundedPeriod) {
+		res.Converged = true
+	}
+	return res, nil
+}
+
+// step returns the capacity granularity of a channel: amounts smaller
+// than gcd(prod, cons) can never change the blocking behaviour.
+func step(c sdf.Channel) int {
+	return int(rat.GCD(int64(c.Prod), int64(c.Cons)))
+}
+
+func total(caps map[sdf.ChannelID]int) int {
+	t := 0
+	for _, v := range caps {
+		t += v
+	}
+	return t
+}
+
+func cloneCaps(caps map[sdf.ChannelID]int) map[sdf.ChannelID]int {
+	out := make(map[sdf.ChannelID]int, len(caps))
+	for k, v := range caps {
+		out[k] = v
+	}
+	return out
+}
+
+// smallestChannel picks the sized channel with the smallest capacity
+// (deterministically by ID on ties).
+func smallestChannel(caps map[sdf.ChannelID]int, channels []sdf.ChannelID, g *sdf.Graph) sdf.ChannelID {
+	ids := append([]sdf.ChannelID(nil), channels...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	best := ids[0]
+	for _, id := range ids[1:] {
+		if caps[id] < caps[best] {
+			best = id
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package buffersizing
+
+import (
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// serialPipeline builds Sensor(2) -> Filter(3) -> Sink(4) with per-actor
+// self-loops (so the unbounded period is finite) and multirate channels.
+func serialPipeline() *sdf.Graph {
+	g := sdf.NewGraph("pipe")
+	src := g.MustAddActor("Sensor", 2)
+	filt := g.MustAddActor("Filter", 3)
+	sink := g.MustAddActor("Sink", 4)
+	for _, a := range []sdf.ActorID{src, filt, sink} {
+		g.MustAddChannel(a, a, 1, 1, 1)
+	}
+	g.MustAddChannel(src, filt, 2, 3, 0)
+	g.MustAddChannel(filt, sink, 1, 2, 0)
+	return g
+}
+
+func TestMinimalCapacity(t *testing.T) {
+	cases := []struct {
+		c    sdf.Channel
+		want int
+	}{
+		{sdf.Channel{Prod: 1, Cons: 1, Initial: 0}, 1},
+		{sdf.Channel{Prod: 2, Cons: 3, Initial: 0}, 4}, // 2+3-1
+		{sdf.Channel{Prod: 2, Cons: 4, Initial: 0}, 4}, // 2+4-2
+		{sdf.Channel{Prod: 2, Cons: 4, Initial: 1}, 5}, // residue 1
+		{sdf.Channel{Prod: 1, Cons: 1, Initial: 7}, 7}, // tokens must fit
+		{sdf.Channel{Prod: 5, Cons: 1, Initial: 0}, 5}, // 5+1-1
+	}
+	for _, c := range cases {
+		if got := MinimalCapacity(c.c); got != c.want {
+			t.Errorf("MinimalCapacity(%+v) = %d, want %d", c.c, got, c.want)
+		}
+	}
+}
+
+func TestDataChannels(t *testing.T) {
+	g := serialPipeline()
+	ch := DataChannels(g)
+	if len(ch) != 2 {
+		t.Fatalf("DataChannels = %v, want the 2 non-self-loops", ch)
+	}
+	for _, id := range ch {
+		c := g.Channel(id)
+		if c.Src == c.Dst {
+			t.Errorf("self-loop %v included", id)
+		}
+	}
+}
+
+func TestExplorePipeline(t *testing.T) {
+	g := serialPipeline()
+	res, err := Explore(g, Options{MaxSteps: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("exploration did not converge to the unbounded period %v", res.UnboundedPeriod)
+	}
+	if len(res.Pareto) < 2 {
+		t.Fatalf("expected a staircase with >= 2 points, got %v", res.Pareto)
+	}
+	// The staircase is strictly improving in period and increasing in
+	// total buffer.
+	for i := 1; i < len(res.Pareto); i++ {
+		prev, cur := res.Pareto[i-1], res.Pareto[i]
+		if cur.Period.Cmp(prev.Period) >= 0 {
+			t.Errorf("point %d period %v not better than %v", i, cur.Period, prev.Period)
+		}
+		if cur.Total <= prev.Total {
+			t.Errorf("point %d total %d not larger than %d", i, cur.Total, prev.Total)
+		}
+	}
+	last := res.Pareto[len(res.Pareto)-1]
+	if !last.Period.Equal(res.UnboundedPeriod) {
+		t.Errorf("final period %v != unbounded %v", last.Period, res.UnboundedPeriod)
+	}
+	// With unbounded buffers, the bottleneck is the serialised Sink:
+	// q(Sink)·4. q = [3, 2, 1] · scaling: check against the value.
+	if res.UnboundedPeriod.Cmp(rat.Zero()) <= 0 {
+		t.Error("nonpositive unbounded period")
+	}
+}
+
+func TestExploreHomogeneousCycle(t *testing.T) {
+	// Producer/consumer with explicit feedback: the sized channel is the
+	// forward one; exploration reaches the intrinsic cycle period.
+	g := sdf.NewGraph("pc")
+	p := g.MustAddActor("P", 1)
+	c := g.MustAddActor("C", 10)
+	g.MustAddChannel(p, p, 1, 1, 1)
+	g.MustAddChannel(c, c, 1, 1, 1)
+	fwd := g.MustAddChannel(p, c, 1, 1, 0)
+	res, err := Explore(g, Options{Channels: []sdf.ChannelID{fwd}, MaxSteps: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("did not converge")
+	}
+	// Unbounded period: C's self-loop, 10.
+	if !res.UnboundedPeriod.Equal(rat.FromInt(10)) {
+		t.Errorf("unbounded period = %v, want 10", res.UnboundedPeriod)
+	}
+	// Capacity 1 gives the P->C->P credit cycle period 11, so at least
+	// two points exist and the first has period 11.
+	if !res.Pareto[0].Period.Equal(rat.FromInt(11)) {
+		t.Errorf("first point period = %v, want 11", res.Pareto[0].Period)
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	// Unbounded throughput graph: must be rejected.
+	g := sdf.NewGraph("free")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	if _, err := Explore(g, Options{}); err == nil {
+		t.Error("graph with unbounded throughput accepted")
+	}
+	// No channels to size.
+	g2 := sdf.NewGraph("self")
+	x := g2.MustAddActor("X", 1)
+	g2.MustAddChannel(x, x, 1, 1, 1)
+	if _, err := Explore(g2, Options{}); err == nil {
+		t.Error("graph without data channels accepted")
+	}
+	// Bad channel id.
+	g3 := serialPipeline()
+	if _, err := Explore(g3, Options{Channels: []sdf.ChannelID{99}}); err == nil {
+		t.Error("bad channel id accepted")
+	}
+}
+
+func TestExploreBoundedBelowUnbounded(t *testing.T) {
+	// Every explored point must be no faster than the unbounded period
+	// (monotonicity of SDF timing in buffer capacity).
+	g := serialPipeline()
+	res, err := Explore(g, Options{MaxSteps: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Pareto {
+		if p.Period.Cmp(res.UnboundedPeriod) < 0 {
+			t.Errorf("point %d period %v beats the unbounded period %v", i, p.Period, res.UnboundedPeriod)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sdf"
+)
+
+// Abstraction is the paper's (α, I) pair (Definition 3), with 0-based
+// indices: Alpha maps every actor of the original graph to the name of its
+// abstract actor and Index assigns each actor its position in the firing
+// round of that abstract actor. Valid abstractions satisfy, for the graph
+// they are applied to:
+//
+//   - actors mapped to the same abstract actor have distinct indices and
+//     equal repetition-vector entries, and
+//   - every zero-delay channel (a, b, p, c, 0) has Index[a] <= Index[b].
+//
+// N (the round length) is 1 + the largest index over all actors.
+type Abstraction struct {
+	Alpha []string
+	Index []int
+}
+
+// N returns the firing round length: one firing of every original actor
+// corresponds to N firings of the abstract actors (dummy firings pad
+// groups smaller than N).
+func (ab *Abstraction) N() int {
+	max := -1
+	for _, i := range ab.Index {
+		if i > max {
+			max = i
+		}
+	}
+	return max + 1
+}
+
+// Validate checks that ab is a well-formed abstraction of g per
+// Definition 3.
+func (ab *Abstraction) Validate(g *sdf.Graph) error {
+	if len(ab.Alpha) != g.NumActors() || len(ab.Index) != g.NumActors() {
+		return fmt.Errorf("core: abstraction covers %d/%d actors, graph has %d",
+			len(ab.Alpha), len(ab.Index), g.NumActors())
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return fmt.Errorf("core: abstraction: %w", err)
+	}
+	type slot struct {
+		group string
+		index int
+	}
+	seen := make(map[slot]sdf.ActorID)
+	groupRep := make(map[string]int64)
+	for a := 0; a < g.NumActors(); a++ {
+		if ab.Alpha[a] == "" {
+			return fmt.Errorf("core: actor %s has empty abstract name", g.Actor(sdf.ActorID(a)).Name)
+		}
+		if ab.Index[a] < 0 {
+			return fmt.Errorf("core: actor %s has negative index %d", g.Actor(sdf.ActorID(a)).Name, ab.Index[a])
+		}
+		s := slot{ab.Alpha[a], ab.Index[a]}
+		if other, dup := seen[s]; dup {
+			return fmt.Errorf("core: actors %s and %s share abstract actor %s index %d",
+				g.Actor(other).Name, g.Actor(sdf.ActorID(a)).Name, s.group, s.index)
+		}
+		seen[s] = sdf.ActorID(a)
+		if rep, ok := groupRep[ab.Alpha[a]]; ok {
+			if rep != q[a] {
+				return fmt.Errorf("core: group %s mixes repetition counts %d and %d",
+					ab.Alpha[a], rep, q[a])
+			}
+		} else {
+			groupRep[ab.Alpha[a]] = q[a]
+		}
+	}
+	for _, c := range g.Channels() {
+		if c.Initial == 0 && ab.Index[c.Src] > ab.Index[c.Dst] {
+			return fmt.Errorf("core: zero-delay channel %s -> %s violates index order (%d > %d)",
+				g.Actor(c.Src).Name, g.Actor(c.Dst).Name, ab.Index[c.Src], ab.Index[c.Dst])
+		}
+	}
+	return nil
+}
+
+// AbstractionResult describes how the abstract graph relates to the
+// original.
+type AbstractionResult struct {
+	// N is the firing round length of the abstraction.
+	N int
+	// AbstractActor maps each original actor to its actor in the abstract
+	// graph.
+	AbstractActor []sdf.ActorID
+	// PrunedChannels counts redundant parallel channels removed after the
+	// construction (§4.2: of several parallel channels with equal rates
+	// only the one with the fewest initial tokens constrains).
+	PrunedChannels int
+}
+
+// Abstract applies the abstraction to g per Definition 4: the actors of
+// the result are the distinct abstract actors; every original channel
+// (a, b, p, c, d) becomes (α(a), α(b), p, c, I(b) − I(a) + N·d); the
+// execution time of an abstract actor is the maximum over its group.
+// Redundant parallel channels are pruned per the §4.2 remark; use
+// AbstractUnpruned when the literal Definition-4 graph is needed (the
+// Proposition 3/4 proof obligations match edges of that graph).
+//
+// Theorem 1 guarantees that the result is conservative: the throughput of
+// g is at least the throughput of the abstract graph divided by N (see
+// ThroughputBound). The theorem is proved for homogeneous graphs; for
+// multirate graphs with equal-rate groups the construction applies
+// unchanged but is validated empirically rather than by the unfolding
+// argument.
+func Abstract(g *sdf.Graph, ab *Abstraction) (*sdf.Graph, *AbstractionResult, error) {
+	h, res, err := AbstractUnpruned(g, ab)
+	if err != nil {
+		return nil, nil, err
+	}
+	pruned, removed := PruneRedundantChannels(h)
+	res.PrunedChannels = removed
+	return pruned, res, nil
+}
+
+// AbstractUnpruned is Abstract without the redundant-channel pruning: the
+// result contains one channel per channel of g, exactly as Definition 4
+// prescribes (parallel duplicates collapse only when they agree on all
+// four components).
+func AbstractUnpruned(g *sdf.Graph, ab *Abstraction) (*sdf.Graph, *AbstractionResult, error) {
+	if err := ab.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	n := ab.N()
+
+	// Largest execution time per group (T' in Definition 4).
+	groupExec := make(map[string]int64)
+	var order []string
+	for a := 0; a < g.NumActors(); a++ {
+		name := ab.Alpha[a]
+		if _, ok := groupExec[name]; !ok {
+			order = append(order, name)
+		}
+		if e := g.Actor(sdf.ActorID(a)).Exec; e > groupExec[name] {
+			groupExec[name] = e
+		}
+	}
+	sort.Strings(order)
+
+	h := sdf.NewGraph(g.Name() + "_abstract")
+	byGroup := make(map[string]sdf.ActorID, len(order))
+	for _, name := range order {
+		id, err := h.AddActor(name, groupExec[name])
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: abstract: %w", err)
+		}
+		byGroup[name] = id
+	}
+
+	res := &AbstractionResult{N: n, AbstractActor: make([]sdf.ActorID, g.NumActors())}
+	for a := 0; a < g.NumActors(); a++ {
+		res.AbstractActor[a] = byGroup[ab.Alpha[a]]
+	}
+
+	// One channel per original channel (Definition 4), collapsing exact
+	// duplicates only.
+	type key struct {
+		src, dst   sdf.ActorID
+		prod, cons int
+		delay      int
+	}
+	seenCh := make(map[key]bool)
+	for _, c := range g.Channels() {
+		delay := ab.Index[c.Dst] - ab.Index[c.Src] + n*c.Initial
+		if delay < 0 {
+			// Excluded by Validate; guard against future drift.
+			return nil, nil, fmt.Errorf("core: abstract: negative delay for channel %s -> %s",
+				g.Actor(c.Src).Name, g.Actor(c.Dst).Name)
+		}
+		k := key{byGroup[ab.Alpha[c.Src]], byGroup[ab.Alpha[c.Dst]], c.Prod, c.Cons, delay}
+		if seenCh[k] {
+			continue
+		}
+		seenCh[k] = true
+		if _, err := h.AddChannel(k.src, k.dst, k.prod, k.cons, k.delay); err != nil {
+			return nil, nil, fmt.Errorf("core: abstract: %w", err)
+		}
+	}
+	return h, res, nil
+}
+
+// PruneRedundantChannels removes dominated parallel channels: among
+// channels that agree on source, destination and rates, only the one with
+// the fewest initial tokens constrains the timing (§4.2), so all others
+// are dropped. It returns the pruned copy and the number of channels
+// removed.
+func PruneRedundantChannels(g *sdf.Graph) (*sdf.Graph, int) {
+	type key struct {
+		src, dst   sdf.ActorID
+		prod, cons int
+	}
+	best := make(map[key]int)
+	var order []key
+	for _, c := range g.Channels() {
+		k := key{c.Src, c.Dst, c.Prod, c.Cons}
+		if cur, ok := best[k]; !ok {
+			best[k] = c.Initial
+			order = append(order, k)
+		} else if c.Initial < cur {
+			best[k] = c.Initial
+		}
+	}
+	h := sdf.NewGraph(g.Name())
+	for _, a := range g.Actors() {
+		h.MustAddActor(a.Name, a.Exec)
+	}
+	for _, k := range order {
+		h.MustAddChannel(k.src, k.dst, k.prod, k.cons, best[k])
+	}
+	return h, g.NumChannels() - len(order)
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/maxplus"
+	"repro/internal/sdf"
+)
+
+// ConvertStats summarises the size of a novel-conversion result and what
+// was elided during construction.
+type ConvertStats struct {
+	Tokens       int // N: initial tokens of the source graph / of the result
+	MatrixActors int // one per finite matrix coefficient that was kept
+	DemuxActors  int // rows with >= 2 kept entries
+	MuxActors    int // columns with >= 2 kept entries
+	Edges        int
+	// DroppedEntries counts finite coefficients removed because their
+	// token cannot participate in recurrent behaviour (rows or columns
+	// that became empty under the trimming fixpoint). Zero for strongly
+	// connected graphs.
+	DroppedEntries int
+	// ObserverActors counts the actors added for BuildOptions.Observe
+	// (coefficient actors plus one collector per observer); they are not
+	// part of the paper's N(N+2) bound.
+	ObserverActors int
+}
+
+// Actors returns the actor count of the core Figure-4 structure (matrix,
+// mux and demux actors) — the quantity the paper's N(N+2) bound covers.
+// Observer actors, when requested, come on top; the full graph has
+// Actors() + ObserverActors actors.
+func (s ConvertStats) Actors() int { return s.MatrixActors + s.DemuxActors + s.MuxActors }
+
+// BuildOptions configures the Figure-4 construction.
+type BuildOptions struct {
+	// ElideMuxDemux elides multiplexer and demultiplexer actors for rows
+	// and columns with fewer than two finite coefficients, as the paper
+	// prescribes ("these actors only need to be present if there is
+	// actually more than one actor that needs the token or multiple
+	// actors from which the tokens need to synchronise"). Disabling it
+	// builds the full N(N+2)-shaped structure; the ablation benchmarks
+	// compare both.
+	ElideMuxDemux bool
+	// Observe adds, per entry, a zero-time collector actor named
+	// "obs_<Name>" whose firing in every iteration happens exactly at the
+	// observed symbolic time max_j (t_j + Times[j]) — the §6 device for
+	// tracking a dedicated output actor's completion through the
+	// constructed graph. Use SymbolicResult.ActorCompletion as Times to
+	// observe an actor of the source graph. Observers are sinks: they
+	// never constrain the timing.
+	Observe []Observer
+}
+
+// Observer names one symbolic time stamp to expose in the constructed
+// HSDF graph.
+type Observer struct {
+	Name  string
+	Times maxplus.Vec
+}
+
+// DefaultBuildOptions returns the paper's construction settings.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{ElideMuxDemux: true}
+}
+
+// BuildHSDF constructs the homogeneous SDF graph of Figure 4 from a
+// symbolic iteration result: a matrix actor with execution time g_{j,k}
+// for every finite coefficient, demultiplexers distributing each token to
+// the actors that need it, multiplexers synchronising each token's
+// producers, and one feedback channel with a single initial token per
+// initial token of the original graph. The result has the same throughput
+// as the original graph (its maximum cycle mean is the matrix eigenvalue)
+// and at most N(N+2) actors, N(2N+1) channels and N tokens.
+//
+// Tokens whose coefficients cannot lie on or between dependency cycles
+// (rows or columns emptied by the trimming fixpoint, which only happens in
+// graphs with pure sources or sinks) are dropped; ConvertStats reports how
+// many coefficients that removed.
+func BuildHSDF(name string, r *SymbolicResult, opts BuildOptions) (*sdf.Graph, ConvertStats, error) {
+	return BuildHSDFFromMatrix(name, r.Matrix, opts)
+}
+
+// BuildHSDFFromMatrix is BuildHSDF for callers that hold a max-plus
+// iteration matrix directly — for instance the cyclo-static front end,
+// whose symbolic execution produces the same kind of matrix over its
+// initial tokens.
+func BuildHSDFFromMatrix(name string, m *maxplus.Matrix, opts BuildOptions) (*sdf.Graph, ConvertStats, error) {
+	n := m.Size()
+
+	// keep[j*n+k] marks coefficient g_{j,k} (stored at m.At(k,j)) as kept.
+	keep := make([]bool, n*n)
+	rowCount := make([]int, n) // kept entries with source token j
+	colCount := make([]int, n) // kept entries producing token k
+	obsUses := make([]int, n)  // observer coefficients reading token j
+	dropped := 0
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if m.At(k, j) != maxplus.NegInf {
+				keep[j*n+k] = true
+				rowCount[j]++
+				colCount[k]++
+			}
+		}
+	}
+	for _, o := range opts.Observe {
+		if len(o.Times) != n {
+			return nil, ConvertStats{}, fmt.Errorf("core: build HSDF: observer %s has %d coefficients, want %d",
+				o.Name, len(o.Times), n)
+		}
+		for j, v := range o.Times {
+			if v != maxplus.NegInf {
+				obsUses[j]++
+			}
+		}
+	}
+	// Trim tokens that are never consumed (empty row) or never produced
+	// (empty column) to a fixpoint; their feedback channel would dangle.
+	// Observer reads count as consumption so observed tokens survive.
+	for changed := true; changed; {
+		changed = false
+		for t := 0; t < n; t++ {
+			if rowCount[t]+obsUses[t] == 0 && colCount[t] > 0 {
+				// Token t constrains nothing: remove its producers.
+				for j := 0; j < n; j++ {
+					if keep[j*n+t] {
+						keep[j*n+t] = false
+						rowCount[j]--
+						colCount[t]--
+						dropped++
+						changed = true
+					}
+				}
+			}
+			if colCount[t] == 0 && rowCount[t] > 0 {
+				// Token t is regenerated without constraints: its
+				// availability never limits the steady state.
+				for k := 0; k < n; k++ {
+					if keep[t*n+k] {
+						keep[t*n+k] = false
+						rowCount[t]--
+						colCount[k]--
+						dropped++
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Observer coefficients on tokens that are never produced can never
+	// fire and are dropped.
+	for t := 0; t < n; t++ {
+		if colCount[t] == 0 {
+			obsUses[t] = 0
+		}
+	}
+
+	h := sdf.NewGraph(name)
+	stats := ConvertStats{Tokens: 0, DroppedEntries: dropped}
+
+	matrixActor := make(map[[2]int]sdf.ActorID, n)
+	demux := make([]sdf.ActorID, n)
+	mux := make([]sdf.ActorID, n)
+	for t := range demux {
+		demux[t], mux[t] = -1, -1
+	}
+
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if !keep[j*n+k] {
+				continue
+			}
+			exec := m.At(k, j).Int()
+			id, err := h.AddActor(fmt.Sprintf("g%d_%d", j, k), exec)
+			if err != nil {
+				return nil, ConvertStats{}, fmt.Errorf("core: build HSDF: %w", err)
+			}
+			matrixActor[[2]int{j, k}] = id
+			stats.MatrixActors++
+		}
+	}
+	for t := 0; t < n; t++ {
+		consumers := rowCount[t] + obsUses[t]
+		if consumers >= 2 || (consumers == 1 && !opts.ElideMuxDemux) {
+			id, err := h.AddActor(fmt.Sprintf("dmx%d", t), 0)
+			if err != nil {
+				return nil, ConvertStats{}, fmt.Errorf("core: build HSDF: %w", err)
+			}
+			demux[t] = id
+			stats.DemuxActors++
+		}
+		if colCount[t] >= 2 || (colCount[t] == 1 && !opts.ElideMuxDemux) {
+			id, err := h.AddActor(fmt.Sprintf("mux%d", t), 0)
+			if err != nil {
+				return nil, ConvertStats{}, fmt.Errorf("core: build HSDF: %w", err)
+			}
+			mux[t] = id
+			stats.MuxActors++
+		}
+	}
+
+	// Observer coefficient actors and collectors.
+	type obsKey struct{ obs, token int }
+	obsCoeff := make(map[obsKey]sdf.ActorID)
+	obsCollector := make([]sdf.ActorID, len(opts.Observe))
+	for oi, o := range opts.Observe {
+		id, err := h.AddActor("obs_"+o.Name, 0)
+		if err != nil {
+			return nil, ConvertStats{}, fmt.Errorf("core: build HSDF: %w", err)
+		}
+		obsCollector[oi] = id
+		stats.ObserverActors++
+		for j, v := range o.Times {
+			if v == maxplus.NegInf || colCount[j] == 0 {
+				continue
+			}
+			cid, err := h.AddActor(fmt.Sprintf("obs_%s_t%d", o.Name, j), v.Int())
+			if err != nil {
+				return nil, ConvertStats{}, fmt.Errorf("core: build HSDF: %w", err)
+			}
+			obsCoeff[obsKey{oi, j}] = cid
+			stats.ObserverActors++
+		}
+	}
+
+	addChan := func(src, dst sdf.ActorID, tokens int) error {
+		if _, err := h.AddChannel(src, dst, 1, 1, tokens); err != nil {
+			return fmt.Errorf("core: build HSDF: %w", err)
+		}
+		stats.Edges++
+		return nil
+	}
+
+	// Row fan-out and column fan-in.
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if !keep[j*n+k] {
+				continue
+			}
+			ma := matrixActor[[2]int{j, k}]
+			if demux[j] >= 0 {
+				if err := addChan(demux[j], ma, 0); err != nil {
+					return nil, ConvertStats{}, err
+				}
+			}
+			if mux[k] >= 0 {
+				if err := addChan(ma, mux[k], 0); err != nil {
+					return nil, ConvertStats{}, err
+				}
+			}
+		}
+	}
+
+	// rowInput(t) is the actor that receives token t at the start of an
+	// iteration; colOutput(t) produces it at the end.
+	rowInput := func(t int) (sdf.ActorID, bool) {
+		if demux[t] >= 0 {
+			return demux[t], true
+		}
+		for k := 0; k < n; k++ {
+			if keep[t*n+k] {
+				return matrixActor[[2]int{t, k}], true
+			}
+		}
+		// A token consumed only by a single observer coefficient.
+		for oi := range opts.Observe {
+			if id, ok := obsCoeff[obsKey{oi, t}]; ok {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	colOutput := func(t int) (sdf.ActorID, bool) {
+		if mux[t] >= 0 {
+			return mux[t], true
+		}
+		for j := 0; j < n; j++ {
+			if keep[j*n+t] {
+				return matrixActor[[2]int{j, t}], true
+			}
+		}
+		return 0, false
+	}
+
+	// Feedback channels: one initial token per surviving token.
+	for t := 0; t < n; t++ {
+		src, okSrc := colOutput(t)
+		dst, okDst := rowInput(t)
+		if !okSrc || !okDst {
+			continue // token trimmed away entirely
+		}
+		if err := addChan(src, dst, 1); err != nil {
+			return nil, ConvertStats{}, err
+		}
+		stats.Tokens++
+	}
+
+	// Observer wiring: token j's demux fans out into the coefficient
+	// actor (when the token is consumed by more than the observer, the
+	// demux exists; otherwise the feedback channel above already ends at
+	// the coefficient actor), and all coefficient actors synchronise in
+	// the collector.
+	for oi, o := range opts.Observe {
+		for j := range o.Times {
+			cid, ok := obsCoeff[obsKey{oi, j}]
+			if !ok {
+				continue
+			}
+			if demux[j] >= 0 {
+				if err := addChan(demux[j], cid, 0); err != nil {
+					return nil, ConvertStats{}, err
+				}
+			}
+			if err := addChan(cid, obsCollector[oi], 0); err != nil {
+				return nil, ConvertStats{}, err
+			}
+		}
+	}
+	return h, stats, nil
+}
+
+// ConvertSymbolic converts g to an HSDF graph using the paper's novel
+// algorithm: symbolic execution of one iteration followed by the Figure-4
+// construction with the default options. It returns the graph, the
+// symbolic result (whose matrix is also directly usable for throughput
+// analysis) and the size statistics.
+func ConvertSymbolic(g *sdf.Graph) (*sdf.Graph, *SymbolicResult, ConvertStats, error) {
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		return nil, nil, ConvertStats{}, err
+	}
+	h, stats, err := BuildHSDF(g.Name()+"_hsdf", r, DefaultBuildOptions())
+	if err != nil {
+		return nil, nil, ConvertStats{}, err
+	}
+	return h, r, stats, nil
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mcm"
+	"repro/internal/sdf"
+)
+
+func TestBuildHSDFSizeBound(t *testing.T) {
+	// §6: at most N(N+2) actors, N(2N+1) channels, N initial tokens.
+	g := gen.Figure3(2)
+	h, r, stats, err := ConvertSymbolic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.NumTokens()
+	if got := stats.Actors(); got > n*(n+2) {
+		t.Errorf("actors = %d > N(N+2) = %d", got, n*(n+2))
+	}
+	if stats.Edges > n*(2*n+1) {
+		t.Errorf("edges = %d > N(2N+1) = %d", stats.Edges, n*(2*n+1))
+	}
+	if stats.Tokens > n {
+		t.Errorf("tokens = %d > N = %d", stats.Tokens, n)
+	}
+	if h.NumActors() != stats.Actors() {
+		t.Errorf("graph has %d actors, stats say %d", h.NumActors(), stats.Actors())
+	}
+	if h.NumChannels() != stats.Edges {
+		t.Errorf("graph has %d channels, stats say %d", h.NumChannels(), stats.Edges)
+	}
+	if h.TotalInitialTokens() != stats.Tokens {
+		t.Errorf("graph has %d tokens, stats say %d", h.TotalInitialTokens(), stats.Tokens)
+	}
+	if !h.IsHSDF() {
+		t.Error("conversion result is not homogeneous")
+	}
+}
+
+func TestBuildHSDFThroughputMatchesEigenvalue(t *testing.T) {
+	g := gen.Figure3(2)
+	h, r, _, err := ConvertSymbolic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, ok, err := r.Matrix.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatalf("eigenvalue: ok=%v err=%v", ok, err)
+	}
+	res, err := mcm.MaxCycleRatio(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasCycle || !res.CycleMean.Equal(lam) {
+		t.Errorf("HSDF cycle mean %v (hasCycle=%v), matrix eigenvalue %v", res.CycleMean, res.HasCycle, lam)
+	}
+}
+
+func TestBuildHSDFNoElision(t *testing.T) {
+	g := gen.Figure3(2)
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elided, se, err := BuildHSDF("e", r, BuildOptions{ElideMuxDemux: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, sf, err := BuildHSDF("f", r, BuildOptions{ElideMuxDemux: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Actors() < se.Actors() {
+		t.Errorf("full structure (%d actors) smaller than elided (%d)", sf.Actors(), se.Actors())
+	}
+	// Both variants must have the same timing.
+	re, err := mcm.MaxCycleRatio(elided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := mcm.MaxCycleRatio(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.CycleMean.Equal(rf.CycleMean) {
+		t.Errorf("elided cycle mean %v != full %v", re.CycleMean, rf.CycleMean)
+	}
+}
+
+func TestBuildHSDFSingleSelfLoop(t *testing.T) {
+	// One actor, self-loop with one token: matrix is 1x1 [exec]; the
+	// conversion must be a single actor with a self-loop.
+	g := sdf.NewGraph("t")
+	a := g.MustAddActor("A", 7)
+	g.MustAddChannel(a, a, 1, 1, 1)
+	h, _, stats, err := ConvertSymbolic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Actors() != 1 || stats.Edges != 1 || stats.Tokens != 1 {
+		t.Errorf("stats = %+v, want 1 actor, 1 edge, 1 token", stats)
+	}
+	res, err := mcm.MaxCycleRatio(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CycleMean.Num() != 7 || res.CycleMean.Den() != 1 {
+		t.Errorf("cycle mean = %v, want 7", res.CycleMean)
+	}
+}
+
+func TestBuildHSDFDropsDeadTokens(t *testing.T) {
+	// A strongly-connected core plus a sink fed through a token whose
+	// regeneration depends on the core: the sink-side coefficients cannot
+	// be on a cycle... here the sink channel has no initial tokens so all
+	// tokens stay recurrent; instead test a source feeding the core.
+	g := sdf.NewGraph("t")
+	src := g.MustAddActor("SRC", 1) // source guarded by self-loop
+	a := g.MustAddActor("A", 3)
+	g.MustAddChannel(src, src, 1, 1, 1)
+	g.MustAddChannel(src, a, 1, 1, 0)
+	g.MustAddChannel(a, a, 1, 1, 1)
+	h, _, stats, err := ConvertSymbolic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both tokens are recurrent here (self-loops); nothing dropped.
+	if stats.DroppedEntries != 0 {
+		t.Errorf("DroppedEntries = %d, want 0", stats.DroppedEntries)
+	}
+	res, err := mcm.MaxCycleRatio(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CycleMean.Num() != 3 {
+		t.Errorf("cycle mean = %v, want 3", res.CycleMean)
+	}
+}
+
+func TestBuildHSDFFigure1(t *testing.T) {
+	g, err := gen.Figure1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, r, stats, err := ConvertSymbolic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.NumTokens()
+	if n != 2 { // A6->A1 and CMP-window token? Figure1 has exactly 1+... recount below
+		// Figure1(6): one token on A6->A1, none elsewhere.
+		t.Logf("figure1 tokens = %d", n)
+	}
+	res, err := mcm.MaxCycleRatio(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1: throughput 1/23, so the iteration period is 23.
+	if !res.HasCycle || res.CycleMean.Num() != 23 || res.CycleMean.Den() != 1 {
+		t.Errorf("figure1(6) period = %v, want 23", res.CycleMean)
+	}
+	if stats.Actors() > n*(n+2) {
+		t.Errorf("size bound violated: %d > %d", stats.Actors(), n*(n+2))
+	}
+}
+
+func TestBuildHSDFTrimsSinkCoefficients(t *testing.T) {
+	// A recurrent core (A with self-loop) feeding a sink chain through a
+	// tokenised channel: the sink-side token is regenerated each
+	// iteration but nothing downstream of it survives, so its
+	// coefficients are trimmed and the conversion stays well formed.
+	g := sdf.NewGraph("sink")
+	a := g.MustAddActor("A", 3)
+	s1 := g.MustAddActor("S1", 2)
+	s2 := g.MustAddActor("S2", 1)
+	g.MustAddChannel(a, a, 1, 1, 1)
+	g.MustAddChannel(a, s1, 1, 1, 1) // tokenised channel into the sink side
+	g.MustAddChannel(s1, s2, 1, 1, 0)
+	h, r, stats, err := ConvertSymbolic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedEntries == 0 {
+		t.Error("expected sink-side coefficients to be trimmed")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The throughput is A's self-loop: 3. (The sink never constrains.)
+	res, err := mcm.MaxCycleRatio(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasCycle || res.CycleMean.Num() != 3 || res.CycleMean.Den() != 1 {
+		t.Errorf("cycle mean = %v, want 3", res.CycleMean)
+	}
+	// The full matrix eigenvalue agrees: trimming only removed
+	// non-recurrent coefficients.
+	lam, ok, err := r.Matrix.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if !lam.Equal(res.CycleMean) {
+		t.Errorf("matrix eigenvalue %v != trimmed HSDF cycle mean %v", lam, res.CycleMean)
+	}
+}
+
+func TestBuildHSDFSourceChainTrimmed(t *testing.T) {
+	// A source chain (no feedback into it) producing into a recurrent
+	// consumer: the source-side token has an empty column after its
+	// producer-side is unconstrained... construct: SRC (no self-loop, no
+	// inputs) -> A(self-loop). SRC's firing has no token dependencies at
+	// all, so the token on SRC->A regenerates unconstrained and its
+	// coefficients trim away.
+	g := sdf.NewGraph("src")
+	src := g.MustAddActor("SRC", 4)
+	a := g.MustAddActor("A", 3)
+	g.MustAddChannel(src, a, 1, 1, 1)
+	g.MustAddChannel(a, a, 1, 1, 1)
+	h, _, stats, err := ConvertSymbolic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedEntries == 0 {
+		t.Error("expected unconstrained source coefficients to be trimmed")
+	}
+	res, err := mcm.MaxCycleRatio(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasCycle || res.CycleMean.Num() != 3 {
+		t.Errorf("cycle mean = %v, want 3 (A's self-loop)", res.CycleMean)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/sdf"
+)
+
+// InferByName derives an abstraction from the actor naming convention of
+// regular graphs: actors whose names share a prefix followed by a numeric
+// suffix ("A1" … "A6", "B1" … "B4") are grouped under the prefix, indexed
+// by ascending suffix. Actors without a numeric suffix form singleton
+// groups with index 0.
+//
+// The result is validated against the graph; an error describes the first
+// violated Definition-3 condition (for instance a zero-delay channel
+// running against the suffix order, or mixed repetition counts within a
+// group). InferByLevels can repair the index assignment in the former
+// case.
+func InferByName(g *sdf.Graph) (*Abstraction, error) {
+	type member struct {
+		actor  sdf.ActorID
+		suffix int
+	}
+	groups := make(map[string][]member)
+	alpha := make([]string, g.NumActors())
+	for a := 0; a < g.NumActors(); a++ {
+		name := g.Actor(sdf.ActorID(a)).Name
+		prefix, suffix, ok := splitNumericSuffix(name)
+		if !ok {
+			prefix, suffix = name, 0
+		}
+		alpha[a] = prefix
+		groups[prefix] = append(groups[prefix], member{actor: sdf.ActorID(a), suffix: suffix})
+	}
+	index := make([]int, g.NumActors())
+	for prefix, ms := range groups {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].suffix < ms[j].suffix })
+		for rank, m := range ms {
+			if rank > 0 && ms[rank-1].suffix == m.suffix {
+				return nil, fmt.Errorf("core: infer: actors %s and %s have the same numeric suffix in group %s",
+					g.Actor(ms[rank-1].actor).Name, g.Actor(m.actor).Name, prefix)
+			}
+			index[m.actor] = rank
+		}
+	}
+	ab := &Abstraction{Alpha: alpha, Index: index}
+	if err := ab.Validate(g); err != nil {
+		return nil, err
+	}
+	return ab, nil
+}
+
+// splitNumericSuffix splits "A12" into ("A", 12, true); names without a
+// trailing number report ok == false.
+func splitNumericSuffix(name string) (prefix string, suffix int, ok bool) {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == len(name) || i == 0 {
+		return name, 0, false
+	}
+	v, err := strconv.Atoi(name[i:])
+	if err != nil {
+		return name, 0, false
+	}
+	return name[:i], v, true
+}
+
+// InferByLevels derives index assignments for a given grouping from the
+// precedence structure instead of names: every actor's index is its
+// longest-path depth in the DAG of zero-delay channels, which satisfies
+// the ordering condition of Definition 3 by construction. The grouping
+// maps each actor name to its abstract actor name; names not present form
+// singleton groups.
+//
+// It fails when the zero-delay channels contain a cycle (such a graph
+// deadlocks anyway) or when two actors of one group land on the same
+// level (the grouping is then unsuitable for this graph).
+func InferByLevels(g *sdf.Graph, grouping map[string]string) (*Abstraction, error) {
+	n := g.NumActors()
+	alpha := make([]string, n)
+	for a := 0; a < n; a++ {
+		name := g.Actor(sdf.ActorID(a)).Name
+		if to, ok := grouping[name]; ok {
+			alpha[a] = to
+		} else {
+			alpha[a] = name
+		}
+	}
+
+	// Longest-path levels over zero-delay channels (Kahn order).
+	indeg := make([]int, n)
+	adj := make([][]sdf.ActorID, n)
+	for _, c := range g.Channels() {
+		if c.Initial > 0 {
+			continue
+		}
+		adj[c.Src] = append(adj[c.Src], c.Dst)
+		indeg[c.Dst]++
+	}
+	level := make([]int, n)
+	var queue []sdf.ActorID
+	for a := 0; a < n; a++ {
+		if indeg[a] == 0 {
+			queue = append(queue, sdf.ActorID(a))
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		processed++
+		for _, w := range adj[v] {
+			if level[v]+1 > level[w] {
+				level[w] = level[v] + 1
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if processed != n {
+		return nil, fmt.Errorf("core: infer: zero-delay channels contain a cycle (the graph deadlocks)")
+	}
+
+	ab := &Abstraction{Alpha: alpha, Index: level}
+	if err := ab.Validate(g); err != nil {
+		return nil, err
+	}
+	return ab, nil
+}

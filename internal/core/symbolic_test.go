@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/maxplus"
+	"repro/internal/sdf"
+)
+
+// TestFigure3SymbolicExecution verifies the symbolic execution trace the
+// paper walks through for Figure 3, token by token. With the token
+// numbering of gen.Figure3 (0 = L's self token, 1 and 2 = the two tokens
+// on the R→L channel, 3 = R's self token) and R's execution time set to
+// 2, one iteration must produce:
+//
+//	L self token:  max(t1+6, t2+6, t3+3)            (the text's second L firing)
+//	R→L tokens:    max(t1+8, t2+8, t3+5, t4+2)      (both copies of R's output)
+//	R self token:  max(t1+8, t2+8, t3+5, t4+2)
+//
+// where the text's t1, t2, t3, t4 are our tokens 1, 0, 2, 3.
+func TestFigure3SymbolicExecution(t *testing.T) {
+	g := gen.Figure3(2)
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumTokens() != 4 {
+		t.Fatalf("NumTokens = %d, want 4", r.NumTokens())
+	}
+	inf := maxplus.NegInf
+	fi := maxplus.FromInt
+
+	// Final token 0 (L self): firing 2 of L ends at max(t1+6, t2+6, t3+3)
+	// = indices: t2=tok0 -> +6, t1=tok1 -> +6, t3=tok2 -> +3, t4 -> -inf.
+	wantLSelf := maxplus.Vec{fi(6), fi(6), fi(3), inf}
+	if !r.Matrix.Row(0).Equal(wantLSelf) {
+		t.Errorf("L self token row = %v, want %v", r.Matrix.Row(0), wantLSelf)
+	}
+	// Final tokens 1, 2 (R→L) and 3 (R self): R ends at
+	// max(t1+8, t2+8, t3+5, t4+2).
+	wantR := maxplus.Vec{fi(8), fi(8), fi(5), fi(2)}
+	for k := 1; k <= 3; k++ {
+		if !r.Matrix.Row(k).Equal(wantR) {
+			t.Errorf("token %d row = %v, want %v", k, r.Matrix.Row(k), wantR)
+		}
+	}
+
+	// The schedule is L, L, R.
+	if len(r.Schedule) != 3 {
+		t.Fatalf("schedule = %v", r.Schedule)
+	}
+	l, _ := g.ActorByName("L")
+	rr, _ := g.ActorByName("R")
+	if r.Schedule[0] != l || r.Schedule[1] != l || r.Schedule[2] != rr {
+		t.Errorf("schedule = %v, want [L L R]", r.Schedule)
+	}
+
+	// Intermediate claim of the text: the first L firing ends at
+	// max(t1+3, t2+3) — check via the makespan with only that firing's
+	// ancestors... the full makespan is R's end = 8.
+	if ms, ok := r.Makespan(); !ok || ms != 8 {
+		t.Errorf("Makespan = %d, %v; want 8", ms, ok)
+	}
+}
+
+func TestSymbolicGCoefficientAccessor(t *testing.T) {
+	g := gen.Figure3(2)
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g_{j,k} = Matrix.At(k, j): new token 0 depends on token 2 with 3.
+	if got := r.G(2, 0); got != maxplus.FromInt(3) {
+		t.Errorf("G(2,0) = %v, want 3", got)
+	}
+	if got := r.G(3, 0); got != maxplus.NegInf {
+		t.Errorf("G(3,0) = %v, want -inf", got)
+	}
+}
+
+func TestSymbolicDeadlock(t *testing.T) {
+	g := sdf.NewGraph("dead")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(b, a, 1, 1, 0)
+	if _, err := SymbolicIteration(g); err == nil {
+		t.Error("SymbolicIteration succeeded on deadlocked graph")
+	}
+}
+
+func TestSymbolicSimpleCycle(t *testing.T) {
+	// A(3) -> B(5) -> A, one token on each channel. Token 0 on A->B,
+	// token 1 on B->A. One iteration: A consumes token 1, ends t1+3,
+	// appends to A->B; B consumes token 0, ends t0+5, appends to B->A.
+	g := sdf.NewGraph("t")
+	a := g.MustAddActor("A", 3)
+	b := g.MustAddActor("B", 5)
+	g.MustAddChannel(a, b, 1, 1, 1)
+	g.MustAddChannel(b, a, 1, 1, 1)
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := maxplus.NegInf
+	fi := maxplus.FromInt
+	if !r.Matrix.Row(0).Equal(maxplus.Vec{inf, fi(3)}) {
+		t.Errorf("row 0 = %v, want [-inf 3]", r.Matrix.Row(0))
+	}
+	if !r.Matrix.Row(1).Equal(maxplus.Vec{fi(5), inf}) {
+		t.Errorf("row 1 = %v, want [5 -inf]", r.Matrix.Row(1))
+	}
+	lam, ok, err := r.Matrix.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatalf("eigenvalue: %v %v", ok, err)
+	}
+	if lam.Num() != 8 || lam.Den() != 2 {
+		if !(lam.Num() == 4 && lam.Den() == 1) {
+			t.Errorf("lambda = %v, want 4", lam)
+		}
+	}
+}
+
+func TestSymbolicNoInitialTokens(t *testing.T) {
+	// Acyclic graph with no tokens: iteration completes, matrix is 0x0.
+	g := sdf.NewGraph("acyc")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumTokens() != 0 {
+		t.Errorf("NumTokens = %d, want 0", r.NumTokens())
+	}
+	if _, ok := r.Makespan(); ok {
+		t.Error("Makespan defined with no initial tokens")
+	}
+}
+
+func TestSymbolicTokenChannelMapping(t *testing.T) {
+	g := gen.Figure3(2)
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sdf.ChannelID{0, 1, 1, 3}
+	if len(r.TokenChannel) != len(want) {
+		t.Fatalf("TokenChannel = %v", r.TokenChannel)
+	}
+	for i := range want {
+		if r.TokenChannel[i] != want[i] {
+			t.Errorf("TokenChannel[%d] = %d, want %d", i, r.TokenChannel[i], want[i])
+		}
+	}
+}
+
+// The iteration matrix is schedule independent; reversing actor insertion
+// order changes the schedule but must produce the same matrix up to the
+// (identical) token numbering.
+func TestSymbolicScheduleIndependence(t *testing.T) {
+	build := func(order []string) *sdf.Graph {
+		g := sdf.NewGraph("t")
+		for _, n := range order {
+			switch n {
+			case "A":
+				g.MustAddActor("A", 3)
+			case "B":
+				g.MustAddActor("B", 5)
+			case "C":
+				g.MustAddActor("C", 2)
+			}
+		}
+		a, _ := g.ActorByName("A")
+		b, _ := g.ActorByName("B")
+		c, _ := g.ActorByName("C")
+		// Same channel insertion order in both graphs => same token
+		// numbering.
+		g.MustAddChannel(a, b, 2, 1, 0)
+		g.MustAddChannel(b, c, 1, 2, 2)
+		g.MustAddChannel(c, a, 1, 1, 1)
+		return g
+	}
+	g1 := build([]string{"A", "B", "C"})
+	g2 := build([]string{"C", "B", "A"})
+	r1, err := SymbolicIteration(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SymbolicIteration(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Matrix.Equal(r2.Matrix) {
+		t.Errorf("matrices differ:\n%v\nvs\n%v", r1.Matrix, r2.Matrix)
+	}
+}

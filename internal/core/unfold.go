@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sdf"
+)
+
+// Unfold computes the N-fold unfolding of a homogeneous timed SDF graph
+// (Definition 5): actor a becomes N copies a_0 … a_{N−1} with the same
+// execution time, and every channel (a, b, 1, 1, d) becomes N channels
+// (a_i, b_j, 1, 1, d′) with j = (i+d) mod N and d′ = d div N, plus one
+// extra token when the index wraps (j < i).
+//
+// The unfolding mimics the original exactly: firing m of a_i in the
+// unfolding is firing m·N+i of a in the original, and throughput scales by
+// 1/N (Proposition 2). Unfolding the abstract graph of an abstraction is
+// the paper's device for proving conservativity (§5); UnfoldedName gives
+// the σ mapping.
+func Unfold(g *sdf.Graph, n int) (*sdf.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: unfold: N must be >= 1, got %d", n)
+	}
+	if !g.IsHSDF() {
+		return nil, fmt.Errorf("core: unfold: graph %s is not homogeneous", g.Name())
+	}
+	h := sdf.NewGraph(fmt.Sprintf("%s_unfold%d", g.Name(), n))
+	ids := make([][]sdf.ActorID, g.NumActors())
+	for a := 0; a < g.NumActors(); a++ {
+		ids[a] = make([]sdf.ActorID, n)
+		for i := 0; i < n; i++ {
+			id, err := h.AddActor(UnfoldedName(g.Actor(sdf.ActorID(a)).Name, i), g.Actor(sdf.ActorID(a)).Exec)
+			if err != nil {
+				return nil, fmt.Errorf("core: unfold: %w", err)
+			}
+			ids[a][i] = id
+		}
+	}
+	for _, c := range g.Channels() {
+		for i := 0; i < n; i++ {
+			j := (i + c.Initial) % n
+			d := c.Initial / n
+			if j < i {
+				d++
+			}
+			if _, err := h.AddChannel(ids[c.Src][i], ids[c.Dst][j], 1, 1, d); err != nil {
+				return nil, fmt.Errorf("core: unfold: %w", err)
+			}
+		}
+	}
+	return h, nil
+}
+
+// UnfoldedName returns the name of copy i of the named actor in an
+// unfolded graph, matching the σ mapping of §5: σ(a) is the copy
+// UnfoldedName(α(a), I(a)) in the N-fold unfolding of the abstract graph.
+func UnfoldedName(actor string, i int) string {
+	return fmt.Sprintf("%s_u%d", actor, i)
+}

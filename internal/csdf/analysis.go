@@ -1,0 +1,308 @@
+package csdf
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/maxplus"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// ErrDeadlock indicates that no actor phase can fire although the
+// iteration is incomplete.
+var ErrDeadlock = fmt.Errorf("csdf: graph deadlocks")
+
+// Sequential returns a single-iteration sequential schedule: every actor
+// a appears q(a) times (a whole number of phase cycles) and tokens never
+// go negative. Each entry is one firing (of the actor's current phase).
+func Sequential(g *Graph) ([]ActorID, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumActors()
+	if n == 0 {
+		return nil, nil
+	}
+	tokens := make([]int64, g.NumChannels())
+	for i, c := range g.channels {
+		tokens[i] = int64(c.Initial)
+	}
+	remaining := make([]int64, n)
+	phase := make([]int, n)
+	var total int64
+	for i, v := range q {
+		remaining[i] = v
+		total += v
+	}
+	inCh := make([][]ChannelID, n)
+	outCh := make([][]ChannelID, n)
+	for i := range g.channels {
+		id := ChannelID(i)
+		inCh[g.channels[i].Dst] = append(inCh[g.channels[i].Dst], id)
+		outCh[g.channels[i].Src] = append(outCh[g.channels[i].Src], id)
+	}
+	canFire := func(a ActorID) bool {
+		if remaining[a] == 0 {
+			return false
+		}
+		for _, id := range inCh[a] {
+			if tokens[id] < int64(g.channels[id].Cons[phase[a]]) {
+				return false
+			}
+		}
+		return true
+	}
+	sched := make([]ActorID, 0, total)
+	for int64(len(sched)) < total {
+		progressed := false
+		for a := ActorID(0); int(a) < n; a++ {
+			for canFire(a) {
+				for _, id := range inCh[a] {
+					tokens[id] -= int64(g.channels[id].Cons[phase[a]])
+				}
+				for _, id := range outCh[a] {
+					tokens[id] += int64(g.channels[id].Prod[phase[a]])
+				}
+				phase[a] = (phase[a] + 1) % g.actors[a].Phases()
+				remaining[a]--
+				sched = append(sched, a)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("csdf: after %d of %d firings: %w", len(sched), total, ErrDeadlock)
+		}
+	}
+	return sched, nil
+}
+
+// IsLive reports whether the graph admits a complete iteration.
+func IsLive(g *Graph) bool {
+	_, err := Sequential(g)
+	return err == nil
+}
+
+// SymbolicIteration executes one CSDF iteration symbolically, exactly as
+// the paper's Algorithm 1 does for SDF: initial tokens carry max-plus
+// unit vectors, each firing stamps its outputs with the entrywise maximum
+// of its inputs plus the phase's execution time, and the vectors of the
+// final token distribution form the iteration matrix.
+func SymbolicIteration(g *Graph) (*SymbolicResult, error) {
+	sched, err := Sequential(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.TotalInitialTokens()
+	queues := make([][]maxplus.Vec, g.NumChannels())
+	idx := 0
+	for i, c := range g.channels {
+		for t := 0; t < c.Initial; t++ {
+			queues[i] = append(queues[i], maxplus.UnitVec(n, idx))
+			idx++
+		}
+	}
+	inCh := make([][]ChannelID, g.NumActors())
+	outCh := make([][]ChannelID, g.NumActors())
+	for i := range g.channels {
+		id := ChannelID(i)
+		inCh[g.channels[i].Dst] = append(inCh[g.channels[i].Dst], id)
+		outCh[g.channels[i].Src] = append(outCh[g.channels[i].Src], id)
+	}
+	phase := make([]int, g.NumActors())
+	completion := maxplus.NewVec(n)
+	for pos, a := range sched {
+		p := phase[a]
+		start := maxplus.NewVec(n)
+		for _, id := range inCh[a] {
+			cons := g.channels[id].Cons[p]
+			if len(queues[id]) < cons {
+				return nil, fmt.Errorf("csdf: symbolic iteration: step %d underflows", pos)
+			}
+			for t := 0; t < cons; t++ {
+				start.MaxInto(queues[id][t])
+			}
+			queues[id] = queues[id][cons:]
+		}
+		end := start.AddScalar(maxplus.FromInt(g.actors[a].Exec[p]))
+		completion.MaxInto(end)
+		for _, id := range outCh[a] {
+			for t := 0; t < g.channels[id].Prod[p]; t++ {
+				queues[id] = append(queues[id], end)
+			}
+		}
+		phase[a] = (p + 1) % g.actors[a].Phases()
+	}
+	m := maxplus.NewMatrix(n)
+	idx = 0
+	for i, c := range g.channels {
+		if len(queues[i]) != c.Initial {
+			return nil, fmt.Errorf("csdf: symbolic iteration: channel %d ends with %d tokens, want %d",
+				i, len(queues[i]), c.Initial)
+		}
+		for _, v := range queues[i] {
+			for j, x := range v {
+				m.Set(idx, j, x)
+			}
+			idx++
+		}
+	}
+	return &SymbolicResult{Matrix: m, Schedule: sched, Completion: completion}, nil
+}
+
+// Throughput computes the iteration period of the CSDF graph via the
+// max-plus eigenvalue. unbounded is true when no dependency cycle
+// constrains the steady state.
+func Throughput(g *Graph) (period rat.Rat, unbounded bool, err error) {
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		return rat.Rat{}, false, err
+	}
+	lam, hasCycle, err := r.Matrix.Eigenvalue()
+	if err != nil {
+		return rat.Rat{}, false, err
+	}
+	if !hasCycle {
+		return rat.Rat{}, true, nil
+	}
+	return lam, false, nil
+}
+
+// ConvertToHSDF applies the paper's novel conversion to the CSDF graph:
+// symbolic iteration followed by the Figure-4 construction. The result is
+// an ordinary homogeneous SDF graph with the same throughput.
+func ConvertToHSDF(g *Graph) (*sdf.Graph, core.ConvertStats, error) {
+	r, err := SymbolicIteration(g)
+	if err != nil {
+		return nil, core.ConvertStats{}, err
+	}
+	return core.BuildHSDFFromMatrix(g.Name()+"_hsdf", r.Matrix, core.DefaultBuildOptions())
+}
+
+// Simulate runs self-timed execution for the given number of iterations
+// and returns the per-actor firing start times and the horizon — the
+// empirical cross-check for the symbolic analysis.
+func Simulate(g *Graph, iterations int64) (starts [][]int64, horizon int64, err error) {
+	if iterations < 0 {
+		return nil, 0, fmt.Errorf("csdf: negative iteration count")
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !IsLive(g) {
+		return nil, 0, ErrDeadlock
+	}
+	n := g.NumActors()
+	inCh := make([][]ChannelID, n)
+	outCh := make([][]ChannelID, n)
+	for i := range g.channels {
+		id := ChannelID(i)
+		inCh[g.channels[i].Dst] = append(inCh[g.channels[i].Dst], id)
+		outCh[g.channels[i].Src] = append(outCh[g.channels[i].Src], id)
+	}
+	queues := make([][]int64, g.NumChannels())
+	heads := make([]int, g.NumChannels())
+	for i, c := range g.channels {
+		for t := 0; t < c.Initial; t++ {
+			queues[i] = append(queues[i], 0)
+		}
+	}
+	target := make([]int64, n)
+	started := make([]int64, n)
+	phase := make([]int, n)
+	for a := range target {
+		target[a] = q[a] * iterations
+	}
+	// Consecutive firings of one CSDF actor step through the phase cycle
+	// in order: tokens are claimed phase by phase (the commit loop below
+	// respects this), but as in the SDF simulator the firings themselves
+	// may overlap in time (auto-concurrency) unless a self-loop channel
+	// serialises the actor — the same semantics the symbolic execution
+	// uses, so the two engines are comparable.
+	starts = make([][]int64, n)
+	var pq eventQueue
+	nextStart := func(a ActorID) (int64, bool) {
+		p := phase[a]
+		var start int64
+		for _, id := range inCh[a] {
+			cons := g.channels[id].Cons[p]
+			avail := len(queues[id]) - heads[id]
+			if avail < cons {
+				return 0, false
+			}
+			for t := 0; t < cons; t++ {
+				if v := queues[id][heads[id]+t]; v > start {
+					start = v
+				}
+			}
+		}
+		return start, true
+	}
+	startAll := func() {
+		for a := ActorID(0); int(a) < n; a++ {
+			for started[a] < target[a] {
+				start, ok := nextStart(a)
+				if !ok {
+					break
+				}
+				p := phase[a]
+				for _, id := range inCh[a] {
+					heads[id] += g.channels[id].Cons[p]
+				}
+				end := start + g.actors[a].Exec[p]
+				heap.Push(&pq, event{time: end, actor: a, phase: p, start: start})
+				starts[a] = append(starts[a], start)
+				phase[a] = (p + 1) % g.actors[a].Phases()
+				started[a]++
+			}
+		}
+	}
+	startAll()
+	for pq.Len() > 0 {
+		ev := heap.Pop(&pq).(event)
+		for _, id := range outCh[ev.actor] {
+			for t := 0; t < g.channels[id].Prod[ev.phase]; t++ {
+				queues[id] = append(queues[id], ev.time)
+			}
+		}
+		if ev.time > horizon {
+			horizon = ev.time
+		}
+		startAll()
+	}
+	for a := range target {
+		if started[a] != target[a] {
+			return nil, 0, fmt.Errorf("csdf: actor %s stalled at %d of %d firings",
+				g.actors[a].Name, started[a], target[a])
+		}
+	}
+	return starts, horizon, nil
+}
+
+type event struct {
+	time  int64
+	actor ActorID
+	phase int
+	start int64
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].actor < q[j].actor
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	ev := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return ev
+}

@@ -1,0 +1,145 @@
+// Package dse sketches the design-space exploration flow the paper's
+// introduction places its reductions in: candidate platform bindings
+// (processor counts) crossed with buffer-capacity assignments, every
+// candidate evaluated with the reduction-based throughput engines, and
+// the non-dominated (processors, total buffer, period) points reported.
+package dse
+
+import (
+	"fmt"
+
+	"repro/internal/buffersizing"
+	"repro/internal/mapping"
+	"repro/internal/rat"
+	"repro/internal/schedule"
+	"repro/internal/sdf"
+)
+
+// Point is one evaluated design.
+type Point struct {
+	Processors  int
+	TotalBuffer int
+	Period      rat.Rat
+}
+
+// Options bounds the exploration.
+type Options struct {
+	MaxProcessors int // candidate processor counts 1..MaxProcessors
+	BufferSteps   int // budget per buffer exploration (default 64)
+}
+
+// Explore evaluates greedy bindings for every processor count and, for
+// each, walks the buffer trade-off of the bound design. The result is
+// the Pareto filter over all evaluated points: a point survives when no
+// other point is at least as good in all three dimensions (fewer/equal
+// processors, smaller/equal buffers, shorter/equal period) and better in
+// one.
+func Explore(g *sdf.Graph, opts Options) ([]Point, error) {
+	if opts.MaxProcessors < 1 {
+		return nil, fmt.Errorf("dse: need MaxProcessors >= 1")
+	}
+	if opts.BufferSteps <= 0 {
+		opts.BufferSteps = 64
+	}
+	var all []Point
+	for p := 1; p <= opts.MaxProcessors; p++ {
+		bind, err := mapping.GreedyBind(g, p)
+		if err != nil {
+			return nil, err
+		}
+		bound, err := bind.Apply(g)
+		if err != nil {
+			return nil, err
+		}
+		if !schedule.IsLive(bound) {
+			continue // the greedy static order deadlocks this candidate
+		}
+		// Size the data channels of the application (not the binding
+		// rings, whose "capacity" is the processor itself).
+		channels := make([]sdf.ChannelID, 0, g.NumChannels())
+		for i := 0; i < g.NumChannels(); i++ {
+			c := g.Channel(sdf.ChannelID(i))
+			if c.Src != c.Dst {
+				channels = append(channels, sdf.ChannelID(i))
+			}
+		}
+		if len(channels) == 0 {
+			continue
+		}
+		res, err := buffersizing.Explore(bound, buffersizing.Options{
+			Channels: channels,
+			MaxSteps: opts.BufferSteps,
+		})
+		if err != nil {
+			// Candidates whose bound graph cannot be sized (for example
+			// unbounded throughput on a dedicated processor) are skipped
+			// rather than failing the whole exploration.
+			continue
+		}
+		for _, bp := range res.Pareto {
+			all = append(all, Point{Processors: p, TotalBuffer: bp.Total, Period: bp.Period})
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("dse: no feasible design point")
+	}
+	return paretoFilter(all), nil
+}
+
+// paretoFilter keeps the non-dominated points, ordered by processors,
+// then buffer size.
+func paretoFilter(points []Point) []Point {
+	var keep []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, p)
+		}
+	}
+	// Insertion sort by (processors, buffer, period).
+	for i := 1; i < len(keep); i++ {
+		for j := i; j > 0 && less(keep[j], keep[j-1]); j-- {
+			keep[j], keep[j-1] = keep[j-1], keep[j]
+		}
+	}
+	// Dedup identical points (same design reached via different walks).
+	out := keep[:0]
+	for i, p := range keep {
+		if i > 0 {
+			prev := out[len(out)-1]
+			if prev.Processors == p.Processors && prev.TotalBuffer == p.TotalBuffer && prev.Period.Equal(p.Period) {
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func less(a, b Point) bool {
+	if a.Processors != b.Processors {
+		return a.Processors < b.Processors
+	}
+	if a.TotalBuffer != b.TotalBuffer {
+		return a.TotalBuffer < b.TotalBuffer
+	}
+	return a.Period.Cmp(b.Period) < 0
+}
+
+// dominates reports whether q is at least as good as p everywhere and
+// strictly better somewhere.
+func dominates(q, p Point) bool {
+	if q.Processors > p.Processors || q.TotalBuffer > p.TotalBuffer || q.Period.Cmp(p.Period) > 0 {
+		return false
+	}
+	return q.Processors < p.Processors || q.TotalBuffer < p.TotalBuffer || q.Period.Cmp(p.Period) < 0
+}

@@ -1,0 +1,90 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// pipeline: three serialised stages with a frame feedback.
+func pipeline() *sdf.Graph {
+	g := sdf.NewGraph("pipe")
+	a := g.MustAddActor("A", 2)
+	b := g.MustAddActor("B", 5)
+	c := g.MustAddActor("C", 3)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(b, c, 1, 1, 0)
+	g.MustAddChannel(c, a, 1, 1, 2)
+	return g
+}
+
+func TestExplorePipeline(t *testing.T) {
+	g := pipeline()
+	points, err := Explore(g, Options{MaxProcessors: 3, BufferSteps: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no design points")
+	}
+	// No point dominates another (the filter's postcondition).
+	for i, p := range points {
+		for j, q := range points {
+			if i != j && dominates(q, p) {
+				t.Errorf("point %v dominated by %v", p, q)
+			}
+		}
+	}
+	// More resources never hurt the best achievable period: the minimum
+	// period over points with <= k processors is non-increasing in k.
+	best := map[int]rat.Rat{}
+	for _, p := range points {
+		if cur, ok := best[p.Processors]; !ok || p.Period.Cmp(cur) < 0 {
+			best[p.Processors] = p.Period
+		}
+	}
+	// Single processor: the period is the serialised total work 10.
+	if v, ok := best[1]; ok && v.Cmp(rat.FromInt(10)) < 0 {
+		t.Errorf("single-processor period %v beats total work 10", v)
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	g := pipeline()
+	if _, err := Explore(g, Options{MaxProcessors: 0}); err == nil {
+		t.Error("MaxProcessors 0 accepted")
+	}
+	// A graph with only self-loops has no data channels to size.
+	s := sdf.NewGraph("self")
+	a := s.MustAddActor("A", 1)
+	s.MustAddChannel(a, a, 1, 1, 1)
+	if _, err := Explore(s, Options{MaxProcessors: 2}); err == nil {
+		t.Error("graph without data channels accepted")
+	}
+}
+
+func TestParetoFilter(t *testing.T) {
+	mk := func(p, b int, num int64) Point {
+		return Point{Processors: p, TotalBuffer: b, Period: rat.FromInt(num)}
+	}
+	points := []Point{
+		mk(1, 4, 10),
+		mk(1, 4, 10), // duplicate collapses
+		mk(2, 4, 8),
+		mk(2, 6, 8),  // dominated (same period, more buffer)
+		mk(2, 4, 12), // dominated by (2,4,8)
+		mk(3, 2, 9),  // incomparable: fewer buffers
+	}
+	got := paretoFilter(points)
+	want := []Point{mk(1, 4, 10), mk(2, 4, 8), mk(3, 2, 9)}
+	if len(got) != len(want) {
+		t.Fatalf("pareto = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].Processors != want[i].Processors || got[i].TotalBuffer != want[i].TotalBuffer ||
+			!got[i].Period.Equal(want[i].Period) {
+			t.Errorf("pareto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package gen constructs the example graphs of the DAC'09 paper (Figures
+// 1, 2, 3 and 5) and random consistent live SDF graphs for property
+// testing.
+//
+// The figures are reconstructed from the paper's prose; every numeric
+// claim the text makes about them (iteration counts, symbolic time
+// stamps, the 23-time-unit makespan, the 1/5 abstract throughput, the
+// exact-throughput prefetch abstraction) is reproduced and asserted in
+// the test suite.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sdf"
+)
+
+// Figure1 builds the regular prefetch-style graph of Figure 1(a),
+// generalised to n ≥ 6 copies of the A actor and n−2 copies of the B
+// actor:
+//
+//   - a ring A1 → A2 → … → An → A1 with one initial token on the closing
+//     channel,
+//   - a chain B1 → B2 → … → B(n−2),
+//   - request channels Ai → Bi, and
+//   - prefetch-return channels Bi → A(i+2).
+//
+// Execution times follow §4.1: A1, A2 take 2, the last two Ai take 3,
+// every Ai in between takes 5 and every Bi takes 4. For n = 6 this is
+// exactly the paper's instance (A3, A4 at 5 and A5, A6 at 3): one
+// execution takes 23 time units and the self-timed throughput is 1/23 per
+// actor. For general n the critical cycle
+// A1→B1→A3→…→A(n−2)→B(n−2)→An→A1 weighs 5n−7, reproducing the paper's
+// claim that the throughput is 1/(5n−7) while the abstraction of
+// Figure 1(b) bounds it by 1/(5n), so the relative error vanishes as n
+// grows.
+func Figure1(n int) (*sdf.Graph, error) {
+	if n < 6 {
+		return nil, fmt.Errorf("gen: Figure1 needs n >= 6, got %d", n)
+	}
+	g := sdf.NewGraph(fmt.Sprintf("figure1_n%d", n))
+	as := make([]sdf.ActorID, n)
+	for i := 0; i < n; i++ {
+		exec := int64(5)
+		switch {
+		case i < 2:
+			exec = 2
+		case i >= n-2:
+			exec = 3
+		}
+		as[i] = g.MustAddActor(fmt.Sprintf("A%d", i+1), exec)
+	}
+	bs := make([]sdf.ActorID, n-2)
+	for i := range bs {
+		bs[i] = g.MustAddActor(fmt.Sprintf("B%d", i+1), 4)
+	}
+	for i := 0; i < n-1; i++ {
+		g.MustAddChannel(as[i], as[i+1], 1, 1, 0)
+	}
+	g.MustAddChannel(as[n-1], as[0], 1, 1, 1)
+	for i := 0; i < len(bs)-1; i++ {
+		g.MustAddChannel(bs[i], bs[i+1], 1, 1, 0)
+	}
+	for i := range bs {
+		g.MustAddChannel(as[i], bs[i], 1, 1, 0)
+		g.MustAddChannel(bs[i], as[i+2], 1, 1, 0)
+	}
+	return g, nil
+}
+
+// Figure2 builds the worked example of Figure 2(a): a homogeneous graph
+// whose actors A1, A2, A3 (each guarded by a one-token self-loop, the
+// source of the redundant three-token self-channel in the abstract graph
+// the paper points out) and B1, B2 are grouped into abstract actors A and
+// B with indices equal to their numeric suffixes.
+func Figure2() *sdf.Graph {
+	g := sdf.NewGraph("figure2")
+	a1 := g.MustAddActor("A1", 2)
+	a2 := g.MustAddActor("A2", 3)
+	a3 := g.MustAddActor("A3", 1)
+	b1 := g.MustAddActor("B1", 2)
+	b2 := g.MustAddActor("B2", 4)
+	for _, a := range []sdf.ActorID{a1, a2, a3} {
+		g.MustAddChannel(a, a, 1, 1, 1)
+	}
+	g.MustAddChannel(a1, a2, 1, 1, 0)
+	g.MustAddChannel(a2, a3, 1, 1, 0)
+	g.MustAddChannel(a3, a1, 1, 1, 1)
+	g.MustAddChannel(a1, b1, 1, 1, 0)
+	g.MustAddChannel(a2, b2, 1, 1, 0)
+	g.MustAddChannel(b1, b2, 1, 1, 0)
+	g.MustAddChannel(b2, a1, 1, 1, 1)
+	return g
+}
+
+// Figure3 builds the symbolic-execution example of Figure 3: a two-actor
+// multirate graph with four initial tokens whose iteration comprises two
+// firings of the left actor (execution time 3) and one of the right. The
+// channel layout fixes the global token numbering used in the tests:
+//
+//	token 0: the left actor's self-loop token   (the text's t2)
+//	token 1: head of the right→left channel     (t1)
+//	token 2: second token of right→left         (t3)
+//	token 3: the right actor's self-loop token  (t4)
+func Figure3(rightExec int64) *sdf.Graph {
+	g := sdf.NewGraph("figure3")
+	l := g.MustAddActor("L", 3)
+	r := g.MustAddActor("R", rightExec)
+	g.MustAddChannel(l, l, 1, 1, 1)
+	g.MustAddChannel(r, l, 2, 1, 2)
+	g.MustAddChannel(l, r, 1, 2, 0)
+	g.MustAddChannel(r, r, 1, 1, 1)
+	return g
+}
+
+// Prefetch builds the remote-memory-access model of Figure 5: five
+// pipeline stages (request, network-in communication assist, memory,
+// network-out communication assist, compute), each with blocks copies
+// chained into a ring, stage-to-stage channels per block, and a prefetch
+// window of window blocks from compute back to request. The paper's frame
+// has 1584 block computations.
+//
+// With window = 3 the abstraction of each stage into one actor has
+// exactly the throughput of the original graph — the property §7 reports
+// for this model.
+func Prefetch(blocks, window int) (*sdf.Graph, error) {
+	if blocks < 2 {
+		return nil, fmt.Errorf("gen: Prefetch needs >= 2 blocks, got %d", blocks)
+	}
+	if window < 1 || window >= blocks {
+		return nil, fmt.Errorf("gen: Prefetch window %d out of range [1, %d)", window, blocks)
+	}
+	stages := []struct {
+		name string
+		exec int64
+	}{
+		{"REQ", 1},
+		{"CAI", 2},
+		{"MEM", 4},
+		{"CAO", 2},
+		{"CMP", 3},
+	}
+	g := sdf.NewGraph(fmt.Sprintf("prefetch_b%d_w%d", blocks, window))
+	ids := make([][]sdf.ActorID, len(stages))
+	for s, st := range stages {
+		ids[s] = make([]sdf.ActorID, blocks)
+		for i := 0; i < blocks; i++ {
+			ids[s][i] = g.MustAddActor(fmt.Sprintf("%s%d", st.name, i+1), st.exec)
+		}
+	}
+	for s := range stages {
+		for i := 0; i < blocks-1; i++ {
+			g.MustAddChannel(ids[s][i], ids[s][i+1], 1, 1, 0)
+		}
+		g.MustAddChannel(ids[s][blocks-1], ids[s][0], 1, 1, 1)
+	}
+	for i := 0; i < blocks; i++ {
+		for s := 0; s+1 < len(stages); s++ {
+			g.MustAddChannel(ids[s][i], ids[s+1][i], 1, 1, 0)
+		}
+	}
+	last := len(stages) - 1
+	for i := 0; i < blocks; i++ {
+		j := i + window
+		d := 0
+		if j >= blocks {
+			j -= blocks
+			d = 1
+		}
+		g.MustAddChannel(ids[last][i], ids[0][j], 1, 1, d)
+	}
+	return g, nil
+}
+
+// RandomOptions parameterises RandomGraph.
+type RandomOptions struct {
+	Actors   int   // number of actors (>= 1)
+	MaxRep   int64 // repetition-vector entries drawn from [1, MaxRep]
+	MaxExec  int64 // execution times drawn from [0, MaxExec]
+	Chords   int   // extra forward channels beyond the spanning chain
+	SelfLoop bool  // guard every actor with a one-token self-loop
+}
+
+// RandomGraph generates a random consistent, live, connected SDF graph:
+// a chain plus random forward chords (a DAG, live by construction) closed
+// by a feedback channel carrying one full iteration's worth of tokens.
+// Rates are derived from a randomly drawn repetition vector, so the graph
+// is consistent by construction.
+func RandomGraph(rng *rand.Rand, opts RandomOptions) (*sdf.Graph, error) {
+	if opts.Actors < 1 {
+		return nil, fmt.Errorf("gen: RandomGraph needs >= 1 actor")
+	}
+	if opts.MaxRep < 1 {
+		opts.MaxRep = 1
+	}
+	n := opts.Actors
+	g := sdf.NewGraph("random")
+	q := make([]int64, n)
+	ids := make([]sdf.ActorID, n)
+	for i := 0; i < n; i++ {
+		q[i] = 1 + rng.Int63n(opts.MaxRep)
+		exec := int64(0)
+		if opts.MaxExec > 0 {
+			exec = rng.Int63n(opts.MaxExec + 1)
+		}
+		ids[i] = g.MustAddActor(fmt.Sprintf("a%d", i), exec)
+	}
+	// rates(src, dst) solves q[src]·p == q[dst]·c minimally, scaled by a
+	// small random factor.
+	addBalanced := func(src, dst int, initial int) {
+		gcd := gcd64(q[src], q[dst])
+		f := 1 + rng.Int63n(2)
+		p := q[dst] / gcd * f
+		c := q[src] / gcd * f
+		g.MustAddChannel(ids[src], ids[dst], int(p), int(c), initial)
+	}
+	for i := 0; i+1 < n; i++ {
+		addBalanced(i, i+1, 0)
+	}
+	for k := 0; k < opts.Chords; k++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		if src > dst {
+			src, dst = dst, src
+		}
+		addBalanced(src, dst, 0)
+	}
+	if n > 1 {
+		// Feedback carrying one full iteration's worth of the consumer's
+		// demand keeps the graph live: the first actor never blocks on
+		// the feedback within an iteration, and the rest is a DAG.
+		gcd := gcd64(q[n-1], q[0])
+		p := q[0] / gcd
+		c := q[n-1] / gcd
+		g.MustAddChannel(ids[n-1], ids[0], int(p), int(c), int(c*q[0]))
+	}
+	if opts.SelfLoop {
+		for i := 0; i < n; i++ {
+			g.MustAddChannel(ids[i], ids[i], 1, 1, 1)
+		}
+	}
+	return g, nil
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// RegularOptions parameterises RandomRegular.
+type RegularOptions struct {
+	Groups  int // number of actor groups (>= 1)
+	Copies  int // copies per group (>= 2)
+	Links   int // random inter-group channel families
+	MaxExec int64
+}
+
+// RandomRegular generates a random homogeneous *regular* graph of the
+// kind §4's abstraction targets: Groups groups of Copies actors each
+// ("G0_1" … "G0_n", "G1_1" …), every group chained into a ring with one
+// initial token, plus Links random inter-group channel families
+// src_i → dst_{i+shift} replicated for every index i (wrapping indices
+// carry one token). By construction InferByName yields a valid
+// abstraction with N = Copies, and the graph is live.
+func RandomRegular(rng *rand.Rand, opts RegularOptions) (*sdf.Graph, error) {
+	if opts.Groups < 1 || opts.Copies < 2 {
+		return nil, fmt.Errorf("gen: RandomRegular needs >= 1 group and >= 2 copies")
+	}
+	if opts.MaxExec < 1 {
+		opts.MaxExec = 10
+	}
+	g := sdf.NewGraph("regular")
+	ids := make([][]sdf.ActorID, opts.Groups)
+	for gi := range ids {
+		ids[gi] = make([]sdf.ActorID, opts.Copies)
+		for i := range ids[gi] {
+			name := fmt.Sprintf("G%d_%d", gi, i+1)
+			ids[gi][i] = g.MustAddActor(name, 1+rng.Int63n(opts.MaxExec))
+		}
+	}
+	for gi := range ids {
+		for i := 0; i+1 < opts.Copies; i++ {
+			g.MustAddChannel(ids[gi][i], ids[gi][i+1], 1, 1, 0)
+		}
+		g.MustAddChannel(ids[gi][opts.Copies-1], ids[gi][0], 1, 1, 1)
+	}
+	for l := 0; l < opts.Links; l++ {
+		src := rng.Intn(opts.Groups)
+		dst := rng.Intn(opts.Groups)
+		shift := rng.Intn(opts.Copies)
+		if shift == 0 {
+			// Zero-shift, zero-delay families must go "downhill" in group
+			// number to keep the zero-delay structure acyclic.
+			if src == dst {
+				continue
+			}
+			if src > dst {
+				src, dst = dst, src
+			}
+		}
+		for i := 0; i < opts.Copies; i++ {
+			j := i + shift
+			d := 0
+			if j >= opts.Copies {
+				j -= opts.Copies
+				d = 1
+			}
+			g.MustAddChannel(ids[src][i], ids[dst][j], 1, 1, d)
+		}
+	}
+	return g, nil
+}
+
+// RandomRegularMultirate generates a random regular *multirate* graph:
+// like RandomRegular, but every group gi has its own repetition count
+// drawn from [1, MaxRep], and inter-group channel families carry the
+// balanced rates. Within each group all actors share the repetition
+// count (the groups ride on 1:1 rings), so the graphs exercise the
+// paper's remark that the abstraction extends to non-homogeneous graphs
+// with equal-rate groups.
+func RandomRegularMultirate(rng *rand.Rand, opts RegularOptions, maxRep int64) (*sdf.Graph, error) {
+	if opts.Groups < 1 || opts.Copies < 2 {
+		return nil, fmt.Errorf("gen: RandomRegularMultirate needs >= 1 group and >= 2 copies")
+	}
+	if opts.MaxExec < 1 {
+		opts.MaxExec = 10
+	}
+	if maxRep < 1 {
+		maxRep = 1
+	}
+	g := sdf.NewGraph("regular_multirate")
+	rep := make([]int64, opts.Groups)
+	ids := make([][]sdf.ActorID, opts.Groups)
+	for gi := range ids {
+		rep[gi] = 1 + rng.Int63n(maxRep)
+		ids[gi] = make([]sdf.ActorID, opts.Copies)
+		for i := range ids[gi] {
+			name := fmt.Sprintf("G%d_%d", gi, i+1)
+			ids[gi][i] = g.MustAddActor(name, 1+rng.Int63n(opts.MaxExec))
+		}
+	}
+	for gi := range ids {
+		for i := 0; i+1 < opts.Copies; i++ {
+			g.MustAddChannel(ids[gi][i], ids[gi][i+1], 1, 1, 0)
+		}
+		g.MustAddChannel(ids[gi][opts.Copies-1], ids[gi][0], 1, 1, 1)
+	}
+	for l := 0; l < opts.Links; l++ {
+		src := rng.Intn(opts.Groups)
+		dst := rng.Intn(opts.Groups)
+		shift := rng.Intn(opts.Copies)
+		// All inter-group links run uphill in group number: unlike the
+		// homogeneous case, a multirate consumer needs several producer
+		// firings per firing of its own, so even an index-increasing
+		// zero-delay link back to an earlier group can create a
+		// firing-level cyclic wait. Same-group links keep 1:1 rates and
+		// are safe with any non-zero shift.
+		if src == dst {
+			if shift == 0 {
+				continue
+			}
+		} else if src > dst {
+			src, dst = dst, src
+		}
+		gg := gcd64(rep[src], rep[dst])
+		p := int(rep[dst] / gg)
+		c := int(rep[src] / gg)
+		for i := 0; i < opts.Copies; i++ {
+			j := i + shift
+			// Zero-delay multirate consumers may need several producer
+			// firings' worth of tokens; the ring pipelines keep every
+			// producer able to fire, so a demand-driven schedule exists.
+			d := 0
+			if j >= opts.Copies {
+				j -= opts.Copies
+				// One wrap-around "iteration" worth of tokens so the
+				// consumer's first round is not starved across the frame
+				// boundary.
+				d = c * int(rep[dst])
+			}
+			g.MustAddChannel(ids[src][i], ids[dst][j], p, c, d)
+		}
+	}
+	return g, nil
+}
+
+// ExponentialChain builds the textbook witness of the §3 observation that
+// the iteration length — and with it the traditional HSDF conversion —
+// can grow exponentially in the graph size: a chain of k rate-doubling
+// stages S0 -(2,1)-> S1 -(2,1)-> … -(2,1)-> Sk with per-actor self-loops.
+// The repetition vector is [1, 2, 4, …, 2^k] (iteration length 2^(k+1)−1)
+// while the novel conversion's size depends only on the k+1 self-loop
+// tokens.
+func ExponentialChain(k int) (*sdf.Graph, error) {
+	if k < 1 || k > 40 {
+		return nil, fmt.Errorf("gen: ExponentialChain needs 1 <= k <= 40, got %d", k)
+	}
+	g := sdf.NewGraph(fmt.Sprintf("expchain_k%d", k))
+	prev := g.MustAddActor("S0", 1)
+	g.MustAddChannel(prev, prev, 1, 1, 1)
+	for i := 1; i <= k; i++ {
+		cur := g.MustAddActor(fmt.Sprintf("S%d", i), 1)
+		g.MustAddChannel(cur, cur, 1, 1, 1)
+		g.MustAddChannel(prev, cur, 2, 1, 0)
+		prev = cur
+	}
+	return g, nil
+}

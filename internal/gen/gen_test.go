@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestFigure1Structure(t *testing.T) {
+	g, err := Figure1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumActors() != 10 { // 6 A's + 4 B's
+		t.Errorf("actors = %d, want 10", g.NumActors())
+	}
+	// Homogeneous, one initial token (on A6 -> A1).
+	if !g.IsHSDF() {
+		t.Error("figure 1 graph not homogeneous")
+	}
+	if g.TotalInitialTokens() != 1 {
+		t.Errorf("tokens = %d, want 1", g.TotalInitialTokens())
+	}
+	// Execution times of §4.1.
+	for name, want := range map[string]int64{
+		"A1": 2, "A2": 2, "A3": 5, "A4": 5, "A5": 3, "A6": 3,
+		"B1": 4, "B2": 4, "B3": 4, "B4": 4,
+	} {
+		id, ok := g.ActorByName(name)
+		if !ok {
+			t.Fatalf("missing actor %s", name)
+		}
+		if g.Actor(id).Exec != want {
+			t.Errorf("T(%s) = %d, want %d", name, g.Actor(id).Exec, want)
+		}
+	}
+	if !schedule.IsLive(g) {
+		t.Error("figure 1 graph deadlocks")
+	}
+	if _, err := Figure1(5); err == nil {
+		t.Error("Figure1(5) accepted")
+	}
+}
+
+func TestFigure1Larger(t *testing.T) {
+	g, err := Figure1(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumActors() != 22 {
+		t.Errorf("actors = %d, want 22", g.NumActors())
+	}
+	if !schedule.IsLive(g) {
+		t.Error("figure 1 (n=12) deadlocks")
+	}
+}
+
+func TestFigure2Live(t *testing.T) {
+	g := Figure2()
+	if !g.IsHSDF() {
+		t.Error("figure 2 graph not homogeneous")
+	}
+	if !schedule.IsLive(g) {
+		t.Error("figure 2 graph deadlocks")
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range q {
+		if v != 1 {
+			t.Errorf("q[%d] = %d, want 1", i, v)
+		}
+	}
+}
+
+func TestFigure3Iteration(t *testing.T) {
+	g := Figure3(2)
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := g.ActorByName("L")
+	r, _ := g.ActorByName("R")
+	if q[l] != 2 || q[r] != 1 {
+		t.Errorf("q = %v, want L:2 R:1", q)
+	}
+	if g.TotalInitialTokens() != 4 {
+		t.Errorf("tokens = %d, want 4", g.TotalInitialTokens())
+	}
+	if !schedule.IsLive(g) {
+		t.Error("figure 3 graph deadlocks")
+	}
+}
+
+func TestPrefetchStructure(t *testing.T) {
+	g, err := Prefetch(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumActors() != 40 { // 5 stages × 8 blocks
+		t.Errorf("actors = %d, want 40", g.NumActors())
+	}
+	if !schedule.IsLive(g) {
+		t.Error("prefetch graph deadlocks")
+	}
+	if _, err := Prefetch(1, 1); err == nil {
+		t.Error("Prefetch(1,1) accepted")
+	}
+	if _, err := Prefetch(8, 8); err == nil {
+		t.Error("window >= blocks accepted")
+	}
+	if _, err := Prefetch(8, 0); err == nil {
+		t.Error("window 0 accepted")
+	}
+}
+
+func TestRandomGraphAlwaysConsistentAndLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 100; trial++ {
+		g, err := RandomGraph(rng, RandomOptions{
+			Actors:   1 + rng.Intn(10),
+			MaxRep:   1 + int64(rng.Intn(6)),
+			MaxExec:  int64(rng.Intn(50)),
+			Chords:   rng.Intn(8),
+			SelfLoop: trial%3 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, err := g.RepetitionVector(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+		if !schedule.IsLive(g) {
+			t.Fatalf("trial %d: deadlock\n%s", trial, g)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("trial %d: disconnected\n%s", trial, g)
+		}
+	}
+}
+
+func TestRandomGraphErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomGraph(rng, RandomOptions{Actors: 0}); err == nil {
+		t.Error("RandomGraph with 0 actors accepted")
+	}
+}
+
+func TestRandomGraphSingleActor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomGraph(rng, RandomOptions{Actors: 1, SelfLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumActors() != 1 || !schedule.IsLive(g) {
+		t.Errorf("single-actor graph broken:\n%s", g)
+	}
+}
+
+func TestRandomRegularValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		g, err := RandomRegular(rng, RegularOptions{
+			Groups: 1 + rng.Intn(4), Copies: 2 + rng.Intn(5), Links: rng.Intn(6), MaxExec: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !g.IsHSDF() {
+			t.Fatalf("trial %d: not homogeneous", trial)
+		}
+		if !schedule.IsLive(g) {
+			t.Fatalf("trial %d: deadlock\n%s", trial, g)
+		}
+	}
+	if _, err := RandomRegular(rng, RegularOptions{Groups: 0, Copies: 2}); err == nil {
+		t.Error("0 groups accepted")
+	}
+	if _, err := RandomRegular(rng, RegularOptions{Groups: 1, Copies: 1}); err == nil {
+		t.Error("1 copy accepted")
+	}
+}
+
+func TestRandomRegularMultirateValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 30; trial++ {
+		g, err := RandomRegularMultirate(rng, RegularOptions{
+			Groups: 1 + rng.Intn(3), Copies: 2 + rng.Intn(4), Links: rng.Intn(5), MaxExec: 7,
+		}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.RepetitionVector(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+		if !schedule.IsLive(g) {
+			t.Fatalf("trial %d: deadlock\n%s", trial, g)
+		}
+	}
+	if _, err := RandomRegularMultirate(rng, RegularOptions{Groups: 0, Copies: 2}, 2); err == nil {
+		t.Error("0 groups accepted")
+	}
+}
+
+func TestPrefetchWindowVariants(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 5} {
+		g, err := Prefetch(12, w)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if !schedule.IsLive(g) {
+			t.Errorf("window %d: deadlock", w)
+		}
+	}
+}
+
+func TestExponentialChain(t *testing.T) {
+	g, err := ExponentialChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := g.IterationLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 63 { // 2^6 - 1
+		t.Errorf("iteration length = %d, want 63", sum)
+	}
+	if !schedule.IsLive(g) {
+		t.Error("chain deadlocks")
+	}
+	if _, err := ExponentialChain(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ExponentialChain(99); err == nil {
+		t.Error("k=99 accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Package mapping models the multiprocessor binding step of the
+// SDF-based design flows the paper's introduction motivates ([3], [13],
+// [15], [16]): actors are bound to processors, each processor executes
+// its actors in a static order, and the bound system is itself an SDF
+// graph — the binding is expressed with additional channels, so every
+// analysis and reduction of the library applies to mapped designs
+// unchanged.
+//
+// A static order on a processor is modelled exactly like the sequential
+// schedules of the classical literature: a ring of channels through the
+// actors in order, with one initial token ahead of the first actor. The
+// ring serialises the processor (no two of its actors overlap) and fixes
+// the order; the throughput of the bound graph is then the guaranteed
+// performance of the mapped design.
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// Binding assigns every actor of a graph to a processor and fixes the
+// static execution order on each processor.
+type Binding struct {
+	// Order[p] lists the actors bound to processor p in their static
+	// execution order. Every actor of the graph must appear exactly once
+	// across all processors.
+	Order [][]sdf.ActorID
+}
+
+// Validate checks that the binding covers every actor of g exactly once.
+func (b *Binding) Validate(g *sdf.Graph) error {
+	seen := make(map[sdf.ActorID]int)
+	for p, actors := range b.Order {
+		for _, a := range actors {
+			if a < 0 || int(a) >= g.NumActors() {
+				return fmt.Errorf("mapping: processor %d: actor id %d out of range", p, a)
+			}
+			if prev, dup := seen[a]; dup {
+				return fmt.Errorf("mapping: actor %s bound to processors %d and %d",
+					g.Actor(a).Name, prev, p)
+			}
+			seen[a] = p
+		}
+	}
+	if len(seen) != g.NumActors() {
+		return fmt.Errorf("mapping: %d of %d actors bound", len(seen), g.NumActors())
+	}
+	return nil
+}
+
+// Processors returns the number of processors in the binding.
+func (b *Binding) Processors() int { return len(b.Order) }
+
+// Apply returns the bound graph: g plus, for every processor with more
+// than one actor, a ring of single-rate channels through its actors in
+// static order with one initial token entering the first actor. The ring
+// admits exactly one firing of the processor at a time, in order.
+//
+// Multirate graphs bind per firing: an actor with repetition count q
+// occupies its processor q times per graph iteration, which the ring
+// with rates equal to the repetition counts expresses. For simplicity —
+// and matching the homogeneous platform models of [16] — Apply requires
+// actors sharing a processor to have equal repetition counts (bind the
+// traditional HSDF conversion when finer interleaving is needed).
+func (b *Binding) Apply(g *sdf.Graph) (*sdf.Graph, error) {
+	if err := b.Validate(g); err != nil {
+		return nil, err
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, fmt.Errorf("mapping: %w", err)
+	}
+	h := g.Clone()
+	h.SetName(g.Name() + "_bound")
+	for p, actors := range b.Order {
+		if len(actors) < 2 {
+			continue // a dedicated processor adds no constraint
+		}
+		rep := q[actors[0]]
+		for _, a := range actors[1:] {
+			if q[a] != rep {
+				return nil, fmt.Errorf("mapping: processor %d mixes repetition counts %d (%s) and %d (%s); bind the HSDF expansion instead",
+					p, rep, g.Actor(actors[0]).Name, q[a], g.Actor(a).Name)
+			}
+		}
+		for i, a := range actors {
+			next := actors[(i+1)%len(actors)]
+			tokens := 0
+			if i == len(actors)-1 {
+				tokens = 1 // the processor is initially free for actor 0
+			}
+			if _, err := h.AddChannel(a, next, 1, 1, tokens); err != nil {
+				return nil, fmt.Errorf("mapping: %w", err)
+			}
+		}
+	}
+	return h, nil
+}
+
+// Throughput analyses the bound graph's self-timed throughput — the
+// guaranteed iteration period of the mapped design.
+func (b *Binding) Throughput(g *sdf.Graph) (analysis.Throughput, error) {
+	bound, err := b.Apply(g)
+	if err != nil {
+		return analysis.Throughput{}, err
+	}
+	return analysis.ComputeThroughput(bound, analysis.Matrix)
+}
+
+// GreedyBind builds a load-balancing binding onto processors processors:
+// actors are assigned in decreasing order of total work (execution time ×
+// repetition count) to the least-loaded processor, and each processor
+// orders its actors by a topological-friendly heuristic (ascending actor
+// ID, which follows construction order). It is the standard list-mapping
+// baseline of the design-space-exploration flows.
+func GreedyBind(g *sdf.Graph, processors int) (*Binding, error) {
+	if processors < 1 {
+		return nil, fmt.Errorf("mapping: need >= 1 processor")
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, fmt.Errorf("mapping: %w", err)
+	}
+	type workItem struct {
+		actor sdf.ActorID
+		work  int64
+	}
+	items := make([]workItem, g.NumActors())
+	for a := 0; a < g.NumActors(); a++ {
+		items[a] = workItem{actor: sdf.ActorID(a), work: g.Actor(sdf.ActorID(a)).Exec * q[a]}
+	}
+	// Insertion sort by decreasing work (stable by actor id).
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].work > items[j-1].work; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	load := make([]int64, processors)
+	b := &Binding{Order: make([][]sdf.ActorID, processors)}
+	for _, it := range items {
+		best := 0
+		for p := 1; p < processors; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		b.Order[best] = append(b.Order[best], it.actor)
+		load[best] += it.work
+	}
+	// Static order by actor id keeps zero-delay producer-before-consumer
+	// chains schedulable for graphs built in topological order.
+	for p := range b.Order {
+		actors := b.Order[p]
+		for i := 1; i < len(actors); i++ {
+			for j := i; j > 0 && actors[j] < actors[j-1]; j-- {
+				actors[j], actors[j-1] = actors[j-1], actors[j]
+			}
+		}
+	}
+	return b, nil
+}
+
+// UtilisationBound returns the classical processor-load lower bound on
+// the iteration period of any binding to the given processor count:
+// ceil(total work / processors) — no schedule can beat it.
+func UtilisationBound(g *sdf.Graph, processors int) (rat.Rat, error) {
+	if processors < 1 {
+		return rat.Rat{}, fmt.Errorf("mapping: need >= 1 processor")
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	total := rat.Zero()
+	for a := 0; a < g.NumActors(); a++ {
+		work, err := rat.FromInt(g.Actor(sdf.ActorID(a)).Exec).MulInt(q[a])
+		if err != nil {
+			return rat.Rat{}, err
+		}
+		total, err = total.Add(work)
+		if err != nil {
+			return rat.Rat{}, err
+		}
+	}
+	return total.Div(rat.FromInt(int64(processors)))
+}

@@ -1,0 +1,214 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/gen"
+	"repro/internal/rat"
+	"repro/internal/schedule"
+	"repro/internal/sdf"
+)
+
+// diamond builds a homogeneous diamond A -> {B, C} -> D with a frame
+// feedback D -> A.
+func diamond() *sdf.Graph {
+	g := sdf.NewGraph("diamond")
+	a := g.MustAddActor("A", 2)
+	b := g.MustAddActor("B", 3)
+	c := g.MustAddActor("C", 5)
+	d := g.MustAddActor("D", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(a, c, 1, 1, 0)
+	g.MustAddChannel(b, d, 1, 1, 0)
+	g.MustAddChannel(c, d, 1, 1, 0)
+	g.MustAddChannel(d, a, 1, 1, 1)
+	return g
+}
+
+func TestBindingValidate(t *testing.T) {
+	g := diamond()
+	a, _ := g.ActorByName("A")
+	b, _ := g.ActorByName("B")
+	c, _ := g.ActorByName("C")
+	d, _ := g.ActorByName("D")
+
+	good := &Binding{Order: [][]sdf.ActorID{{a, b}, {c, d}}}
+	if err := good.Validate(g); err != nil {
+		t.Errorf("valid binding rejected: %v", err)
+	}
+	if good.Processors() != 2 {
+		t.Errorf("Processors = %d", good.Processors())
+	}
+	dup := &Binding{Order: [][]sdf.ActorID{{a, b}, {b, c, d}}}
+	if err := dup.Validate(g); err == nil {
+		t.Error("duplicate binding accepted")
+	}
+	missing := &Binding{Order: [][]sdf.ActorID{{a, b}}}
+	if err := missing.Validate(g); err == nil {
+		t.Error("partial binding accepted")
+	}
+	bad := &Binding{Order: [][]sdf.ActorID{{a, b, c, sdf.ActorID(9)}}}
+	if err := bad.Validate(g); err == nil {
+		t.Error("out-of-range binding accepted")
+	}
+}
+
+func TestApplySerialisesProcessor(t *testing.T) {
+	g := diamond()
+	a, _ := g.ActorByName("A")
+	b, _ := g.ActorByName("B")
+	c, _ := g.ActorByName("C")
+	d, _ := g.ActorByName("D")
+
+	// Everything on one processor in topological order: the period is the
+	// total work 2+3+5+1 = 11.
+	single := &Binding{Order: [][]sdf.ActorID{{a, b, c, d}}}
+	tp, err := single.Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Period.Equal(rat.FromInt(11)) {
+		t.Errorf("single-processor period = %v, want 11", tp.Period)
+	}
+
+	// Two processors {A,B} and {C,D}: B and C run in parallel; the
+	// iteration path A;B plus A;C;D dominates. Period: critical cycle
+	// through D->A feedback: A + max(B, C) + D = 2+5+1 = 8.
+	dual := &Binding{Order: [][]sdf.ActorID{{a, b}, {c, d}}}
+	tp, err = dual.Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Period.Equal(rat.FromInt(8)) {
+		t.Errorf("dual-processor period = %v, want 8", tp.Period)
+	}
+
+	// Unbound graph for reference: same 8 (the graph itself pipelines to
+	// the same critical cycle because of the single frame token).
+	free, err := analysis.ComputeThroughput(g, analysis.Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Period.Cmp(free.Period) < 0 {
+		t.Errorf("bound graph faster (%v) than free graph (%v)", tp.Period, free.Period)
+	}
+}
+
+func TestApplyBadOrderDeadlocks(t *testing.T) {
+	g := diamond()
+	a, _ := g.ActorByName("A")
+	b, _ := g.ActorByName("B")
+	c, _ := g.ActorByName("C")
+	d, _ := g.ActorByName("D")
+	// D before A on the same processor reverses a zero-delay dependency:
+	// the bound graph deadlocks, and the analysis must say so.
+	rev := &Binding{Order: [][]sdf.ActorID{{d, a, b, c}}}
+	bound, err := rev.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedule.IsLive(bound) {
+		// D->A has a token, so {d,a,...} is actually fine; force a real
+		// reversal: B before A.
+		rev2 := &Binding{Order: [][]sdf.ActorID{{b, a}, {c}, {d}}}
+		bound2, err := rev2.Apply(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if schedule.IsLive(bound2) {
+			t.Error("order-reversed binding did not deadlock")
+		}
+	}
+}
+
+func TestApplyMixedRatesRejected(t *testing.T) {
+	g := sdf.NewGraph("mr")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 2, 1, 0)
+	g.MustAddChannel(b, a, 1, 2, 2)
+	bind := &Binding{Order: [][]sdf.ActorID{{a, b}}}
+	if _, err := bind.Apply(g); err == nil {
+		t.Error("mixed repetition counts on one processor accepted")
+	}
+}
+
+func TestGreedyBindCoversAndBalances(t *testing.T) {
+	g := diamond()
+	for _, p := range []int{1, 2, 3, 4} {
+		b, err := GreedyBind(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Validate(g); err != nil {
+			t.Errorf("p=%d: %v", p, err)
+		}
+		tp, err := b.Throughput(g)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		lower, err := UtilisationBound(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.Unbounded {
+			t.Fatalf("p=%d: unbounded after binding", p)
+		}
+		if tp.Period.Cmp(lower) < 0 {
+			t.Errorf("p=%d: period %v beats the utilisation bound %v", p, tp.Period, lower)
+		}
+	}
+	if _, err := GreedyBind(g, 0); err == nil {
+		t.Error("0 processors accepted")
+	}
+}
+
+func TestUtilisationBound(t *testing.T) {
+	g := diamond()
+	lb, err := UtilisationBound(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lb.Equal(rat.MustNew(11, 2)) {
+		t.Errorf("bound = %v, want 11/2", lb)
+	}
+	if _, err := UtilisationBound(g, 0); err == nil {
+		t.Error("0 processors accepted")
+	}
+}
+
+// The abstraction composes with mapping: abstracting a bound regular
+// graph remains conservative.
+func TestMappingComposesWithAbstraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := gen.RandomRegular(rng, gen.RegularOptions{Groups: 2, Copies: 4, Links: 2, MaxExec: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One processor per group member index is the natural platform for a
+	// regular graph; here: everything on 2 processors, whole groups each.
+	b, err := GreedyBind(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := b.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schedule.IsLive(bound) {
+		t.Skip("greedy order deadlocks this instance; mapping quality is not under test")
+	}
+	tpBound, err := analysis.ComputeThroughput(bound, analysis.Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpFree, err := analysis.ComputeThroughput(g, analysis.Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tpBound.Unbounded && !tpFree.Unbounded && tpBound.Period.Cmp(tpFree.Period) < 0 {
+		t.Errorf("binding accelerated the graph: %v < %v", tpBound.Period, tpFree.Period)
+	}
+}

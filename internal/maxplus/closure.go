@@ -1,0 +1,86 @@
+package maxplus
+
+import "errors"
+
+// ErrDivergentStar is returned by Star when the matrix has a cycle of
+// positive weight, so the Kleene star diverges.
+var ErrDivergentStar = errors.New("maxplus: star diverges (positive-weight cycle)")
+
+// Power returns A⊗A⊗…⊗A (k factors) by repeated squaring. k must be at
+// least 1. For an SDF iteration matrix, Power(k)⊗x advances the token
+// time stamps by k iterations at once.
+func (m *Matrix) Power(k int) *Matrix {
+	if k < 1 {
+		panic("maxplus: Power needs k >= 1")
+	}
+	result := Identity(m.n)
+	base := m.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		k >>= 1
+		if k > 0 {
+			base = base.Mul(base)
+		}
+	}
+	return result
+}
+
+// Star returns the Kleene star A* = I ⊕ A ⊕ A² ⊕ …, the longest-path
+// distances of the precedence graph, computed Floyd–Warshall style. It
+// exists exactly when every cycle has non-positive weight; otherwise
+// ErrDivergentStar is returned. A* solves x = A⊗x ⊕ b as x = A*⊗b, the
+// standard tool for latency systems with non-positive normalised
+// matrices (A with the eigenvalue subtracted from every finite entry).
+func (m *Matrix) Star() (*Matrix, error) {
+	n := m.n
+	d := m.Clone()
+	// Longest paths: d[i][j] = best over intermediate nodes.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			ik := d.rows[i][k]
+			if ik == NegInf {
+				continue
+			}
+			row := d.rows[i]
+			krow := d.rows[k]
+			for j := 0; j < n; j++ {
+				if krow[j] == NegInf {
+					continue
+				}
+				if s := T(int64(ik) + int64(krow[j])); s > row[j] {
+					row[j] = s
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d.rows[i][i] > 0 {
+			return nil, ErrDivergentStar
+		}
+		// Include the identity: zero-length paths.
+		if d.rows[i][i] < 0 {
+			d.rows[i][i] = 0
+		}
+	}
+	return d, nil
+}
+
+// NormaliseBy returns the matrix with c subtracted from every finite
+// entry — A_λ in max-plus spectral theory, whose cycles all have
+// non-positive weight when c is the eigenvalue.
+func (m *Matrix) NormaliseBy(c T) *Matrix {
+	if c == NegInf {
+		panic("maxplus: NormaliseBy(-inf)")
+	}
+	out := NewMatrix(m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if v := m.rows[i][j]; v != NegInf {
+				out.rows[i][j] = T(int64(v) - int64(c))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package maxplus
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerMatchesRepeatedMul(t *testing.T) {
+	a := NewMatrix(3)
+	a.Set(0, 1, FromInt(2))
+	a.Set(1, 2, FromInt(-1))
+	a.Set(2, 0, FromInt(4))
+	a.Set(1, 1, FromInt(1))
+	expect := a.Clone()
+	for k := 1; k <= 6; k++ {
+		got := a.Power(k)
+		if !got.Equal(expect) {
+			t.Errorf("Power(%d) differs from repeated Mul:\n%v\nvs\n%v", k, got, expect)
+		}
+		expect = expect.Mul(a)
+	}
+}
+
+func TestPowerOne(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 1, FromInt(3))
+	if !a.Power(1).Equal(a) {
+		t.Error("Power(1) != A")
+	}
+}
+
+func TestPowerPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Power(0) did not panic")
+		}
+	}()
+	NewMatrix(1).Power(0)
+}
+
+func TestStarAcyclic(t *testing.T) {
+	// 0 -> 1 (5), 1 -> 2 (3): longest paths 0->2 = 8; diagonal 0.
+	a := NewMatrix(3)
+	a.Set(1, 0, FromInt(5))
+	a.Set(2, 1, FromInt(3))
+	s, err := a.Star()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(2, 0) != FromInt(8) {
+		t.Errorf("star[2][0] = %v, want 8", s.At(2, 0))
+	}
+	for i := 0; i < 3; i++ {
+		if s.At(i, i) != 0 {
+			t.Errorf("star diagonal [%d] = %v, want 0", i, s.At(i, i))
+		}
+	}
+	if s.At(0, 2) != NegInf {
+		t.Errorf("star[0][2] = %v, want -inf", s.At(0, 2))
+	}
+}
+
+func TestStarDivergent(t *testing.T) {
+	a := NewMatrix(1)
+	a.Set(0, 0, FromInt(1))
+	if _, err := a.Star(); !errors.Is(err, ErrDivergentStar) {
+		t.Errorf("err = %v, want ErrDivergentStar", err)
+	}
+}
+
+func TestStarZeroCycleConverges(t *testing.T) {
+	// Cycle of total weight 0 is fine.
+	a := NewMatrix(2)
+	a.Set(1, 0, FromInt(3))
+	a.Set(0, 1, FromInt(-3))
+	s, err := a.Star()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(1, 0) != FromInt(3) || s.At(0, 1) != FromInt(-3) {
+		t.Errorf("star = \n%v", s)
+	}
+}
+
+func TestNormaliseByEigenvalueStarExists(t *testing.T) {
+	// After subtracting the eigenvalue, every cycle has weight <= 0 and
+	// the star converges — max-plus spectral theory's A_λ.
+	a := NewMatrix(3)
+	a.Set(1, 0, FromInt(1))
+	a.Set(2, 1, FromInt(2))
+	a.Set(0, 2, FromInt(4))
+	a.Set(0, 0, FromInt(2))
+	lam, ok, err := a.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if !lam.IsInt() {
+		t.Skipf("non-integer eigenvalue %v; NormaliseBy needs integers", lam)
+	}
+	norm := a.NormaliseBy(FromInt(lam.Num()))
+	if _, err := norm.Star(); err != nil {
+		t.Errorf("star of normalised matrix diverged: %v", err)
+	}
+}
+
+// Property: Star satisfies the fixpoint law A* = I ⊕ A⊗A* for random
+// matrices without positive cycles (entries <= 0 guarantee that).
+func TestQuickStarFixpoint(t *testing.T) {
+	f := func(entries [9]uint8, mask uint16) bool {
+		a := NewMatrix(3)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				bit := uint(i*3 + j)
+				if mask&(1<<bit) != 0 {
+					a.Set(i, j, FromInt(-int64(entries[i*3+j]%16)))
+				}
+			}
+		}
+		s, err := a.Star()
+		if err != nil {
+			return false
+		}
+		// I ⊕ A⊗A*
+		rhs := a.Mul(s)
+		for i := 0; i < 3; i++ {
+			if rhs.At(i, i) < 0 {
+				rhs.Set(i, i, 0)
+			}
+		}
+		return rhs.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerAdvancesIterations(t *testing.T) {
+	// x(k) = A^k ⊗ x(0) must equal k successive Applies.
+	a := NewMatrix(2)
+	a.Set(0, 1, FromInt(5))
+	a.Set(1, 0, FromInt(3))
+	x := Vec{FromInt(0), FromInt(0)}
+	direct := x.Clone()
+	for k := 1; k <= 5; k++ {
+		direct = a.Apply(direct)
+		viaPower := a.Power(k).Apply(x)
+		if !viaPower.Equal(direct) {
+			t.Errorf("k=%d: power route %v, direct %v", k, viaPower, direct)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package maxplus
+
+import (
+	"errors"
+
+	"repro/internal/rat"
+)
+
+// ErrNotIrreducible is returned by Eigenvector when no everywhere-finite
+// eigenvector exists: some component is not reachable from a critical
+// node. Irreducible matrices always have one; so do reducible matrices
+// whose critical class reaches everything.
+var ErrNotIrreducible = errors.New("maxplus: no full-support eigenvector (matrix not irreducible)")
+
+// Eigenvector computes a max-plus eigenvector of the matrix.
+// Because the eigenvalue λ = num/den may be fractional while entries are
+// integers, the vector is returned in scaled form: v together with
+// scale = den such that for every component i
+//
+//	max_j (scale·a_ij + v_j) = num + v_i,
+//
+// i.e. v/scale is an eigenvector of A for the eigenvalue λ. Starting
+// self-timed execution with token k available at time v_k/scale puts the
+// system in its periodic regime immediately — the steady-state schedule
+// of the modelled SDF graph.
+func (m *Matrix) Eigenvector() (v Vec, scale int64, err error) {
+	lam, hasCycle, err := m.Eigenvalue()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !hasCycle {
+		return nil, 0, ErrNotIrreducible
+	}
+	num, den := lam.Num(), lam.Den()
+
+	// B = den·A − num: every cycle weight becomes <= 0, critical cycles 0.
+	b := NewMatrix(m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if a := m.rows[i][j]; a != NegInf {
+				b.rows[i][j] = T(int64(a)*den - num)
+			}
+		}
+	}
+	star, err := b.Star()
+	if err != nil {
+		// Cannot happen: the normalisation removes positive cycles.
+		return nil, 0, err
+	}
+	// A critical node lies on a zero-weight cycle of B: (B⊗B*)_cc = 0.
+	plus := b.Mul(star)
+	critical := -1
+	for c := 0; c < m.n; c++ {
+		if plus.At(c, c) == 0 {
+			critical = c
+			break
+		}
+	}
+	if critical < 0 {
+		return nil, 0, errors.New("maxplus: internal: no critical node after normalisation")
+	}
+	// Column `critical` of B* is the eigenvector support.
+	v = NewVec(m.n)
+	for i := 0; i < m.n; i++ {
+		v[i] = star.At(i, critical)
+	}
+	for _, x := range v {
+		if x == NegInf {
+			return nil, 0, ErrNotIrreducible
+		}
+	}
+	return v, den, nil
+}
+
+// CheckEigenvector verifies max_j(scale·a_ij + v_j) == num + v_i for all
+// i, where lam = num/den and scale must equal den. It returns false for
+// vectors with −∞ components.
+func (m *Matrix) CheckEigenvector(v Vec, scale int64, lam rat.Rat) bool {
+	if len(v) != m.n || scale != lam.Den() {
+		return false
+	}
+	for _, x := range v {
+		if x == NegInf {
+			return false
+		}
+	}
+	for i := 0; i < m.n; i++ {
+		best := NegInf
+		for j := 0; j < m.n; j++ {
+			if a := m.rows[i][j]; a != NegInf {
+				if s := T(int64(a)*scale + int64(v[j])); s > best {
+					best = s
+				}
+			}
+		}
+		want := T(lam.Num() + int64(v[i]))
+		if best != want {
+			return false
+		}
+	}
+	return true
+}

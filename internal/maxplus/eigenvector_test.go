@@ -1,0 +1,134 @@
+package maxplus
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestEigenvectorSimpleCycle(t *testing.T) {
+	// 0 -> 1 (3), 1 -> 0 (5): λ = 4, den 1.
+	a := NewMatrix(2)
+	a.Set(1, 0, FromInt(3))
+	a.Set(0, 1, FromInt(5))
+	v, scale, err := a.Eigenvector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, _, err := a.Eigenvalue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.CheckEigenvector(v, scale, lam) {
+		t.Errorf("CheckEigenvector failed for v=%v scale=%d λ=%v", v, scale, lam)
+	}
+}
+
+func TestEigenvectorFractionalLambda(t *testing.T) {
+	// 3-cycle weights 1, 2, 4: λ = 7/3, scale 3.
+	a := NewMatrix(3)
+	a.Set(1, 0, FromInt(1))
+	a.Set(2, 1, FromInt(2))
+	a.Set(0, 2, FromInt(4))
+	v, scale, err := a.Eigenvector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 3 {
+		t.Errorf("scale = %d, want 3", scale)
+	}
+	lam, _, err := a.Eigenvalue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.CheckEigenvector(v, scale, lam) {
+		t.Errorf("CheckEigenvector failed for v=%v scale=%d λ=%v", v, scale, lam)
+	}
+}
+
+func TestEigenvectorReducibleWithReachableSupportWorks(t *testing.T) {
+	// Reducible, but the critical node (self-loop at 0, λ = 2) reaches
+	// every other node, so a finite eigenvector still exists.
+	a := NewMatrix(2)
+	a.Set(0, 0, FromInt(2))
+	a.Set(1, 0, FromInt(1))
+	v, scale, err := a.Eigenvector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, _, err := a.Eigenvalue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.CheckEigenvector(v, scale, lam) {
+		t.Errorf("CheckEigenvector failed: v=%v scale=%d λ=%v", v, scale, lam)
+	}
+}
+
+func TestEigenvectorNoFullSupportRejected(t *testing.T) {
+	// Two disconnected recurrent classes with different rates: no finite
+	// eigenvector covers both.
+	a := NewMatrix(2)
+	a.Set(0, 0, FromInt(2))
+	a.Set(1, 1, FromInt(1))
+	if _, _, err := a.Eigenvector(); !errors.Is(err, ErrNotIrreducible) {
+		t.Errorf("err = %v, want ErrNotIrreducible", err)
+	}
+	acyclic := NewMatrix(2)
+	acyclic.Set(1, 0, FromInt(1))
+	if _, _, err := acyclic.Eigenvector(); !errors.Is(err, ErrNotIrreducible) {
+		t.Errorf("acyclic err = %v, want ErrNotIrreducible", err)
+	}
+}
+
+// Property: on random irreducible matrices, the eigenvector always
+// verifies — max-plus spectral theory's existence theorem, computed.
+func TestQuickEigenvectorVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(5)
+		a := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			a.Set((i+1)%n, i, FromInt(rng.Int63n(20)-5)) // Hamiltonian ring
+			for j := 0; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					a.Set(i, j, FromInt(rng.Int63n(20)-5))
+				}
+			}
+		}
+		v, scale, err := a.Eigenvector()
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%v", trial, err, a)
+		}
+		lam, _, err := a.Eigenvalue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.CheckEigenvector(v, scale, lam) {
+			t.Errorf("trial %d: eigenvector check failed: v=%v scale=%d λ=%v\n%v",
+				trial, v, scale, lam, a)
+		}
+	}
+}
+
+func TestCheckEigenvectorRejectsBadInput(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(1, 0, FromInt(3))
+	a.Set(0, 1, FromInt(5))
+	lam, _, err := a.Eigenvalue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CheckEigenvector(Vec{0}, 1, lam) {
+		t.Error("wrong-length vector accepted")
+	}
+	if a.CheckEigenvector(Vec{0, NegInf}, 1, lam) {
+		t.Error("vector with -inf accepted")
+	}
+	if a.CheckEigenvector(Vec{0, 0}, 7, lam) {
+		t.Error("wrong scale accepted")
+	}
+	if a.CheckEigenvector(Vec{0, 7}, 1, lam) {
+		t.Error("non-eigenvector accepted")
+	}
+}

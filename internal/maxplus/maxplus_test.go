@@ -1,0 +1,342 @@
+package maxplus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rat"
+)
+
+func TestScalarOps(t *testing.T) {
+	a := FromInt(3)
+	b := FromInt(-2)
+	if got := a.Add(b); got != FromInt(1) {
+		t.Errorf("3 ⊗ -2 = %v, want 1", got)
+	}
+	if got := a.Max(b); got != a {
+		t.Errorf("3 ⊕ -2 = %v, want 3", got)
+	}
+	if got := NegInf.Add(a); got != NegInf {
+		t.Errorf("-inf ⊗ 3 = %v, want -inf", got)
+	}
+	if got := NegInf.Max(a); got != a {
+		t.Errorf("-inf ⊕ 3 = %v, want 3", got)
+	}
+	if !NegInf.IsNegInf() || a.IsNegInf() {
+		t.Error("IsNegInf misbehaves")
+	}
+	if NegInf.Cmp(a) != -1 || a.Cmp(NegInf) != 1 || a.Cmp(a) != 0 {
+		t.Error("Cmp misbehaves with -inf")
+	}
+	if s := NegInf.String(); s != "-inf" {
+		t.Errorf("String(-inf) = %q", s)
+	}
+}
+
+func TestIntPanicsOnNegInf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Int() on -inf did not panic")
+		}
+	}()
+	_ = NegInf.Int()
+}
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec(3)
+	for _, x := range v {
+		if x != NegInf {
+			t.Fatal("NewVec not all -inf")
+		}
+	}
+	u := UnitVec(3, 1)
+	if u[0] != NegInf || u[1] != 0 || u[2] != NegInf {
+		t.Errorf("UnitVec(3,1) = %v", u)
+	}
+	if u.FiniteCount() != 1 {
+		t.Errorf("FiniteCount = %d, want 1", u.FiniteCount())
+	}
+	w := u.AddScalar(FromInt(5))
+	if w[1] != FromInt(5) || w[0] != NegInf {
+		t.Errorf("AddScalar = %v", w)
+	}
+	if u[1] != 0 {
+		t.Error("AddScalar mutated receiver")
+	}
+	m := Vec{FromInt(1), NegInf, FromInt(7)}.Max(Vec{FromInt(4), FromInt(2), NegInf})
+	want := Vec{FromInt(4), FromInt(2), FromInt(7)}
+	if !m.Equal(want) {
+		t.Errorf("Max = %v, want %v", m, want)
+	}
+	if m.MaxEntry() != FromInt(7) {
+		t.Errorf("MaxEntry = %v, want 7", m.MaxEntry())
+	}
+}
+
+func TestVecMaxInto(t *testing.T) {
+	v := Vec{FromInt(1), NegInf}
+	v.MaxInto(Vec{NegInf, FromInt(3)})
+	if !v.Equal(Vec{FromInt(1), FromInt(3)}) {
+		t.Errorf("MaxInto = %v", v)
+	}
+}
+
+func TestVecNormalise(t *testing.T) {
+	v := Vec{FromInt(5), FromInt(2), NegInf}
+	n, shift := v.Normalise()
+	if shift != FromInt(5) {
+		t.Errorf("shift = %v, want 5", shift)
+	}
+	if !n.Equal(Vec{FromInt(0), FromInt(-3), NegInf}) {
+		t.Errorf("normalised = %v", n)
+	}
+	allInf := NewVec(2)
+	_, shift = allInf.Normalise()
+	if shift != NegInf {
+		t.Errorf("shift of all -inf = %v, want -inf", shift)
+	}
+}
+
+func TestMatrixApply(t *testing.T) {
+	// x' = A x with A = [[3, -inf], [1, 2]]
+	a := NewMatrix(2)
+	a.Set(0, 0, FromInt(3))
+	a.Set(1, 0, FromInt(1))
+	a.Set(1, 1, FromInt(2))
+	x := Vec{FromInt(0), FromInt(0)}
+	y := a.Apply(x)
+	if !y.Equal(Vec{FromInt(3), FromInt(2)}) {
+		t.Errorf("Apply = %v, want [3 2]", y)
+	}
+	y = a.Apply(y)
+	// y0 = 3+3 = 6; y1 = max(1+3, 2+2) = 4
+	if !y.Equal(Vec{FromInt(6), FromInt(4)}) {
+		t.Errorf("Apply² = %v, want [6 4]", y)
+	}
+}
+
+func TestMatrixMulAssociatesWithApply(t *testing.T) {
+	// (A ⊗ B) ⊗ x == A ⊗ (B ⊗ x)
+	a := NewMatrix(3)
+	a.Set(0, 1, FromInt(2))
+	a.Set(1, 2, FromInt(4))
+	a.Set(2, 0, FromInt(1))
+	b := NewMatrix(3)
+	b.Set(0, 0, FromInt(3))
+	b.Set(1, 0, FromInt(-1))
+	b.Set(2, 1, FromInt(5))
+	x := Vec{FromInt(1), FromInt(0), FromInt(2)}
+	lhs := a.Mul(b).Apply(x)
+	rhs := a.Apply(b.Apply(x))
+	if !lhs.Equal(rhs) {
+		t.Errorf("(AB)x = %v, A(Bx) = %v", lhs, rhs)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	a := NewMatrix(3)
+	a.Set(0, 2, FromInt(7))
+	a.Set(1, 1, FromInt(-2))
+	a.Set(2, 0, FromInt(4))
+	if !a.Mul(id).Equal(a) || !id.Mul(a).Equal(a) {
+		t.Error("identity law violated")
+	}
+}
+
+func TestEigenvalueSelfLoop(t *testing.T) {
+	a := NewMatrix(1)
+	a.Set(0, 0, FromInt(5))
+	lam, ok, err := a.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatalf("Eigenvalue: ok=%v err=%v", ok, err)
+	}
+	if !lam.Equal(rat.FromInt(5)) {
+		t.Errorf("lambda = %v, want 5", lam)
+	}
+}
+
+func TestEigenvalueAcyclic(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(1, 0, FromInt(9)) // 0 -> 1 only, no cycle
+	_, ok, err := a.Eigenvalue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("acyclic matrix reported a cycle")
+	}
+}
+
+func TestEigenvalueTwoCycle(t *testing.T) {
+	// Cycle 0->1->0 with weights 3 and 5: mean (3+5)/2 = 4.
+	// Self loop at 1 with weight 3: mean 3. Max = 4.
+	a := NewMatrix(2)
+	a.Set(1, 0, FromInt(3))
+	a.Set(0, 1, FromInt(5))
+	a.Set(1, 1, FromInt(3))
+	lam, ok, err := a.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatalf("Eigenvalue: ok=%v err=%v", ok, err)
+	}
+	if !lam.Equal(rat.FromInt(4)) {
+		t.Errorf("lambda = %v, want 4", lam)
+	}
+}
+
+func TestEigenvalueFractional(t *testing.T) {
+	// 3-cycle with weights 1, 2, 4: mean 7/3.
+	a := NewMatrix(3)
+	a.Set(1, 0, FromInt(1))
+	a.Set(2, 1, FromInt(2))
+	a.Set(0, 2, FromInt(4))
+	lam, ok, err := a.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatalf("Eigenvalue: ok=%v err=%v", ok, err)
+	}
+	if !lam.Equal(rat.MustNew(7, 3)) {
+		t.Errorf("lambda = %v, want 7/3", lam)
+	}
+}
+
+func TestEigenvalueMultipleSCCs(t *testing.T) {
+	// Two disjoint cycles: {0} self loop 2, {1,2} cycle mean (6+0)/2 = 3.
+	a := NewMatrix(3)
+	a.Set(0, 0, FromInt(2))
+	a.Set(2, 1, FromInt(6))
+	a.Set(1, 2, FromInt(0))
+	lam, ok, err := a.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatalf("Eigenvalue: ok=%v err=%v", ok, err)
+	}
+	if !lam.Equal(rat.FromInt(3)) {
+		t.Errorf("lambda = %v, want 3", lam)
+	}
+}
+
+func TestEigenvalueNegativeWeights(t *testing.T) {
+	// Cycle 0->1->0 with weights -3 and -1: mean -2.
+	a := NewMatrix(2)
+	a.Set(1, 0, FromInt(-3))
+	a.Set(0, 1, FromInt(-1))
+	lam, ok, err := a.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatalf("Eigenvalue: ok=%v err=%v", ok, err)
+	}
+	if !lam.Equal(rat.FromInt(-2)) {
+		t.Errorf("lambda = %v, want -2", lam)
+	}
+}
+
+func TestPowerIterationMatchesEigenvalue(t *testing.T) {
+	a := NewMatrix(3)
+	a.Set(1, 0, FromInt(1))
+	a.Set(2, 1, FromInt(2))
+	a.Set(0, 2, FromInt(4))
+	a.Set(0, 0, FromInt(1))
+	res, ok, err := a.PowerIteration(10000)
+	if err != nil || !ok {
+		t.Fatalf("PowerIteration: ok=%v err=%v", ok, err)
+	}
+	lam, lok, err := a.Eigenvalue()
+	if err != nil || !lok {
+		t.Fatalf("Eigenvalue: ok=%v err=%v", lok, err)
+	}
+	if !res.CycleMean.Equal(lam) {
+		t.Errorf("power cycle mean %v != eigenvalue %v", res.CycleMean, lam)
+	}
+}
+
+func TestPowerIterationAcyclic(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(1, 0, FromInt(9))
+	_, ok, err := a.PowerIteration(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("acyclic matrix had periodic regime")
+	}
+}
+
+// Property: for random small irreducible matrices, power iteration and
+// Karp's eigenvalue agree exactly. This is the fundamental cross-check
+// between the two throughput engines. Irreducibility (a Hamiltonian cycle
+// of finite entries) matches the strongly connected SDF graphs the
+// state-space method targets and guarantees the recurrence that power
+// iteration detects.
+func TestQuickPowerEqualsKarp(t *testing.T) {
+	f := func(seedEntries [16]int8, mask uint16) bool {
+		n := 4
+		a := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			// Hamiltonian cycle keeps the matrix irreducible.
+			a.Set((i+1)%n, i, FromInt(int64(seedEntries[i])))
+			for j := 0; j < n; j++ {
+				bit := uint(i*n + j)
+				if mask&(1<<bit) != 0 {
+					a.Set(i, j, FromInt(int64(seedEntries[i*n+j])))
+				}
+			}
+		}
+		lam, hasCycle, err := a.Eigenvalue()
+		if err != nil || !hasCycle {
+			return false
+		}
+		res, ok, err := a.PowerIteration(200000)
+		if err != nil || !ok {
+			return false
+		}
+		return res.CycleMean.Equal(lam)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// A reducible matrix whose recurrent classes grow at different rates must
+// be rejected by PowerIteration with an error rather than a wrong answer.
+func TestPowerIterationReducibleDifferentRates(t *testing.T) {
+	a := NewMatrix(3)
+	a.Set(0, 0, FromInt(1)) // class {0} grows at 1
+	a.Set(1, 1, FromInt(5)) // class {1} grows at 5
+	a.Set(2, 0, FromInt(0)) // 2 fed by both classes
+	a.Set(2, 1, FromInt(0))
+	_, _, err := a.PowerIteration(500)
+	if err == nil {
+		t.Error("PowerIteration on drifting reducible matrix returned no error")
+	}
+	lam, ok, err := a.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatalf("Eigenvalue: ok=%v err=%v", ok, err)
+	}
+	if !lam.Equal(rat.FromInt(5)) {
+		t.Errorf("lambda = %v, want 5", lam)
+	}
+}
+
+func TestMatrixFiniteCount(t *testing.T) {
+	a := NewMatrix(2)
+	if a.FiniteCount() != 0 {
+		t.Errorf("empty FiniteCount = %d", a.FiniteCount())
+	}
+	a.Set(0, 1, FromInt(3))
+	a.Set(1, 1, FromInt(0))
+	if a.FiniteCount() != 2 {
+		t.Errorf("FiniteCount = %d, want 2", a.FiniteCount())
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, FromInt(1))
+	b := a.Clone()
+	b.Set(0, 0, FromInt(9))
+	if a.At(0, 0) != FromInt(1) {
+		t.Error("Clone aliases original")
+	}
+	if !a.Clone().Equal(a) {
+		t.Error("Clone not equal to original")
+	}
+}

@@ -1,0 +1,85 @@
+package maxplus
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// PowerResult describes the periodic regime found by power iteration.
+type PowerResult struct {
+	// Transient is the number of iterations before the periodic regime is
+	// first entered.
+	Transient int
+	// Period is the length of the periodic regime in iterations.
+	Period int
+	// Growth is the total increase of the normalisation shift over one
+	// period, so the cycle mean (iteration period of the modelled graph)
+	// is Growth/Period.
+	Growth int64
+	// CycleMean = Growth / Period as an exact rational.
+	CycleMean rat.Rat
+}
+
+// PowerIteration repeatedly applies m to the all-zeros start vector
+// (every initial token available at time 0) until the normalised state
+// vector recurs, mirroring the state-space throughput exploration of
+// Ghamarian et al. that the paper's Algorithm 1 is derived from. It
+// returns the transient length, the period, and the exact cycle mean.
+//
+// The max-plus cyclicity theorem guarantees a recurrence for irreducible
+// matrices (strongly connected precedence graphs), which is what iteration
+// matrices of strongly connected SDF graphs are. For reducible matrices
+// whose recurrent classes grow at different rates the normalised state
+// drifts forever and never recurs; maxIter bounds the exploration and an
+// error is returned when it is exhausted. Use Eigenvalue for such models.
+//
+// If the state vector degenerates to all −∞ (acyclic precedence graph —
+// nothing constrains the next iteration), ok is false: there is no finite
+// cycle mean and the modelled throughput is unbounded.
+func (m *Matrix) PowerIteration(maxIter int) (res PowerResult, ok bool, err error) {
+	x := make(Vec, m.n) // all zeros: every token at time 0
+	seen := make(map[string]struct {
+		iter  int
+		shift int64
+	})
+
+	norm, shift := x.Normalise()
+	if shift == NegInf {
+		return PowerResult{}, false, nil
+	}
+	seen[norm.key()] = struct {
+		iter  int
+		shift int64
+	}{0, int64(shift)}
+
+	for k := 1; k <= maxIter; k++ {
+		x = m.Apply(x)
+		norm, shift = x.Normalise()
+		if shift == NegInf {
+			// No token of this iteration depends on anything: the
+			// precedence graph is acyclic, throughput unbounded.
+			return PowerResult{}, false, nil
+		}
+		key := norm.key()
+		if prev, found := seen[key]; found {
+			period := k - prev.iter
+			growth := int64(shift) - prev.shift
+			mean, rerr := rat.New(growth, int64(period))
+			if rerr != nil {
+				return PowerResult{}, false, rerr
+			}
+			return PowerResult{
+				Transient: prev.iter,
+				Period:    period,
+				Growth:    growth,
+				CycleMean: mean,
+			}, true, nil
+		}
+		seen[key] = struct {
+			iter  int
+			shift int64
+		}{k, int64(shift)}
+	}
+	return PowerResult{}, false, fmt.Errorf("maxplus: no recurrence within %d iterations", maxIter)
+}

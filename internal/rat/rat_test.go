@@ -1,0 +1,312 @@
+package rat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalises(t *testing.T) {
+	cases := []struct {
+		num, den     int64
+		wantN, wantD int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{0, -5, 0, 1},
+		{6, 3, 2, 1},
+		{147, 160, 147, 160},
+		{-147, -160, 147, 160},
+	}
+	for _, c := range cases {
+		r, err := New(c.num, c.den)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", c.num, c.den, err)
+		}
+		if r.Num() != c.wantN || r.Den() != c.wantD {
+			t.Errorf("New(%d,%d) = %d/%d, want %d/%d", c.num, c.den, r.Num(), r.Den(), c.wantN, c.wantD)
+		}
+	}
+}
+
+func TestNewZeroDen(t *testing.T) {
+	if _, err := New(1, 0); err == nil {
+		t.Fatal("New(1,0) succeeded, want error")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Rat
+	if !r.IsZero() {
+		t.Error("zero value not IsZero")
+	}
+	if r.Den() != 1 {
+		t.Errorf("zero value Den = %d, want 1", r.Den())
+	}
+	s, err := r.Add(One())
+	if err != nil || !s.Equal(One()) {
+		t.Errorf("0 + 1 = %v, %v; want 1", s, err)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	cases := []struct{ a, b, want Rat }{
+		{MustNew(1, 2), MustNew(1, 3), MustNew(5, 6)},
+		{MustNew(1, 2), MustNew(1, 2), One()},
+		{MustNew(-1, 2), MustNew(1, 2), Zero()},
+		{MustNew(2, 7), MustNew(3, 7), MustNew(5, 7)},
+		{FromInt(3), MustNew(1, 4), MustNew(13, 4)},
+	}
+	for _, c := range cases {
+		got, err := c.a.Add(c.b)
+		if err != nil {
+			t.Fatalf("%v + %v: %v", c.a, c.b, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%v + %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSubMulDiv(t *testing.T) {
+	a := MustNew(7, 6)
+	b := MustNew(1, 3)
+	if got, _ := a.Sub(b); !got.Equal(MustNew(5, 6)) {
+		t.Errorf("7/6 - 1/3 = %v, want 5/6", got)
+	}
+	if got, _ := a.Mul(b); !got.Equal(MustNew(7, 18)) {
+		t.Errorf("7/6 * 1/3 = %v, want 7/18", got)
+	}
+	if got, _ := a.Div(b); !got.Equal(MustNew(7, 2)) {
+		t.Errorf("7/6 / 1/3 = %v, want 7/2", got)
+	}
+	if _, err := a.Div(Zero()); err == nil {
+		t.Error("division by zero succeeded")
+	}
+}
+
+func TestInv(t *testing.T) {
+	if got, _ := MustNew(-3, 7).Inv(); !got.Equal(MustNew(-7, 3)) {
+		t.Errorf("Inv(-3/7) = %v, want -7/3", got)
+	}
+	if _, err := Zero().Inv(); err == nil {
+		t.Error("Inv(0) succeeded")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		want int
+	}{
+		{MustNew(1, 2), MustNew(1, 3), 1},
+		{MustNew(1, 3), MustNew(1, 2), -1},
+		{MustNew(2, 4), MustNew(1, 2), 0},
+		{MustNew(-1, 2), MustNew(1, 2), -1},
+		{FromInt(5), FromInt(5), 0},
+		{MustNew(160, 147), MustNew(161, 148), 1}, // 160*148=23680 > 161*147=23667
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmpOverflowPath(t *testing.T) {
+	// Cross products overflow int64; cmpSlow must still give exact order.
+	big1 := MustNew(math.MaxInt64/2, math.MaxInt64/3)
+	big2 := MustNew(math.MaxInt64/2-1, math.MaxInt64/3)
+	if got := big1.Cmp(big2); got != 1 {
+		t.Errorf("Cmp big = %d, want 1", got)
+	}
+	if got := big2.Cmp(big1); got != -1 {
+		t.Errorf("Cmp big = %d, want -1", got)
+	}
+	if got := big1.Cmp(big1); got != 0 {
+		t.Errorf("Cmp big self = %d, want 0", got)
+	}
+}
+
+func TestOverflowDetected(t *testing.T) {
+	huge := FromInt(math.MaxInt64)
+	if _, err := huge.Mul(FromInt(2)); err == nil {
+		t.Error("MaxInt64 * 2 succeeded, want overflow")
+	}
+	if _, err := huge.Add(huge); err == nil {
+		t.Error("MaxInt64 + MaxInt64 succeeded, want overflow")
+	}
+	if _, err := FromInt(math.MinInt64).Neg(); err == nil {
+		t.Error("Neg(MinInt64) succeeded, want overflow")
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		r           Rat
+		floor, ceil int64
+	}{
+		{MustNew(7, 2), 3, 4},
+		{MustNew(-7, 2), -4, -3},
+		{FromInt(5), 5, 5},
+		{FromInt(-5), -5, -5},
+		{MustNew(1, 3), 0, 1},
+		{MustNew(-1, 3), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("Floor(%v) = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.ceil {
+			t.Errorf("Ceil(%v) = %d, want %d", c.r, got, c.ceil)
+		}
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if g := GCD(12, 18); g != 6 {
+		t.Errorf("GCD(12,18) = %d, want 6", g)
+	}
+	if g := GCD(-12, 18); g != 6 {
+		t.Errorf("GCD(-12,18) = %d, want 6", g)
+	}
+	if g := GCD(0, 7); g != 7 {
+		t.Errorf("GCD(0,7) = %d, want 7", g)
+	}
+	if g := GCD(0, 0); g != 0 {
+		t.Errorf("GCD(0,0) = %d, want 0", g)
+	}
+	l, err := LCM(4, 6)
+	if err != nil || l != 12 {
+		t.Errorf("LCM(4,6) = %d, %v; want 12", l, err)
+	}
+	l, err = LCM(0, 5)
+	if err != nil || l != 0 {
+		t.Errorf("LCM(0,5) = %d, %v; want 0", l, err)
+	}
+	if _, err := LCM(math.MaxInt64-1, math.MaxInt64-2); err == nil {
+		t.Error("huge LCM succeeded, want overflow")
+	}
+}
+
+func TestFloorDivMod(t *testing.T) {
+	cases := []struct {
+		a, b, q, m int64
+	}{
+		{7, 3, 2, 1},
+		{-7, 3, -3, 2},
+		{6, 3, 2, 0},
+		{-6, 3, -2, 0},
+		{0, 5, 0, 0},
+	}
+	for _, c := range cases {
+		if q := FloorDiv(c.a, c.b); q != c.q {
+			t.Errorf("FloorDiv(%d,%d) = %d, want %d", c.a, c.b, q, c.q)
+		}
+		if m := Mod(c.a, c.b); m != c.m {
+			t.Errorf("Mod(%d,%d) = %d, want %d", c.a, c.b, m, c.m)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := MustNew(5, 3).String(); s != "5/3" {
+		t.Errorf("String = %q, want 5/3", s)
+	}
+	if s := FromInt(-4).String(); s != "-4" {
+		t.Errorf("String = %q, want -4", s)
+	}
+}
+
+// Property: (a+b)-b == a for randomly generated small rationals.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(an, bn int16, ad, bd uint8) bool {
+		a, err := New(int64(an), int64(ad)+1)
+		if err != nil {
+			return false
+		}
+		b, err := New(int64(bn), int64(bd)+1)
+		if err != nil {
+			return false
+		}
+		s, err := a.Add(b)
+		if err != nil {
+			return false
+		}
+		back, err := s.Sub(b)
+		if err != nil {
+			return false
+		}
+		return back.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiplication distributes over addition for small rationals.
+func TestQuickDistributive(t *testing.T) {
+	f := func(an, bn, cn int8, ad, bd, cd uint8) bool {
+		a := MustNew(int64(an), int64(ad)+1)
+		b := MustNew(int64(bn), int64(bd)+1)
+		c := MustNew(int64(cn), int64(cd)+1)
+		sum, err := b.Add(c)
+		if err != nil {
+			return false
+		}
+		lhs, err := a.Mul(sum)
+		if err != nil {
+			return false
+		}
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		ac, err := a.Mul(c)
+		if err != nil {
+			return false
+		}
+		rhs, err := ab.Add(ac)
+		if err != nil {
+			return false
+		}
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cmp is consistent with subtraction sign.
+func TestQuickCmpConsistent(t *testing.T) {
+	f := func(an, bn int16, ad, bd uint8) bool {
+		a := MustNew(int64(an), int64(ad)+1)
+		b := MustNew(int64(bn), int64(bd)+1)
+		d, err := a.Sub(b)
+		if err != nil {
+			return false
+		}
+		return a.Cmp(b) == d.Sign()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Floor(r) <= r < Floor(r)+1.
+func TestQuickFloorBounds(t *testing.T) {
+	f := func(n int16, d uint8) bool {
+		r := MustNew(int64(n), int64(d)+1)
+		fl := r.Floor()
+		lo := FromInt(fl)
+		hi := FromInt(fl + 1)
+		return lo.Cmp(r) <= 0 && r.Cmp(hi) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

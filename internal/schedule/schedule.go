@@ -1,0 +1,146 @@
+// Package schedule constructs and validates periodic admissible sequential
+// schedules (PASS) for consistent SDF graphs, following the class-S
+// demand-driven algorithm of Lee and Messerschmitt. The DAC'09 paper's
+// Algorithm 1 (the novel SDF→HSDF conversion) executes one such schedule
+// symbolically; failing to find a schedule means the graph deadlocks.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sdf"
+)
+
+// ErrDeadlock indicates that no actor can fire although the iteration is
+// incomplete: the graph deadlocks under any schedule (insufficient initial
+// tokens on some cycle).
+var ErrDeadlock = errors.New("schedule: graph deadlocks")
+
+// Sequential returns a single-iteration sequential schedule: a sequence of
+// actor firings in which every actor a appears exactly q(a) times, tokens
+// never go negative, and the token distribution after the sequence equals
+// the initial one. The graph must be consistent.
+//
+// Among the many valid schedules, any one works for the symbolic
+// conversion (the resulting max-plus matrix is schedule-independent); this
+// implementation fires each ready actor as often as currently possible,
+// which keeps the schedule construction linear in the iteration length.
+func Sequential(g *sdf.Graph) ([]sdf.ActorID, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, fmt.Errorf("schedule: %w", err)
+	}
+	n := g.NumActors()
+	if n == 0 {
+		return nil, nil
+	}
+
+	inCh := make([][]sdf.ChannelID, n)
+	for i := range g.Channels() {
+		id := sdf.ChannelID(i)
+		inCh[g.Channel(id).Dst] = append(inCh[g.Channel(id).Dst], id)
+	}
+	tokens := make([]int64, g.NumChannels())
+	for i, c := range g.Channels() {
+		tokens[i] = int64(c.Initial)
+	}
+	remaining := make([]int64, n)
+	var total int64
+	for i, v := range q {
+		remaining[i] = v
+		total += v
+	}
+
+	canFire := func(a sdf.ActorID) bool {
+		if remaining[a] == 0 {
+			return false
+		}
+		for _, id := range inCh[a] {
+			if tokens[id] < int64(g.Channel(id).Cons) {
+				return false
+			}
+		}
+		return true
+	}
+
+	sched := make([]sdf.ActorID, 0, total)
+	for int64(len(sched)) < total {
+		progressed := false
+		for a := sdf.ActorID(0); int(a) < n; a++ {
+			for canFire(a) {
+				// Consume before producing so that a self-loop requires its
+				// tokens up front.
+				for _, id := range inCh[a] {
+					tokens[id] -= int64(g.Channel(id).Cons)
+				}
+				for i, c := range g.Channels() {
+					if c.Src == a {
+						tokens[i] += int64(c.Prod)
+					}
+				}
+				remaining[a]--
+				sched = append(sched, a)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("schedule: after %d of %d firings: %w", len(sched), total, ErrDeadlock)
+		}
+	}
+	return sched, nil
+}
+
+// IsLive reports whether the graph admits a complete iteration (is
+// deadlock-free). Inconsistent graphs are reported as not live.
+func IsLive(g *sdf.Graph) bool {
+	_, err := Sequential(g)
+	return err == nil
+}
+
+// Validate checks that sched is a correct single-iteration schedule for g:
+// token counts stay non-negative throughout, each actor fires exactly its
+// repetition count, and the final distribution equals the initial one.
+func Validate(g *sdf.Graph, sched []sdf.ActorID) error {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return err
+	}
+	tokens := make([]int64, g.NumChannels())
+	for i, c := range g.Channels() {
+		tokens[i] = int64(c.Initial)
+	}
+	fired := make([]int64, g.NumActors())
+	for pos, a := range sched {
+		if int(a) < 0 || int(a) >= g.NumActors() {
+			return fmt.Errorf("schedule: position %d: actor id %d out of range", pos, a)
+		}
+		for i, c := range g.Channels() {
+			if c.Dst == a {
+				tokens[i] -= int64(c.Cons)
+				if tokens[i] < 0 {
+					return fmt.Errorf("schedule: position %d: channel %s -> %s underflows",
+						pos, g.Actor(c.Src).Name, g.Actor(c.Dst).Name)
+				}
+			}
+		}
+		for i, c := range g.Channels() {
+			if c.Src == a {
+				tokens[i] += int64(c.Prod)
+			}
+		}
+		fired[a]++
+	}
+	for a, f := range fired {
+		if f != q[a] {
+			return fmt.Errorf("schedule: actor %s fired %d times, want %d", g.Actor(sdf.ActorID(a)).Name, f, q[a])
+		}
+	}
+	for i, c := range g.Channels() {
+		if tokens[i] != int64(c.Initial) {
+			return fmt.Errorf("schedule: channel %s -> %s ends with %d tokens, want %d",
+				g.Actor(c.Src).Name, g.Actor(c.Dst).Name, tokens[i], c.Initial)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+// Package sdf implements the timed Synchronous Dataflow (SDF) graph model
+// of Lee and Messerschmitt as used by the DAC'09 reduction paper
+// (Definitions 1 and 2): actors with constant execution times connected by
+// FIFO channels with constant production and consumption rates and a
+// number of initial tokens. It provides construction, validation,
+// consistency checking (repetition vectors) and structural queries; the
+// reduction techniques themselves live in internal/core.
+package sdf
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ActorID identifies an actor within one Graph. IDs are dense indices
+// assigned in insertion order.
+type ActorID int
+
+// ChannelID identifies a channel within one Graph, dense in insertion
+// order. The order is significant: it fixes the global numbering of
+// initial tokens used by the symbolic conversion.
+type ChannelID int
+
+// Actor is a timed SDF actor (Definition 2): a name and the time one
+// firing takes between consuming its inputs and producing its outputs.
+type Actor struct {
+	Name string
+	Exec int64
+}
+
+// Channel is a dependency edge (a, b, p, c, d) of Definition 1: actor Dst
+// depends on actor Src with production rate Prod, consumption rate Cons
+// and Initial tokens of delay.
+type Channel struct {
+	Src     ActorID
+	Dst     ActorID
+	Prod    int
+	Cons    int
+	Initial int
+}
+
+// Graph is a timed SDF graph. The zero value is an empty graph ready for
+// use; NewGraph additionally assigns a name used in diagnostics and
+// serialised forms.
+type Graph struct {
+	name     string
+	actors   []Actor
+	channels []Channel
+	byName   map[string]ActorID
+}
+
+// NewGraph returns an empty graph with the given name.
+func NewGraph(name string) *Graph {
+	return &Graph{name: name}
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// SetName renames the graph.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// NumActors returns the number of actors.
+func (g *Graph) NumActors() int { return len(g.actors) }
+
+// NumChannels returns the number of channels.
+func (g *Graph) NumChannels() int { return len(g.channels) }
+
+// Actor returns the actor with the given ID. The ID must be valid.
+func (g *Graph) Actor(id ActorID) Actor { return g.actors[id] }
+
+// Channel returns the channel with the given ID. The ID must be valid.
+func (g *Graph) Channel(id ChannelID) Channel { return g.channels[id] }
+
+// Channels returns all channels in insertion order; the caller must not
+// modify the returned slice.
+func (g *Graph) Channels() []Channel { return g.channels }
+
+// Actors returns all actors in insertion order; the caller must not modify
+// the returned slice.
+func (g *Graph) Actors() []Actor { return g.actors }
+
+// ActorByName returns the ID of the named actor.
+func (g *Graph) ActorByName(name string) (ActorID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// AddActor adds an actor with the given name and execution time and
+// returns its ID. Names must be unique and non-empty; execution times must
+// be non-negative.
+func (g *Graph) AddActor(name string, exec int64) (ActorID, error) {
+	if name == "" {
+		return 0, errors.New("sdf: actor name must be non-empty")
+	}
+	if strings.ContainsAny(name, " \t\n\"") {
+		return 0, fmt.Errorf("sdf: actor name %q contains whitespace or quotes", name)
+	}
+	if exec < 0 {
+		return 0, fmt.Errorf("sdf: actor %q: negative execution time %d", name, exec)
+	}
+	if _, dup := g.byName[name]; dup {
+		return 0, fmt.Errorf("sdf: duplicate actor name %q", name)
+	}
+	if g.byName == nil {
+		g.byName = make(map[string]ActorID)
+	}
+	id := ActorID(len(g.actors))
+	g.actors = append(g.actors, Actor{Name: name, Exec: exec})
+	g.byName[name] = id
+	return id, nil
+}
+
+// MustAddActor is AddActor panicking on error; for tests and literals.
+func (g *Graph) MustAddActor(name string, exec int64) ActorID {
+	id, err := g.AddActor(name, exec)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddChannel adds a channel from src to dst with production rate prod,
+// consumption rate cons and initial tokens of delay, returning its ID.
+func (g *Graph) AddChannel(src, dst ActorID, prod, cons, initial int) (ChannelID, error) {
+	if !g.validActor(src) || !g.validActor(dst) {
+		return 0, fmt.Errorf("sdf: channel endpoints %d -> %d out of range (have %d actors)", src, dst, len(g.actors))
+	}
+	if prod < 1 || cons < 1 {
+		return 0, fmt.Errorf("sdf: channel %s -> %s: rates must be >= 1, got %d and %d",
+			g.actors[src].Name, g.actors[dst].Name, prod, cons)
+	}
+	if initial < 0 {
+		return 0, fmt.Errorf("sdf: channel %s -> %s: negative initial tokens %d",
+			g.actors[src].Name, g.actors[dst].Name, initial)
+	}
+	id := ChannelID(len(g.channels))
+	g.channels = append(g.channels, Channel{Src: src, Dst: dst, Prod: prod, Cons: cons, Initial: initial})
+	return id, nil
+}
+
+// MustAddChannel is AddChannel panicking on error.
+func (g *Graph) MustAddChannel(src, dst ActorID, prod, cons, initial int) ChannelID {
+	id, err := g.AddChannel(src, dst, prod, cons, initial)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddChannelByName is AddChannel resolving endpoints by actor name.
+func (g *Graph) AddChannelByName(src, dst string, prod, cons, initial int) (ChannelID, error) {
+	s, ok := g.byName[src]
+	if !ok {
+		return 0, fmt.Errorf("sdf: unknown actor %q", src)
+	}
+	d, ok := g.byName[dst]
+	if !ok {
+		return 0, fmt.Errorf("sdf: unknown actor %q", dst)
+	}
+	return g.AddChannel(s, d, prod, cons, initial)
+}
+
+func (g *Graph) validActor(id ActorID) bool {
+	return id >= 0 && int(id) < len(g.actors)
+}
+
+// Validate checks the structural invariants of the graph (endpoint
+// validity, positive rates, non-negative delays and execution times,
+// unique names). Graphs built exclusively through AddActor/AddChannel are
+// always valid; Validate guards graphs arriving from parsers.
+func (g *Graph) Validate() error {
+	seen := make(map[string]bool, len(g.actors))
+	for i, a := range g.actors {
+		if a.Name == "" {
+			return fmt.Errorf("sdf: actor %d has empty name", i)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("sdf: duplicate actor name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Exec < 0 {
+			return fmt.Errorf("sdf: actor %q: negative execution time %d", a.Name, a.Exec)
+		}
+	}
+	for i, c := range g.channels {
+		if !g.validActor(c.Src) || !g.validActor(c.Dst) {
+			return fmt.Errorf("sdf: channel %d: endpoints out of range", i)
+		}
+		if c.Prod < 1 || c.Cons < 1 {
+			return fmt.Errorf("sdf: channel %d: rates must be >= 1", i)
+		}
+		if c.Initial < 0 {
+			return fmt.Errorf("sdf: channel %d: negative initial tokens", i)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		name:     g.name,
+		actors:   append([]Actor(nil), g.actors...),
+		channels: append([]Channel(nil), g.channels...),
+		byName:   make(map[string]ActorID, len(g.byName)),
+	}
+	for k, v := range g.byName {
+		c.byName[k] = v
+	}
+	return c
+}
+
+// IsHSDF reports whether every rate in the graph equals 1 (a homogeneous
+// SDF graph, §3).
+func (g *Graph) IsHSDF() bool {
+	for _, c := range g.channels {
+		if c.Prod != 1 || c.Cons != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalInitialTokens returns the total number of initial tokens in the
+// graph — the N that bounds the size of the novel HSDF conversion.
+func (g *Graph) TotalInitialTokens() int {
+	n := 0
+	for _, c := range g.channels {
+		n += c.Initial
+	}
+	return n
+}
+
+// SetExec updates the execution time of an actor.
+func (g *Graph) SetExec(id ActorID, exec int64) error {
+	if !g.validActor(id) {
+		return fmt.Errorf("sdf: actor id %d out of range", id)
+	}
+	if exec < 0 {
+		return fmt.Errorf("sdf: negative execution time %d", exec)
+	}
+	g.actors[id].Exec = exec
+	return nil
+}
+
+// SetInitial updates the number of initial tokens on a channel.
+func (g *Graph) SetInitial(id ChannelID, tokens int) error {
+	if id < 0 || int(id) >= len(g.channels) {
+		return fmt.Errorf("sdf: channel id %d out of range", id)
+	}
+	if tokens < 0 {
+		return fmt.Errorf("sdf: negative initial tokens %d", tokens)
+	}
+	g.channels[id].Initial = tokens
+	return nil
+}
+
+// OutChannels returns the IDs of channels whose source is a.
+func (g *Graph) OutChannels(a ActorID) []ChannelID {
+	var out []ChannelID
+	for i, c := range g.channels {
+		if c.Src == a {
+			out = append(out, ChannelID(i))
+		}
+	}
+	return out
+}
+
+// InChannels returns the IDs of channels whose destination is a.
+func (g *Graph) InChannels(a ActorID) []ChannelID {
+	var in []ChannelID
+	for i, c := range g.channels {
+		if c.Dst == a {
+			in = append(in, ChannelID(i))
+		}
+	}
+	return in
+}
+
+// String renders a compact multi-line description of the graph.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sdf %s: %d actors, %d channels\n", g.name, len(g.actors), len(g.channels))
+	for _, a := range g.actors {
+		fmt.Fprintf(&b, "  actor %s exec=%d\n", a.Name, a.Exec)
+	}
+	for _, c := range g.channels {
+		fmt.Fprintf(&b, "  chan %s -> %s prod=%d cons=%d init=%d\n",
+			g.actors[c.Src].Name, g.actors[c.Dst].Name, c.Prod, c.Cons, c.Initial)
+	}
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package sdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddActorAndLookup(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 5)
+	b := g.MustAddActor("B", 0)
+	if g.NumActors() != 2 {
+		t.Fatalf("NumActors = %d", g.NumActors())
+	}
+	if g.Actor(a).Name != "A" || g.Actor(a).Exec != 5 {
+		t.Errorf("Actor(a) = %+v", g.Actor(a))
+	}
+	id, ok := g.ActorByName("B")
+	if !ok || id != b {
+		t.Errorf("ActorByName(B) = %v, %v", id, ok)
+	}
+	if _, ok := g.ActorByName("C"); ok {
+		t.Error("ActorByName(C) found phantom actor")
+	}
+}
+
+func TestAddActorErrors(t *testing.T) {
+	g := NewGraph("t")
+	if _, err := g.AddActor("", 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := g.AddActor("with space", 1); err == nil {
+		t.Error("name with space accepted")
+	}
+	if _, err := g.AddActor("A", -1); err == nil {
+		t.Error("negative exec accepted")
+	}
+	g.MustAddActor("A", 1)
+	if _, err := g.AddActor("A", 2); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestAddChannelErrors(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	if _, err := g.AddChannel(a, ActorID(99), 1, 1, 0); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := g.AddChannel(a, b, 0, 1, 0); err == nil {
+		t.Error("zero production rate accepted")
+	}
+	if _, err := g.AddChannel(a, b, 1, 0, 0); err == nil {
+		t.Error("zero consumption rate accepted")
+	}
+	if _, err := g.AddChannel(a, b, 1, 1, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := g.AddChannelByName("A", "Z", 1, 1, 0); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := g.AddChannelByName("Z", "A", 1, 1, 0); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 2)
+	g.MustAddChannel(a, b, 2, 3, 1)
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	g.MustAddChannel(a, a, 1, 1, 1)
+	c := g.Clone()
+	c.MustAddActor("B", 2)
+	if err := c.SetExec(a, 99); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumActors() != 1 || g.Actor(a).Exec != 1 {
+		t.Error("Clone aliases original")
+	}
+	id, ok := c.ActorByName("B")
+	if !ok || c.Actor(id).Name != "B" {
+		t.Error("clone byName map broken")
+	}
+}
+
+func TestSetters(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	ch := g.MustAddChannel(a, a, 1, 1, 1)
+	if err := g.SetExec(a, 7); err != nil || g.Actor(a).Exec != 7 {
+		t.Error("SetExec failed")
+	}
+	if err := g.SetExec(a, -1); err == nil {
+		t.Error("SetExec accepted negative")
+	}
+	if err := g.SetExec(ActorID(9), 1); err == nil {
+		t.Error("SetExec accepted bad id")
+	}
+	if err := g.SetInitial(ch, 4); err != nil || g.Channel(ch).Initial != 4 {
+		t.Error("SetInitial failed")
+	}
+	if err := g.SetInitial(ch, -1); err == nil {
+		t.Error("SetInitial accepted negative")
+	}
+	if err := g.SetInitial(ChannelID(9), 1); err == nil {
+		t.Error("SetInitial accepted bad id")
+	}
+}
+
+func TestIsHSDF(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	if !g.IsHSDF() {
+		t.Error("homogeneous graph not detected")
+	}
+	g.MustAddChannel(b, a, 2, 1, 2)
+	if g.IsHSDF() {
+		t.Error("multirate graph reported HSDF")
+	}
+}
+
+func TestTotalInitialTokens(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 1, 3)
+	g.MustAddChannel(b, a, 1, 1, 2)
+	if n := g.TotalInitialTokens(); n != 5 {
+		t.Errorf("TotalInitialTokens = %d, want 5", n)
+	}
+}
+
+func TestInOutChannels(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	c1 := g.MustAddChannel(a, b, 1, 1, 0)
+	c2 := g.MustAddChannel(a, b, 1, 1, 1)
+	c3 := g.MustAddChannel(b, a, 1, 1, 1)
+	out := g.OutChannels(a)
+	if len(out) != 2 || out[0] != c1 || out[1] != c2 {
+		t.Errorf("OutChannels(a) = %v", out)
+	}
+	in := g.InChannels(a)
+	if len(in) != 1 || in[0] != c3 {
+		t.Errorf("InChannels(a) = %v", in)
+	}
+}
+
+func TestStringContainsParts(t *testing.T) {
+	g := NewGraph("demo")
+	a := g.MustAddActor("A", 3)
+	b := g.MustAddActor("B", 4)
+	g.MustAddChannel(a, b, 2, 3, 1)
+	s := g.String()
+	for _, want := range []string{"demo", "actor A exec=3", "chan A -> B prod=2 cons=3 init=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	if !g.IsConnected() {
+		t.Error("connected graph reported disconnected")
+	}
+	if g.IsStronglyConnected() {
+		t.Error("pipeline reported strongly connected")
+	}
+	g.MustAddChannel(b, a, 1, 1, 1)
+	if !g.IsStronglyConnected() {
+		t.Error("cycle reported not strongly connected")
+	}
+	g.MustAddActor("C", 1)
+	if g.IsConnected() {
+		t.Error("graph with isolated actor reported connected")
+	}
+	empty := NewGraph("e")
+	if empty.IsConnected() || empty.IsStronglyConnected() {
+		t.Error("empty graph reported connected")
+	}
+}
+
+func TestSelfLoopsAndMaxExec(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 3)
+	b := g.MustAddActor("B", 9)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	sl := g.MustAddChannel(a, a, 1, 1, 1)
+	loops := g.SelfLoops()
+	if len(loops) != 1 || loops[0] != sl {
+		t.Errorf("SelfLoops = %v", loops)
+	}
+	if g.MaxExec() != 9 {
+		t.Errorf("MaxExec = %d, want 9", g.MaxExec())
+	}
+}

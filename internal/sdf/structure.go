@@ -1,0 +1,96 @@
+package sdf
+
+// Structural queries used by the analyses: connectivity, strong
+// connectivity and simple degree statistics. All are defined on the
+// directed channel structure, ignoring rates and delays.
+
+// IsConnected reports whether the graph is weakly connected (and
+// non-empty). Throughput of a disconnected graph is per component; the
+// reduction algorithms require a connected input.
+func (g *Graph) IsConnected() bool {
+	n := len(g.actors)
+	if n == 0 {
+		return false
+	}
+	adj := make([][]ActorID, n)
+	for _, c := range g.channels {
+		adj[c.Src] = append(adj[c.Src], c.Dst)
+		adj[c.Dst] = append(adj[c.Dst], c.Src)
+	}
+	seen := make([]bool, n)
+	stack := []ActorID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// IsStronglyConnected reports whether every actor can reach every other
+// actor along directed channels. Strongly connected timed graphs have a
+// well-defined finite throughput; pipelines without feedback do not (their
+// self-timed throughput is unbounded).
+func (g *Graph) IsStronglyConnected() bool {
+	n := len(g.actors)
+	if n == 0 {
+		return false
+	}
+	fwd := make([][]ActorID, n)
+	rev := make([][]ActorID, n)
+	for _, c := range g.channels {
+		fwd[c.Src] = append(fwd[c.Src], c.Dst)
+		rev[c.Dst] = append(rev[c.Dst], c.Src)
+	}
+	reach := func(adj [][]ActorID) int {
+		seen := make([]bool, n)
+		stack := []ActorID{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					count++
+					stack = append(stack, w)
+				}
+			}
+		}
+		return count
+	}
+	return reach(fwd) == n && reach(rev) == n
+}
+
+// SelfLoops returns the channel IDs whose source and destination coincide.
+// A self-loop with one initial token is the standard way to forbid
+// auto-concurrent firings of an actor.
+func (g *Graph) SelfLoops() []ChannelID {
+	var out []ChannelID
+	for i, c := range g.channels {
+		if c.Src == c.Dst {
+			out = append(out, ChannelID(i))
+		}
+	}
+	return out
+}
+
+// MaxExec returns the largest actor execution time (0 for an empty graph).
+func (g *Graph) MaxExec() int64 {
+	var m int64
+	for _, a := range g.actors {
+		if a.Exec > m {
+			m = a.Exec
+		}
+	}
+	return m
+}

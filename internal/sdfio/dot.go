@@ -1,0 +1,44 @@
+package sdfio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sdf"
+)
+
+// WriteDOT renders g as a Graphviz digraph: actors as circles labelled
+// "name/exec", channels as edges labelled with their rates (omitted when
+// homogeneous) and dots representing initial tokens, in the style of the
+// paper's figures.
+func WriteDOT(w io.Writer, g *sdf.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", g.Name())
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [shape=circle];")
+	for i, a := range g.Actors() {
+		fmt.Fprintf(bw, "  n%d [label=\"%s\\n%d\"];\n", i, a.Name, a.Exec)
+	}
+	for _, c := range g.Channels() {
+		var parts []string
+		if c.Prod != 1 || c.Cons != 1 {
+			parts = append(parts, fmt.Sprintf("%d:%d", c.Prod, c.Cons))
+		}
+		if c.Initial > 0 {
+			if c.Initial <= 4 {
+				parts = append(parts, strings.Repeat("•", c.Initial))
+			} else {
+				parts = append(parts, fmt.Sprintf("•x%d", c.Initial))
+			}
+		}
+		label := ""
+		if len(parts) > 0 {
+			label = fmt.Sprintf(" [label=%q]", strings.Join(parts, " "))
+		}
+		fmt.Fprintf(bw, "  n%d -> n%d%s;\n", c.Src, c.Dst, label)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,78 @@
+package sdfio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sdf"
+)
+
+// jsonGraph is the JSON wire form of a timed SDF graph.
+type jsonGraph struct {
+	Name     string        `json:"name"`
+	Actors   []jsonActor   `json:"actors"`
+	Channels []jsonChannel `json:"channels"`
+}
+
+type jsonActor struct {
+	Name string `json:"name"`
+	Exec int64  `json:"exec"`
+}
+
+type jsonChannel struct {
+	Src     string `json:"src"`
+	Dst     string `json:"dst"`
+	Prod    int    `json:"prod"`
+	Cons    int    `json:"cons"`
+	Initial int    `json:"initial,omitempty"`
+}
+
+// WriteJSON serialises g as JSON.
+func WriteJSON(w io.Writer, g *sdf.Graph) error {
+	doc := jsonGraph{Name: g.Name()}
+	for _, a := range g.Actors() {
+		doc.Actors = append(doc.Actors, jsonActor{Name: a.Name, Exec: a.Exec})
+	}
+	for _, c := range g.Channels() {
+		doc.Channels = append(doc.Channels, jsonChannel{
+			Src: g.Actor(c.Src).Name, Dst: g.Actor(c.Dst).Name,
+			Prod: c.Prod, Cons: c.Cons, Initial: c.Initial,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("sdfio: json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses the JSON wire form.
+func ReadJSON(r io.Reader) (*sdf.Graph, error) {
+	var doc jsonGraph
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("sdfio: json: %w", err)
+	}
+	name := doc.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	g := sdf.NewGraph(name)
+	for _, a := range doc.Actors {
+		if _, err := g.AddActor(a.Name, a.Exec); err != nil {
+			return nil, fmt.Errorf("sdfio: json: %w", err)
+		}
+	}
+	for _, c := range doc.Channels {
+		if _, err := g.AddChannelByName(c.Src, c.Dst, c.Prod, c.Cons, c.Initial); err != nil {
+			return nil, fmt.Errorf("sdfio: json: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,239 @@
+package sdfio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sdf"
+)
+
+func sample() *sdf.Graph {
+	g := sdf.NewGraph("sample")
+	a := g.MustAddActor("A", 3)
+	b := g.MustAddActor("B", 0)
+	g.MustAddChannel(a, b, 2, 3, 1)
+	g.MustAddChannel(b, a, 3, 2, 6)
+	g.MustAddChannel(a, a, 1, 1, 1)
+	return g
+}
+
+func equalGraphs(t *testing.T, a, b *sdf.Graph) {
+	t.Helper()
+	if a.Name() != b.Name() {
+		t.Errorf("names differ: %q vs %q", a.Name(), b.Name())
+	}
+	if a.NumActors() != b.NumActors() || a.NumChannels() != b.NumChannels() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", a.NumActors(), a.NumChannels(), b.NumActors(), b.NumChannels())
+	}
+	for i := range a.Actors() {
+		if a.Actors()[i] != b.Actors()[i] {
+			t.Errorf("actor %d differs: %+v vs %+v", i, a.Actors()[i], b.Actors()[i])
+		}
+	}
+	for i := range a.Channels() {
+		if a.Channels()[i] != b.Channels()[i] {
+			t.Errorf("channel %d differs: %+v vs %+v", i, a.Channels()[i], b.Channels()[i])
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := sample()
+	got, err := ParseText(TextString(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalGraphs(t, g, got)
+}
+
+func TestTextComments(t *testing.T) {
+	src := `
+# a comment
+sdf demo
+
+actor X 5
+actor Y 0
+chan X Y 1 1 2
+`
+	g, err := ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "demo" || g.NumActors() != 2 || g.NumChannels() != 1 {
+		t.Errorf("parsed %s", g)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"bogus directive",
+		"sdf",                       // missing name
+		"actor X",                   // missing exec
+		"actor X notanumber",        // bad exec
+		"chan A B 1 1",              // short
+		"chan A B 1 1 x",            // bad number
+		"actor X 1\nchan X Y 1 1 0", // unknown actor
+		"actor X -1",                // negative exec via validation
+	}
+	for _, src := range cases {
+		if _, err := ParseText(src); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := sample()
+	var b strings.Builder
+	if err := WriteJSON(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalGraphs(t, g, got)
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","actors":[{"name":"A","exec":1}],"channels":[{"src":"A","dst":"Z","prod":1,"cons":1}]}`)); err == nil {
+		t.Error("unknown channel endpoint accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","unknown":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	g := sample()
+	var b strings.Builder
+	if err := WriteXML(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadXML(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalGraphs(t, g, got)
+}
+
+func TestXMLHandWritten(t *testing.T) {
+	// A hand-written SDF3-style document, in the layout the tool set uses.
+	src := `
+<sdf3 type="sdf">
+  <applicationGraph name="demo">
+    <sdf name="demo">
+      <actor name="A" type="A">
+        <port name="p1" type="out" rate="2"/>
+      </actor>
+      <actor name="B" type="B">
+        <port name="p2" type="in" rate="3"/>
+      </actor>
+      <channel name="ch1" srcActor="A" srcPort="p1" dstActor="B" dstPort="p2" initialTokens="4"/>
+    </sdf>
+    <sdfProperties>
+      <actorProperties actor="A">
+        <processor type="p0" default="true">
+          <executionTime time="7"/>
+        </processor>
+      </actorProperties>
+    </sdfProperties>
+  </applicationGraph>
+</sdf3>`
+	g, err := ReadXML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := g.ActorByName("A")
+	if !ok || g.Actor(a).Exec != 7 {
+		t.Errorf("actor A exec = %v", g.Actor(a).Exec)
+	}
+	if g.NumChannels() != 1 {
+		t.Fatalf("channels = %d", g.NumChannels())
+	}
+	c := g.Channel(0)
+	if c.Prod != 2 || c.Cons != 3 || c.Initial != 4 {
+		t.Errorf("channel = %+v", c)
+	}
+}
+
+func TestXMLErrors(t *testing.T) {
+	cases := []string{
+		"<sdf3",
+		`<sdf3 type="sdf"><applicationGraph><sdf name="x"><actor name="A"><port name="p" type="out" rate="zz"/></actor></sdf></applicationGraph></sdf3>`,
+		`<sdf3 type="sdf"><applicationGraph><sdf name="x"><actor name="A"/><channel name="c" srcActor="A" srcPort="missing" dstActor="A" dstPort="missing"/></sdf></applicationGraph></sdf3>`,
+	}
+	for i, src := range cases {
+		if _, err := ReadXML(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: bad XML accepted", i)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := sample()
+	var b strings.Builder
+	if err := WriteDOT(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "rankdir=LR", "A\\n3", "2:3", "•"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Many tokens collapse to a count.
+	g2 := sdf.NewGraph("t")
+	a := g2.MustAddActor("A", 1)
+	g2.MustAddChannel(a, a, 1, 1, 9)
+	b.Reset()
+	if err := WriteDOT(&b, g2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "•x9") {
+		t.Errorf("DOT output missing token count:\n%s", b.String())
+	}
+}
+
+// Property: text and JSON round trips are lossless on random graphs.
+func TestQuickRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		g, err := gen.RandomGraph(rng, gen.RandomOptions{
+			Actors: 1 + rng.Intn(8), MaxRep: 5, MaxExec: 100, Chords: rng.Intn(6), SelfLoop: trial%2 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseText(TextString(g))
+		if err != nil {
+			t.Fatalf("trial %d text: %v", trial, err)
+		}
+		equalGraphs(t, g, got)
+
+		var jb strings.Builder
+		if err := WriteJSON(&jb, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err = ReadJSON(strings.NewReader(jb.String()))
+		if err != nil {
+			t.Fatalf("trial %d json: %v", trial, err)
+		}
+		equalGraphs(t, g, got)
+
+		var xb strings.Builder
+		if err := WriteXML(&xb, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err = ReadXML(strings.NewReader(xb.String()))
+		if err != nil {
+			t.Fatalf("trial %d xml: %v", trial, err)
+		}
+		equalGraphs(t, g, got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package sdfio reads and writes timed SDF graphs in four formats: a
+// line-oriented text format native to this repository, a subset of the
+// SDF3 XML format of the tool set the paper extends, JSON, and Graphviz
+// DOT for visualisation (output only).
+package sdfio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sdf"
+)
+
+// WriteText serialises g in the native text format:
+//
+//	sdf <name>
+//	actor <name> <exec>
+//	chan <src> <dst> <prod> <cons> <initial>
+//
+// Blank lines and lines starting with '#' are comments on input.
+func WriteText(w io.Writer, g *sdf.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "sdf %s\n", g.Name())
+	for _, a := range g.Actors() {
+		fmt.Fprintf(bw, "actor %s %d\n", a.Name, a.Exec)
+	}
+	for _, c := range g.Channels() {
+		fmt.Fprintf(bw, "chan %s %s %d %d %d\n",
+			g.Actor(c.Src).Name, g.Actor(c.Dst).Name, c.Prod, c.Cons, c.Initial)
+	}
+	return bw.Flush()
+}
+
+// TextString renders g in the native text format.
+func TextString(g *sdf.Graph) string {
+	var b strings.Builder
+	// strings.Builder's Write never fails.
+	_ = WriteText(&b, g)
+	return b.String()
+}
+
+// ReadText parses the native text format.
+func ReadText(r io.Reader) (*sdf.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	g := sdf.NewGraph("unnamed")
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "sdf":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("sdfio: line %d: want 'sdf <name>'", lineNo)
+			}
+			g.SetName(fields[1])
+		case "actor":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sdfio: line %d: want 'actor <name> <exec>'", lineNo)
+			}
+			exec, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdfio: line %d: bad execution time %q", lineNo, fields[2])
+			}
+			if _, err := g.AddActor(fields[1], exec); err != nil {
+				return nil, fmt.Errorf("sdfio: line %d: %w", lineNo, err)
+			}
+		case "chan":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("sdfio: line %d: want 'chan <src> <dst> <prod> <cons> <initial>'", lineNo)
+			}
+			nums := make([]int, 3)
+			for i, f := range fields[3:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("sdfio: line %d: bad number %q", lineNo, f)
+				}
+				nums[i] = v
+			}
+			if _, err := g.AddChannelByName(fields[1], fields[2], nums[0], nums[1], nums[2]); err != nil {
+				return nil, fmt.Errorf("sdfio: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("sdfio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sdfio: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseText parses the native text format from a string.
+func ParseText(s string) (*sdf.Graph, error) {
+	return ReadText(strings.NewReader(s))
+}

@@ -1,0 +1,193 @@
+package sdfio
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sdf"
+)
+
+// The SDF3 XML subset: <sdf3><applicationGraph><sdf> holds actors with
+// ports and channels referencing them; <sdfProperties> holds execution
+// times. Only the elements the analyses need are modelled.
+
+type xsdf3 struct {
+	XMLName xml.Name  `xml:"sdf3"`
+	Type    string    `xml:"type,attr"`
+	AppGrap xappGraph `xml:"applicationGraph"`
+}
+
+type xappGraph struct {
+	Name  string  `xml:"name,attr"`
+	SDF   xsdf    `xml:"sdf"`
+	Props *xprops `xml:"sdfProperties,omitempty"`
+}
+
+type xsdf struct {
+	Name     string     `xml:"name,attr"`
+	Actors   []xactor   `xml:"actor"`
+	Channels []xchannel `xml:"channel"`
+}
+
+type xactor struct {
+	Name  string  `xml:"name,attr"`
+	Type  string  `xml:"type,attr,omitempty"`
+	Ports []xport `xml:"port"`
+}
+
+type xport struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"` // "in" or "out"
+	Rate string `xml:"rate,attr"`
+}
+
+type xchannel struct {
+	Name         string `xml:"name,attr"`
+	SrcActor     string `xml:"srcActor,attr"`
+	SrcPort      string `xml:"srcPort,attr"`
+	DstActor     string `xml:"dstActor,attr"`
+	DstPort      string `xml:"dstPort,attr"`
+	InitialToken string `xml:"initialTokens,attr,omitempty"`
+}
+
+type xprops struct {
+	ActorProps []xactorProps `xml:"actorProperties"`
+}
+
+type xactorProps struct {
+	Actor     string      `xml:"actor,attr"`
+	Processor *xprocessor `xml:"processor"`
+}
+
+type xprocessor struct {
+	Type    string    `xml:"type,attr"`
+	Default string    `xml:"default,attr,omitempty"`
+	ExecRaw *xexeTime `xml:"executionTime"`
+}
+
+type xexeTime struct {
+	Time string `xml:"time,attr"`
+}
+
+// WriteXML serialises g as SDF3-style XML.
+func WriteXML(w io.Writer, g *sdf.Graph) error {
+	doc := xsdf3{Type: "sdf"}
+	doc.AppGrap.Name = g.Name()
+	doc.AppGrap.SDF.Name = g.Name()
+	actors := make([]xactor, g.NumActors())
+	for i, a := range g.Actors() {
+		actors[i] = xactor{Name: a.Name, Type: a.Name}
+	}
+	props := &xprops{}
+	for _, a := range g.Actors() {
+		props.ActorProps = append(props.ActorProps, xactorProps{
+			Actor: a.Name,
+			Processor: &xprocessor{
+				Type:    "p0",
+				Default: "true",
+				ExecRaw: &xexeTime{Time: strconv.FormatInt(a.Exec, 10)},
+			},
+		})
+	}
+	for i, c := range g.Channels() {
+		srcPort := fmt.Sprintf("out%d", i)
+		dstPort := fmt.Sprintf("in%d", i)
+		actors[c.Src].Ports = append(actors[c.Src].Ports, xport{
+			Name: srcPort, Type: "out", Rate: strconv.Itoa(c.Prod),
+		})
+		actors[c.Dst].Ports = append(actors[c.Dst].Ports, xport{
+			Name: dstPort, Type: "in", Rate: strconv.Itoa(c.Cons),
+		})
+		ch := xchannel{
+			Name:     fmt.Sprintf("ch%d", i),
+			SrcActor: g.Actor(c.Src).Name, SrcPort: srcPort,
+			DstActor: g.Actor(c.Dst).Name, DstPort: dstPort,
+		}
+		if c.Initial > 0 {
+			ch.InitialToken = strconv.Itoa(c.Initial)
+		}
+		doc.AppGrap.SDF.Channels = append(doc.AppGrap.SDF.Channels, ch)
+	}
+	doc.AppGrap.SDF.Actors = actors
+	doc.AppGrap.Props = props
+
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("sdfio: xml: %w", err)
+	}
+	return nil
+}
+
+// ReadXML parses SDF3-style XML into a graph.
+func ReadXML(r io.Reader) (*sdf.Graph, error) {
+	var doc xsdf3
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("sdfio: xml: %w", err)
+	}
+	name := doc.AppGrap.SDF.Name
+	if name == "" {
+		name = doc.AppGrap.Name
+	}
+	if name == "" {
+		name = "unnamed"
+	}
+	g := sdf.NewGraph(name)
+
+	exec := make(map[string]int64)
+	if doc.AppGrap.Props != nil {
+		for _, ap := range doc.AppGrap.Props.ActorProps {
+			if ap.Processor == nil || ap.Processor.ExecRaw == nil {
+				continue
+			}
+			v, err := strconv.ParseInt(strings.TrimSpace(ap.Processor.ExecRaw.Time), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdfio: xml: actor %s: bad execution time %q", ap.Actor, ap.Processor.ExecRaw.Time)
+			}
+			exec[ap.Actor] = v
+		}
+	}
+
+	type portKey struct{ actor, port string }
+	rates := make(map[portKey]int)
+	for _, a := range doc.AppGrap.SDF.Actors {
+		if _, err := g.AddActor(a.Name, exec[a.Name]); err != nil {
+			return nil, fmt.Errorf("sdfio: xml: %w", err)
+		}
+		for _, p := range a.Ports {
+			rate, err := strconv.Atoi(strings.TrimSpace(p.Rate))
+			if err != nil {
+				return nil, fmt.Errorf("sdfio: xml: actor %s port %s: bad rate %q", a.Name, p.Name, p.Rate)
+			}
+			rates[portKey{a.Name, p.Name}] = rate
+		}
+	}
+	for _, c := range doc.AppGrap.SDF.Channels {
+		prod, ok := rates[portKey{c.SrcActor, c.SrcPort}]
+		if !ok {
+			return nil, fmt.Errorf("sdfio: xml: channel %s: unknown source port %s.%s", c.Name, c.SrcActor, c.SrcPort)
+		}
+		cons, ok := rates[portKey{c.DstActor, c.DstPort}]
+		if !ok {
+			return nil, fmt.Errorf("sdfio: xml: channel %s: unknown destination port %s.%s", c.Name, c.DstActor, c.DstPort)
+		}
+		tokens := 0
+		if c.InitialToken != "" {
+			v, err := strconv.Atoi(strings.TrimSpace(c.InitialToken))
+			if err != nil {
+				return nil, fmt.Errorf("sdfio: xml: channel %s: bad initialTokens %q", c.Name, c.InitialToken)
+			}
+			tokens = v
+		}
+		if _, err := g.AddChannelByName(c.SrcActor, c.DstActor, prod, cons, tokens); err != nil {
+			return nil, fmt.Errorf("sdfio: xml: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

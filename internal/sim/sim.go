@@ -1,0 +1,239 @@
+// Package sim provides a discrete-event simulator for self-timed execution
+// of timed SDF graphs. Every actor fires as soon as enough tokens are
+// available on all of its input channels, firings of the same actor may
+// overlap (auto-concurrency, as in the paper's semantics — use a self-loop
+// with one token to serialise an actor), and tokens are consumed in FIFO
+// arrival order.
+//
+// The simulator is the empirical ground truth of the repository: the
+// property tests check that measured firing times match the max-plus
+// iteration recursion, and that abstractions are conservative firing by
+// firing (Theorem 1), not just asymptotically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/rat"
+	"repro/internal/schedule"
+	"repro/internal/sdf"
+)
+
+// Firing records one completed actor firing.
+type Firing struct {
+	Actor sdf.ActorID
+	// Index is the firing count of this actor so far (0-based).
+	Index int64
+	Start int64
+	End   int64
+}
+
+// Trace is the result of a simulation run.
+type Trace struct {
+	Graph   *sdf.Graph
+	Firings []Firing
+	// ByActor[a] lists the start times of actor a's firings in order.
+	ByActor [][]int64
+	// Horizon is the largest completion time observed.
+	Horizon int64
+}
+
+// Run simulates self-timed execution of g until every actor a has fired
+// iterations·q(a) times, starting with all initial tokens available at
+// time 0. The graph must be consistent and deadlock-free.
+func Run(g *sdf.Graph, iterations int64) (*Trace, error) {
+	return RunFrom(g, nil, iterations)
+}
+
+// RunFrom is Run with explicit availability times for the initial tokens,
+// indexed by the global token numbering (channel by channel in channel-ID
+// order, front of each FIFO first — the numbering of the symbolic
+// conversion). Starting from a max-plus eigenvector of the iteration
+// matrix puts the execution in its periodic regime immediately; starting
+// from zeros reproduces Run. nil means all zeros; otherwise the slice
+// length must equal the total initial token count and times must be
+// non-negative.
+func RunFrom(g *sdf.Graph, tokenTimes []int64, iterations int64) (*Trace, error) {
+	if iterations < 0 {
+		return nil, fmt.Errorf("sim: negative iteration count %d", iterations)
+	}
+	if tokenTimes != nil {
+		if len(tokenTimes) != g.TotalInitialTokens() {
+			return nil, fmt.Errorf("sim: %d token times for %d initial tokens",
+				len(tokenTimes), g.TotalInitialTokens())
+		}
+		for i, tt := range tokenTimes {
+			if tt < 0 {
+				return nil, fmt.Errorf("sim: token %d has negative availability time %d", i, tt)
+			}
+		}
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if !schedule.IsLive(g) {
+		return nil, fmt.Errorf("sim: %w", schedule.ErrDeadlock)
+	}
+
+	n := g.NumActors()
+	inCh := make([][]sdf.ChannelID, n)
+	outCh := make([][]sdf.ChannelID, n)
+	for i := range g.Channels() {
+		id := sdf.ChannelID(i)
+		c := g.Channel(id)
+		inCh[c.Dst] = append(inCh[c.Dst], id)
+		outCh[c.Src] = append(outCh[c.Src], id)
+	}
+
+	// Channel state: FIFO of token availability times, with a consumed
+	// prefix index to avoid reslicing costs.
+	queues := make([][]int64, g.NumChannels())
+	heads := make([]int, g.NumChannels())
+	tokenIdx := 0
+	for i, c := range g.Channels() {
+		for t := 0; t < c.Initial; t++ {
+			avail := int64(0)
+			if tokenTimes != nil {
+				avail = tokenTimes[tokenIdx]
+			}
+			queues[i] = append(queues[i], avail)
+			tokenIdx++
+		}
+	}
+
+	target := make([]int64, n)
+	started := make([]int64, n)
+	for a := range target {
+		target[a] = q[a] * iterations
+	}
+
+	// nextStart computes the earliest start of actor a's next firing, or
+	// false when tokens are missing: the maximum availability time over
+	// the tokens consumed (the window maximum, since custom initial
+	// release times need not be FIFO-monotone).
+	nextStart := func(a sdf.ActorID) (int64, bool) {
+		var start int64
+		for _, id := range inCh[a] {
+			c := g.Channel(id)
+			avail := len(queues[id]) - heads[id]
+			if avail < c.Cons {
+				return 0, false
+			}
+			for t := 0; t < c.Cons; t++ {
+				if v := queues[id][heads[id]+t]; v > start {
+					start = v
+				}
+			}
+		}
+		return start, true
+	}
+
+	// Event-driven loop: a priority queue of firing completions. At each
+	// point we greedily start every enabled firing (its start time is
+	// determined purely by token availability).
+	var pq eventQueue
+	trace := &Trace{Graph: g, ByActor: make([][]int64, n)}
+
+	startAll := func() {
+		for a := sdf.ActorID(0); int(a) < n; a++ {
+			for started[a] < target[a] {
+				start, ok := nextStart(a)
+				if !ok {
+					break
+				}
+				// Consume inputs now; the firing is committed.
+				for _, id := range inCh[a] {
+					heads[id] += g.Channel(id).Cons
+				}
+				end := start + g.Actor(a).Exec
+				heap.Push(&pq, event{time: end, actor: a, index: started[a], start: start})
+				started[a]++
+			}
+		}
+	}
+
+	startAll()
+	for pq.Len() > 0 {
+		ev := heap.Pop(&pq).(event)
+		for _, id := range outCh[ev.actor] {
+			c := g.Channel(id)
+			for t := 0; t < c.Prod; t++ {
+				queues[id] = append(queues[id], ev.time)
+			}
+		}
+		trace.Firings = append(trace.Firings, Firing{Actor: ev.actor, Index: ev.index, Start: ev.start, End: ev.time})
+		trace.ByActor[ev.actor] = append(trace.ByActor[ev.actor], ev.start)
+		if ev.time > trace.Horizon {
+			trace.Horizon = ev.time
+		}
+		startAll()
+	}
+
+	for a := range target {
+		if started[a] != target[a] {
+			return nil, fmt.Errorf("sim: actor %s completed %d of %d firings (unexpected stall)",
+				g.Actor(sdf.ActorID(a)).Name, started[a], target[a])
+		}
+	}
+	return trace, nil
+}
+
+// MeasuredPeriod estimates the iteration period from a trace by comparing
+// the start times of the first actor's firings one iteration apart at the
+// end of the run: (start(last) − start(last − q(a)·k)) / k for the largest
+// usable k. The estimate converges to the exact period as iterations grow
+// and is exact once the execution is periodic.
+func MeasuredPeriod(tr *Trace, iterations int64) (rat.Rat, error) {
+	if iterations < 2 {
+		return rat.Rat{}, fmt.Errorf("sim: need at least 2 iterations to measure a period")
+	}
+	q, err := tr.Graph.RepetitionVector()
+	if err != nil {
+		return rat.Rat{}, err
+	}
+	// Use the second half of the run to skip the transient.
+	k := iterations / 2
+	for a, starts := range tr.ByActor {
+		if q[a] == 0 || len(starts) == 0 {
+			continue
+		}
+		last := int64(len(starts)) - 1
+		prev := last - q[a]*k
+		if prev < 0 {
+			continue
+		}
+		return rat.New(starts[last]-starts[prev], k)
+	}
+	return rat.Rat{}, fmt.Errorf("sim: no actor fired often enough to measure a period")
+}
+
+type event struct {
+	time  int64
+	actor sdf.ActorID
+	index int64
+	start int64
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	if q[i].actor != q[j].actor {
+		return q[i].actor < q[j].actor
+	}
+	return q[i].index < q[j].index
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}

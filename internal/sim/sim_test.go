@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+func TestRunSimpleCycle(t *testing.T) {
+	g := sdf.NewGraph("t")
+	a := g.MustAddActor("A", 3)
+	b := g.MustAddActor("B", 5)
+	g.MustAddChannel(a, b, 1, 1, 1)
+	g.MustAddChannel(b, a, 1, 1, 1)
+	tr, err := Run(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Firings) != 6 {
+		t.Fatalf("firings = %d, want 6", len(tr.Firings))
+	}
+	// A fires at 0, 5, 10 (waiting for B each round); B at 0, 3, 8.
+	wantA := []int64{0, 5, 13}
+	// Recompute: A needs B's token: A_0 at 0 (initial token), ends 3.
+	// B_0 at 0 (initial token), ends 5. A_1 needs B_0's output: starts 5,
+	// ends 8. B_1 needs A_0's output: starts 3, ends 8. A_2 starts 8,
+	// B_2 starts 8.
+	wantA = []int64{0, 5, 8}
+	wantB := []int64{0, 3, 8}
+	for i, w := range wantA {
+		if tr.ByActor[a][i] != w {
+			t.Errorf("A firing %d starts at %d, want %d", i, tr.ByActor[a][i], w)
+		}
+	}
+	for i, w := range wantB {
+		if tr.ByActor[b][i] != w {
+			t.Errorf("B firing %d starts at %d, want %d", i, tr.ByActor[b][i], w)
+		}
+	}
+}
+
+func TestRunAutoConcurrency(t *testing.T) {
+	// Without a self-loop, an actor with several tokens available fires
+	// concurrently.
+	g := sdf.NewGraph("t")
+	src := g.MustAddActor("S", 4)
+	g.MustAddChannel(src, src, 1, 1, 3) // 3 tokens: 3 concurrent firings
+	tr, err := Run(g, 6)                // q(S) = 1, so 6 firings
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Firings 0,1,2 all start at 0; 3,4,5 at 4.
+	want := []int64{0, 0, 0, 4, 4, 4}
+	for i, w := range want {
+		if tr.ByActor[src][i] != w {
+			t.Errorf("firing %d starts at %d, want %d", i, tr.ByActor[src][i], w)
+		}
+	}
+}
+
+func TestRunZeroIterations(t *testing.T) {
+	g := sdf.NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	g.MustAddChannel(a, a, 1, 1, 1)
+	tr, err := Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Firings) != 0 || tr.Horizon != 0 {
+		t.Errorf("zero-iteration run produced %d firings, horizon %d", len(tr.Firings), tr.Horizon)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := sdf.NewGraph("dead")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(b, a, 1, 1, 0)
+	if _, err := Run(g, 1); err == nil {
+		t.Error("deadlocked graph simulated without error")
+	}
+	g2 := sdf.NewGraph("ok")
+	c := g2.MustAddActor("C", 1)
+	g2.MustAddChannel(c, c, 1, 1, 1)
+	if _, err := Run(g2, -1); err == nil {
+		t.Error("negative iterations accepted")
+	}
+}
+
+func TestFigure1MakespanMatchesPaper(t *testing.T) {
+	// §4.1: one execution of the Figure 1(a) graph takes 23 time units.
+	g, err := gen.Figure1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Horizon != 23 {
+		t.Errorf("single-iteration makespan = %d, want 23", tr.Horizon)
+	}
+	// The symbolic makespan agrees.
+	r, err := core.SymbolicIteration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms, ok := r.Makespan(); !ok || ms != 23 {
+		t.Errorf("symbolic makespan = %d, %v; want 23", ms, ok)
+	}
+}
+
+func TestMeasuredPeriodMatchesAnalysis(t *testing.T) {
+	g, err := gen.Figure1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 40
+	tr, err := Run(g, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, err := MeasuredPeriod(tr, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !period.Equal(rat.FromInt(23)) {
+		t.Errorf("measured period = %v, want 23", period)
+	}
+}
+
+// Property: the simulator's measured period equals the analytical one on
+// random graphs — the empirical leg of the engine cross-validation.
+func TestQuickSimulatorMatchesAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		g, err := gen.RandomGraph(rng, gen.RandomOptions{
+			Actors:   2 + rng.Intn(4),
+			MaxRep:   3,
+			MaxExec:  8,
+			Chords:   rng.Intn(3),
+			SelfLoop: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, err := analysis.ComputeThroughput(g, analysis.Matrix)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tp.Unbounded {
+			continue
+		}
+		const iters = 200
+		tr, err := Run(g, iters)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+		period, err := MeasuredPeriod(tr, iters)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !period.Equal(tp.Period) {
+			t.Errorf("trial %d: simulated period %v, analytical %v\n%s", trial, period, tp.Period, g)
+		}
+	}
+}
+
+// Theorem 1, empirically and firing by firing: every firing of the
+// original graph starts no later than the corresponding firing of the
+// unfolded abstract graph (σ mapping), not just asymptotically.
+func TestAbstractionConservativePerFiring(t *testing.T) {
+	g, err := gen.Figure1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := core.InferByName(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abstract, res, err := core.AbstractUnpruned(g, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfolded, err := core.Unfold(abstract, res.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 20
+	trOrig, err := Run(g, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trUnf, err := Run(unfolded, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rename := core.SigmaRename(g, ab)
+	for a := 0; a < g.NumActors(); a++ {
+		origName := g.Actor(sdf.ActorID(a)).Name
+		unfName := rename[origName]
+		uid, ok := unfolded.ActorByName(unfName)
+		if !ok {
+			t.Fatalf("missing unfolded actor %s", unfName)
+		}
+		os := trOrig.ByActor[a]
+		us := trUnf.ByActor[uid]
+		nFirings := len(os)
+		if len(us) < nFirings {
+			nFirings = len(us)
+		}
+		for i := 0; i < nFirings; i++ {
+			if os[i] > us[i] {
+				t.Errorf("firing %d of %s starts at %d, after its conservative image %s at %d",
+					i, origName, os[i], unfName, us[i])
+			}
+		}
+	}
+}
+
+// Starting self-timed execution from a max-plus eigenvector of the
+// iteration matrix puts the system in its periodic regime immediately:
+// every actor's firing starts satisfy start(i + q) = start(i) + Λ from
+// the very first iteration, with no transient.
+func TestRunFromEigenvectorIsImmediatelyPeriodic(t *testing.T) {
+	g := gen.Figure3(2) // iteration matrix has the integer eigenvalue 8
+	r, err := core.SymbolicIteration(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, ok, err := r.Matrix.Eigenvalue()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if !lam.IsInt() {
+		t.Fatalf("test graph needs an integer eigenvalue, got %v", lam)
+	}
+	v, scale, err := r.Matrix.Eigenvector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1 {
+		t.Fatalf("scale = %d, want 1 for integer eigenvalue", scale)
+	}
+	// Shift the eigenvector to non-negative times.
+	var min int64
+	for _, x := range v {
+		if x.Int() < min {
+			min = x.Int()
+		}
+	}
+	times := make([]int64, len(v))
+	for i, x := range v {
+		times[i] = x.Int() - min
+	}
+	const iters = 8
+	tr, err := RunFrom(g, times, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := lam.Num()
+	for a, starts := range tr.ByActor {
+		for i := 0; i+int(q[a]) < len(starts); i++ {
+			if starts[i+int(q[a])]-starts[i] != period {
+				t.Errorf("actor %s: start(%d)=%d, start(%d)=%d: delta != %d (not immediately periodic)",
+					tr.Graph.Actor(sdf.ActorID(a)).Name, i, starts[i], i+int(q[a]), starts[i+int(q[a])], period)
+			}
+		}
+	}
+}
+
+func TestRunFromValidation(t *testing.T) {
+	g := gen.Figure3(2)
+	if _, err := RunFrom(g, []int64{1, 2}, 1); err == nil {
+		t.Error("wrong token-time count accepted")
+	}
+	if _, err := RunFrom(g, []int64{0, 0, -1, 0}, 1); err == nil {
+		t.Error("negative token time accepted")
+	}
+	// nil times reproduce Run exactly.
+	t1, err := Run(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := RunFrom(g, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Horizon != t2.Horizon || len(t1.Firings) != len(t2.Firings) {
+		t.Error("RunFrom(nil) differs from Run")
+	}
+}
+
+// Non-monotone custom release times within one channel must still give
+// correct (window-maximum) firing starts.
+func TestRunFromNonMonotoneTokenTimes(t *testing.T) {
+	g := sdf.NewGraph("nm")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 1, 2, 2) // B consumes both initial tokens
+	g.MustAddChannel(b, a, 2, 1, 0)
+	// Token 0 available late (10), token 1 early (0): B starts at 10.
+	tr, err := RunFrom(g, []int64{10, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ByActor[b][0] != 10 {
+		t.Errorf("B starts at %d, want 10", tr.ByActor[b][0])
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sdf"
+	"repro/internal/sim"
+)
+
+func simpleTrace(t *testing.T) *sim.Trace {
+	t.Helper()
+	g := sdf.NewGraph("t")
+	a := g.MustAddActor("Alpha", 3)
+	b := g.MustAddActor("B", 5)
+	g.MustAddChannel(a, b, 1, 1, 1)
+	g.MustAddChannel(b, a, 1, 1, 1)
+	tr, err := sim.Run(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGanttBasics(t *testing.T) {
+	tr := simpleTrace(t)
+	out := GanttString(tr, GanttOptions{Width: 40})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 actors
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "Alpha |") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("no busy cells in %q", lines[1])
+	}
+	// Both rows are equally wide.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("row widths differ: %d vs %d", len(lines[1]), len(lines[2]))
+	}
+}
+
+func TestGanttAutoConcurrencyDigits(t *testing.T) {
+	g := sdf.NewGraph("t")
+	a := g.MustAddActor("A", 4)
+	g.MustAddChannel(a, a, 1, 1, 3) // 3 overlapping firings
+	tr, err := sim.Run(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := GanttString(tr, GanttOptions{Width: 30})
+	if !strings.Contains(out, "3") {
+		t.Errorf("overlap digit missing:\n%s", out)
+	}
+}
+
+func TestGanttUntilCut(t *testing.T) {
+	tr := simpleTrace(t)
+	out := GanttString(tr, GanttOptions{Width: 20, Until: 5})
+	if !strings.Contains(out, "time 0 .. 5") {
+		t.Errorf("header missing cut time:\n%s", out)
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	g := sdf.NewGraph("t")
+	g.MustAddActor("A", 1)
+	tr := &sim.Trace{Graph: g}
+	out := GanttString(tr, GanttOptions{Width: 10})
+	if !strings.Contains(out, "A") {
+		t.Errorf("empty trace render:\n%s", out)
+	}
+}
+
+func TestVCDStructure(t *testing.T) {
+	tr := simpleTrace(t)
+	var b strings.Builder
+	if err := WriteVCD(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale", "$var wire 8 ! Alpha $end", "$enddefinitions",
+		"$dumpvars", "#0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Value changes appear in time order.
+	lastTime := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			tm, err := strconv.ParseInt(line[1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad time line %q", line)
+			}
+			if tm < lastTime {
+				t.Errorf("time goes backwards: %d after %d", tm, lastTime)
+			}
+			lastTime = tm
+		}
+	}
+}
+
+func TestVCDFigure1(t *testing.T) {
+	g, err := gen.Figure1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteVCD(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "A1") || !strings.Contains(b.String(), "B4") {
+		t.Error("actor wires missing")
+	}
+}
+
+func TestVCDIDUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for a := 0; a < 500; a++ {
+		id := vcdID(a)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, a)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a-b.c d"); got != "a_b_c_d" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

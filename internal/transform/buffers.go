@@ -1,0 +1,46 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/sdf"
+)
+
+// WithBufferCapacities returns a copy of g in which every channel is
+// assigned the given capacity (in tokens), modelled in the standard way by
+// a reverse channel carrying "free space" tokens: the reverse channel has
+// the original consumer as producer (rate = the original consumption
+// rate), the original producer as consumer (rate = the original production
+// rate) and capacity − initial tokens of initial delay.
+//
+// This is the modelling device behind the buffer-sizing analyses the paper
+// cites ([18], [19]): throughput analysis of the extended graph yields the
+// throughput of the original under bounded buffers, and the reduction
+// techniques apply unchanged because the extension is itself an SDF graph.
+//
+// capacities maps channel IDs of g to capacities; channels not present
+// remain unbounded. A capacity must be at least the channel's initial
+// tokens and at least one production and one consumption's worth of
+// tokens, or the bounded graph could never fire.
+func WithBufferCapacities(g *sdf.Graph, capacities map[sdf.ChannelID]int) (*sdf.Graph, error) {
+	h := g.Clone()
+	h.SetName(g.Name() + "_bounded")
+	for id, cap := range capacities {
+		if id < 0 || int(id) >= g.NumChannels() {
+			return nil, fmt.Errorf("transform: buffer capacities: channel id %d out of range", id)
+		}
+		c := g.Channel(id)
+		if cap < c.Initial {
+			return nil, fmt.Errorf("transform: channel %s -> %s: capacity %d below initial tokens %d",
+				g.Actor(c.Src).Name, g.Actor(c.Dst).Name, cap, c.Initial)
+		}
+		if cap < c.Prod || cap < c.Cons {
+			return nil, fmt.Errorf("transform: channel %s -> %s: capacity %d below rate (prod=%d cons=%d); the producer could never fire",
+				g.Actor(c.Src).Name, g.Actor(c.Dst).Name, cap, c.Prod, c.Cons)
+		}
+		if _, err := h.AddChannel(c.Dst, c.Src, c.Cons, c.Prod, cap-c.Initial); err != nil {
+			return nil, fmt.Errorf("transform: buffer capacities: %w", err)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,92 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/sdf"
+)
+
+// Retime applies a retiming lag to a homogeneous SDF graph: actor a's
+// firings are shifted lag[a] iterations earlier, which moves lag[a]
+// tokens from each of a's output channels onto each of its input
+// channels. Formally, a channel (u, v) with d tokens ends up with
+// d + lag[v] − lag[u] tokens; the retiming is legal when every resulting
+// count is non-negative.
+//
+// Retiming is the classic sequential-circuit optimisation (Leiserson &
+// Saxe) transplanted to HSDF: it redistributes pipeline registers
+// (tokens) without changing the iteration period — the maximum cycle mean
+// is invariant because every cycle keeps its total token count. The
+// package's tests assert that invariance; what retiming does change is
+// latency and the peak token (register) pressure per channel.
+func Retime(g *sdf.Graph, lag []int) (*sdf.Graph, error) {
+	if !g.IsHSDF() {
+		return nil, fmt.Errorf("transform: retime: graph %s is not homogeneous", g.Name())
+	}
+	if len(lag) != g.NumActors() {
+		return nil, fmt.Errorf("transform: retime: %d lags for %d actors", len(lag), g.NumActors())
+	}
+	h := sdf.NewGraph(g.Name() + "_retimed")
+	for _, a := range g.Actors() {
+		h.MustAddActor(a.Name, a.Exec)
+	}
+	for _, c := range g.Channels() {
+		tokens := c.Initial + lag[c.Dst] - lag[c.Src]
+		if tokens < 0 {
+			return nil, fmt.Errorf("transform: retime: channel %s -> %s would get %d tokens",
+				g.Actor(c.Src).Name, g.Actor(c.Dst).Name, tokens)
+		}
+		if _, err := h.AddChannel(c.Src, c.Dst, 1, 1, tokens); err != nil {
+			return nil, fmt.Errorf("transform: retime: %w", err)
+		}
+	}
+	return h, nil
+}
+
+// CanonicalRetiming retimes a strongly connected homogeneous graph into
+// a canonical form relative to an anchor actor: every actor's lag is its
+// shortest token-distance to the anchor, which is the largest legal lag
+// assignment with lag[anchor] = 0. In the result every non-anchor actor
+// has at least one token-free outgoing channel (the first edge of its
+// shortest path is tight), so all movable slack has been pulled out of
+// the paths into the anchor — the normal form used when comparing
+// register placements of equivalent designs. The maximum cycle mean is
+// unchanged, as for every retiming.
+func CanonicalRetiming(g *sdf.Graph, anchor sdf.ActorID) (*sdf.Graph, []int, error) {
+	if !g.IsHSDF() {
+		return nil, nil, fmt.Errorf("transform: canonical retiming: graph %s is not homogeneous", g.Name())
+	}
+	if anchor < 0 || int(anchor) >= g.NumActors() {
+		return nil, nil, fmt.Errorf("transform: canonical retiming: anchor %d out of range", anchor)
+	}
+	if !g.IsStronglyConnected() {
+		return nil, nil, fmt.Errorf("transform: canonical retiming: graph %s must be strongly connected", g.Name())
+	}
+	n := g.NumActors()
+	// lag[u] = shortest path u -> anchor over token counts (Bellman-Ford;
+	// token counts are non-negative, so no negative cycles).
+	const inf = int(1) << 30
+	lag := make([]int, n)
+	for i := range lag {
+		lag[i] = inf
+	}
+	lag[anchor] = 0
+	for round := 0; round < n; round++ {
+		changed := false
+		for _, c := range g.Channels() {
+			if lag[c.Dst] < inf && c.Initial+lag[c.Dst] < lag[c.Src] {
+				lag[c.Src] = c.Initial + lag[c.Dst]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	h, err := Retime(g, lag)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.SetName(g.Name() + "_canonical")
+	return h, lag, nil
+}

@@ -1,0 +1,112 @@
+// Package transform implements the classical SDF graph transformations the
+// paper builds on and compares against: the traditional SDF→HSDF
+// conversion of Lee/Messerschmitt and Sriram/Bhattacharyya, whose result
+// has exactly one actor per firing in an iteration, and buffer-capacity
+// modelling through reverse channels.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// TraditionalStats summarises the size of a traditional conversion result.
+type TraditionalStats struct {
+	Actors int // sum of the repetition vector
+	Edges  int
+	Tokens int
+}
+
+// Traditional converts a consistent SDF graph into the equivalent HSDF
+// graph of the classical construction: actor a becomes q(a) copies
+// a_0 … a_{q(a)−1}, one per firing in an iteration, and every token
+// consumption becomes a dependency channel from the firing that produces
+// the token (possibly in an earlier iteration, encoded as initial tokens
+// on the channel). Only data dependencies are translated, so the HSDF
+// preserves the auto-concurrent self-timed semantics of the SDF graph —
+// firings of one actor may overlap unless the source graph forbids it
+// with a self-loop, exactly as the paper assumes (§4.1).
+//
+// Parallel channels between the same pair of copies are pruned to the one
+// with the fewest initial tokens; this does not change the timing.
+func Traditional(g *sdf.Graph) (*sdf.Graph, TraditionalStats, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, TraditionalStats{}, fmt.Errorf("transform: traditional conversion: %w", err)
+	}
+
+	h := sdf.NewGraph(g.Name() + "_hsdf_traditional")
+	copies := make([][]sdf.ActorID, g.NumActors())
+	for a := 0; a < g.NumActors(); a++ {
+		src := g.Actor(sdf.ActorID(a))
+		copies[a] = make([]sdf.ActorID, q[a])
+		for i := int64(0); i < q[a]; i++ {
+			name := src.Name
+			if q[a] > 1 {
+				name = fmt.Sprintf("%s_%d", src.Name, i)
+			}
+			id, err := h.AddActor(name, src.Exec)
+			if err != nil {
+				return nil, TraditionalStats{}, fmt.Errorf("transform: traditional conversion: %w", err)
+			}
+			copies[a][i] = id
+		}
+	}
+
+	// best[{src,dst}] = fewest initial tokens among parallel channels.
+	type pair struct{ src, dst sdf.ActorID }
+	best := make(map[pair]int)
+	note := func(src, dst sdf.ActorID, tokens int) {
+		key := pair{src, dst}
+		if cur, ok := best[key]; !ok || tokens < cur {
+			best[key] = tokens
+		}
+	}
+
+	for _, c := range g.Channels() {
+		for k := int64(0); k < q[c.Dst]; k++ {
+			for i := 0; i < c.Cons; i++ {
+				// Position, counted from the start of iteration 0, of the
+				// i-th token consumed by firing k of the destination.
+				// Negative positions are initial tokens.
+				t := k*int64(c.Cons) + int64(i) - int64(c.Initial)
+				// Producing firing m of c.Src fills positions
+				// m*Prod … m*Prod+Prod−1; a negative m is a firing of an
+				// earlier iteration and becomes initial tokens on the
+				// HSDF channel.
+				m := rat.FloorDiv(t, int64(c.Prod))
+				srcCopy := copies[c.Src][rat.Mod(m, q[c.Src])]
+				iter := rat.FloorDiv(m, q[c.Src]) // <= 0 for earlier iterations
+				note(srcCopy, copies[c.Dst][k], int(-iter))
+			}
+		}
+	}
+
+	stats := TraditionalStats{}
+	for _, cs := range copies {
+		stats.Actors += len(cs)
+	}
+	// Deterministic channel order: sort the dependency pairs.
+	pairs := make([]pair, 0, len(best))
+	for k := range best {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].src != pairs[j].src {
+			return pairs[i].src < pairs[j].src
+		}
+		return pairs[i].dst < pairs[j].dst
+	})
+	for _, k := range pairs {
+		tokens := best[k]
+		if _, err := h.AddChannel(k.src, k.dst, 1, 1, tokens); err != nil {
+			return nil, TraditionalStats{}, fmt.Errorf("transform: traditional conversion: %w", err)
+		}
+		stats.Edges++
+		stats.Tokens += tokens
+	}
+	return h, stats, nil
+}

@@ -1,0 +1,134 @@
+package sdfreduce
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end the way the
+// README's quickstart does: build a graph, analyse it, abstract it,
+// convert it, serialise it.
+func TestFacadeQuickstart(t *testing.T) {
+	g := NewGraph("quickstart")
+	src := g.MustAddActor("Producer", 2)
+	dst := g.MustAddActor("Consumer", 3)
+	g.MustAddChannel(src, dst, 2, 1, 0)
+	g.MustAddChannel(dst, src, 1, 2, 4)
+
+	q, err := RepetitionVector(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[src] != 1 || q[dst] != 2 {
+		t.Errorf("q = %v, want [1 2]", q)
+	}
+	if !IsLive(g) {
+		t.Fatal("graph deadlocks")
+	}
+
+	tp, err := ComputeThroughput(g, MethodMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Unbounded {
+		t.Fatal("unexpected unbounded throughput")
+	}
+	tp2, err := ComputeThroughput(g, MethodHSDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Period.Equal(tp2.Period) {
+		t.Errorf("engines disagree: %v vs %v", tp.Period, tp2.Period)
+	}
+
+	h, _, stats, err := ConvertSymbolic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsHSDF() || stats.Tokens > g.TotalInitialTokens() {
+		t.Errorf("conversion malformed: %+v", stats)
+	}
+
+	ht, tstats, err := ConvertTraditional(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(tstats.Actors) != 3 || !ht.IsHSDF() {
+		t.Errorf("traditional conversion malformed: %+v", tstats)
+	}
+
+	var b strings.Builder
+	if err := WriteText(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumActors() != g.NumActors() {
+		t.Error("round trip lost actors")
+	}
+}
+
+func TestFacadeAbstractionFlow(t *testing.T) {
+	g, err := Figure1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := InferAbstraction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abstract, res, err := Abstract(g, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAbstractionConservative(g, ab); err != nil {
+		t.Fatal(err)
+	}
+	r, err := MaxCycleMean(abstract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := AbstractionThroughputBound(r.CycleMean, res.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Num() != 1 || bound.Den() != 30 {
+		t.Errorf("bound = %v, want 1/30", bound)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	g := Figure3(2)
+	tr, err := Simulate(g, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, err := MeasuredPeriod(tr, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := ComputeThroughput(g, MethodStateSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !period.Equal(tp.Period) {
+		t.Errorf("simulated period %v != analytical %v", period, tp.Period)
+	}
+}
+
+func TestFacadeUnfoldAndPrune(t *testing.T) {
+	g := Figure2()
+	u, err := Unfold(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumActors() != 2*g.NumActors() {
+		t.Errorf("unfolded actors = %d", u.NumActors())
+	}
+	pruned, removed := PruneRedundantChannels(g)
+	if removed != 0 || pruned.NumChannels() != g.NumChannels() {
+		t.Errorf("pruning a non-redundant graph removed %d channels", removed)
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# ci.sh — the repository's verification gate. Runs the standard Go
+# checks, the project's own code-level analyzer (cmd/sdfvet), and the
+# full test suite under the race detector. Any failure fails the gate.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go build ./...'
+go build ./...
+
+echo '== sdfvet ./...'
+go run ./cmd/sdfvet ./...
+
+echo '== go test -race ./...'
+go test -race ./...
+
+echo 'ci: all checks passed'

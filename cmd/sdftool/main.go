@@ -17,6 +17,7 @@
 //	unfold      N-fold unfolding of a homogeneous graph (-n)
 //	simulate    self-timed simulation (-iterations)
 //	matrix      symbolic max-plus iteration matrix, eigenvalue, eigenvector
+//	lint        model-level diagnostics (-json, -passes pass1,pass2)
 //	report      self-contained Markdown analysis report
 //	bottleneck  channels on the critical cycle (where tokens buy speed)
 //	buffers     throughput/buffer-size Pareto exploration (-maxsteps)
@@ -95,6 +96,13 @@ func run(args []string, out io.Writer) error {
 		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
 			return cmdSimulate(w, g, *iters, *traceF, *gantt, *vcd)
 		}, fs)
+	case "lint":
+		fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+		asJSON := fs.Bool("json", false, "emit the report as JSON")
+		passes := fs.String("passes", "", "comma-separated pass names (default: all)")
+		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
+			return cmdLint(w, g, *asJSON, *passes)
+		}, fs)
 	case "matrix":
 		return withGraph(rest, out, cmdMatrix, nil)
 	case "report":
@@ -121,7 +129,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|matrix|report|bottleneck|buffers|fmt> [flags] <graph file>")
+	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|lint|matrix|report|bottleneck|buffers|fmt> [flags] <graph file>")
 }
 
 // withGraph parses flags (when fs is non-nil), loads the graph named by
@@ -405,6 +413,28 @@ func cmdBuffers(w io.Writer, g *sdfreduce.Graph, maxSteps int) error {
 		fmt.Fprintln(w, "converged: the staircase reaches the unbounded-buffer period")
 	} else {
 		fmt.Fprintln(w, "not converged within the step budget")
+	}
+	return nil
+}
+
+func cmdLint(w io.Writer, g *sdfreduce.Graph, asJSON bool, passes string) error {
+	var opts sdfreduce.LintOptions
+	if passes != "" {
+		opts.Passes = strings.Split(passes, ",")
+	}
+	rep, err := sdfreduce.Lint(g, opts)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := rep.WriteJSON(w); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(w, rep)
+	}
+	if n := rep.Count(sdfreduce.LintError); n > 0 {
+		return fmt.Errorf("lint: %d error-level diagnostic(s)", n)
 	}
 	return nil
 }

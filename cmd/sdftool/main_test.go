@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -382,5 +383,112 @@ func TestBottleneckCommand(t *testing.T) {
 	}
 	if !strings.Contains(out, "unbounded") {
 		t.Errorf("bottleneck output:\n%s", out)
+	}
+}
+
+const inconsistentText = `sdf bad
+actor A 1
+actor B 1
+chan A B 1 1 0
+chan A B 2 1 0
+`
+
+const deadlockedText = `sdf dead
+actor A 1
+actor B 1
+chan A B 1 1 0
+chan B A 1 1 0
+`
+
+func TestLintCommand(t *testing.T) {
+	healthy := writeSample(t, "g.sdf", sampleText)
+	out, err := runTool(t, "lint", healthy)
+	if err != nil {
+		t.Fatalf("lint on healthy graph: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 errors") {
+		t.Errorf("lint output:\n%s", out)
+	}
+
+	bad := writeSample(t, "bad.sdf", inconsistentText)
+	out, err = runTool(t, "lint", bad)
+	if err == nil {
+		t.Fatalf("lint accepted inconsistent graph:\n%s", out)
+	}
+	if !strings.Contains(out, "consistency") || !strings.Contains(out, "error") {
+		t.Errorf("lint output:\n%s", out)
+	}
+
+	dead := writeSample(t, "dead.sdf", deadlockedText)
+	out, err = runTool(t, "lint", dead)
+	if err == nil {
+		t.Fatalf("lint accepted deadlocked graph:\n%s", out)
+	}
+	if !strings.Contains(out, "deadlock") {
+		t.Errorf("lint output:\n%s", out)
+	}
+}
+
+func TestLintJSON(t *testing.T) {
+	for name, contents := range map[string]string{
+		"bad.sdf": inconsistentText, "dead.sdf": deadlockedText,
+	} {
+		path := writeSample(t, name, contents)
+		out, err := runTool(t, "lint", "-json", path)
+		if err == nil {
+			t.Fatalf("%s: lint -json reported no error:\n%s", name, out)
+		}
+		var rep struct {
+			Graph       string `json:"graph"`
+			Diagnostics []struct {
+				Pass     string `json:"pass"`
+				Severity string `json:"severity"`
+				Msg      string `json:"msg"`
+			} `json:"diagnostics"`
+		}
+		if err := json.Unmarshal([]byte(out), &rep); err != nil {
+			t.Fatalf("%s: lint -json emitted invalid JSON: %v\n%s", name, err, out)
+		}
+		errs := 0
+		for _, d := range rep.Diagnostics {
+			if d.Severity == "error" {
+				errs++
+			}
+		}
+		if errs == 0 {
+			t.Errorf("%s: no error-level diagnostics in JSON:\n%s", name, out)
+		}
+	}
+}
+
+func TestLintPassSelection(t *testing.T) {
+	path := writeSample(t, "g.sdf", sampleText)
+	out, err := runTool(t, "lint", "-passes", "abstraction", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[abstraction]") {
+		t.Errorf("lint -passes abstraction output:\n%s", out)
+	}
+	if strings.Contains(out, "[consistency]") {
+		t.Errorf("unselected pass ran:\n%s", out)
+	}
+	if _, err := runTool(t, "lint", "-passes", "bogus", path); err == nil {
+		t.Error("unknown pass accepted")
+	}
+}
+
+func TestPrecheckWiredIntoFacadeCommands(t *testing.T) {
+	bad := writeSample(t, "bad.sdf", inconsistentText)
+	dead := writeSample(t, "dead.sdf", deadlockedText)
+	for _, args := range [][]string{
+		{"throughput", bad},
+		{"latency", dead},
+		{"convert", "-algo", "symbolic", dead},
+		{"convert", "-algo", "traditional", bad},
+	} {
+		if _, err := runTool(t, args...); err == nil {
+			t.Errorf("%v accepted unsound graph", args)
+		}
 	}
 }

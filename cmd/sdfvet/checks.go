@@ -1,0 +1,385 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"strings"
+)
+
+// Import paths of the packages whose values the checks track.
+const (
+	ratImport     = "repro/internal/rat"
+	maxplusImport = "repro/internal/maxplus"
+)
+
+// Constructors and methods through which rat.Rat / maxplus.T values flow;
+// the checker propagates "is a Rat/T" through them without type
+// information, which is what keeps sdfvet at go/parser only.
+var (
+	ratCtors = map[string]bool{"Zero": true, "One": true, "MustNew": true, "FromInt": true}
+	// rat.New and the arithmetic methods return (Rat, error).
+	ratPairFuncs   = map[string]bool{"New": true}
+	ratPairMethods = map[string]bool{"Add": true, "Sub": true, "Mul": true, "Div": true, "Neg": true, "Inv": true, "MulInt": true}
+	mpCtors        = map[string]bool{"FromInt": true}
+	mpMethods      = map[string]bool{"Add": true, "Max": true}
+
+	// Error-returning model entry points whose results must not be
+	// discarded: dropping them silences the exact precondition failures
+	// the lint layer exists to surface.
+	entryPoints = map[string]bool{
+		"Validate": true, "RepetitionVector": true, "IterationLength": true,
+		"ComputeThroughput": true, "ComputeLatency": true, "Check": true,
+		"Precheck": true, "Analyze": true,
+	}
+
+	bannedMathConsts = map[string]bool{
+		"MinInt": true, "MinInt64": true, "MaxInt": true, "MaxInt64": true,
+	}
+)
+
+// fileScope describes which checks apply to a file, derived from its
+// (logical) package directory: the defining packages are exempt from the
+// lints that exist to protect their abstractions, and the float64 ban
+// only covers the exact-arithmetic kernels.
+type fileScope struct {
+	checkRatCmp    bool
+	checkMpCmp     bool
+	checkFloatConv bool
+	checkMinMaxInt bool
+}
+
+func scopeFor(logical string) fileScope {
+	dir := path.Dir(path.Clean(strings.ReplaceAll(logical, "\\", "/")))
+	inRat := strings.Contains(dir, "internal/rat")
+	inMaxplus := strings.Contains(dir, "internal/maxplus")
+	inCore := strings.Contains(dir, "internal/core")
+	return fileScope{
+		checkRatCmp:    !inRat,
+		checkMpCmp:     !inMaxplus,
+		checkFloatConv: inCore || inMaxplus,
+		checkMinMaxInt: !inRat && !inMaxplus,
+	}
+}
+
+// analyzeFile runs every applicable check over one parsed file. logical
+// is the path used for scoping (testdata fixture trees are re-rooted);
+// positions in findings use the file's real path via fset.
+func analyzeFile(fset *token.FileSet, file *ast.File, logical string) []finding {
+	scope := scopeFor(logical)
+	imports := localImportNames(file)
+	ratPkg := imports[ratImport]
+	mpPkg := imports[maxplusImport]
+	mathPkg := imports["math"]
+
+	tr := newTracker(file, ratPkg, mpPkg)
+	var out []finding
+	report := func(pos token.Pos, check, format string, args ...any) {
+		out = append(out, finding{pos: fset.Position(pos), check: check, msg: fmt.Sprintf(format, args...)})
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if scope.checkRatCmp && (tr.isRat(n.X) || tr.isRat(n.Y)) {
+				report(n.OpPos, "ratcmp",
+					"rat.Rat compared with %s; use Equal (or Cmp) so the comparison survives representation changes", n.Op)
+			}
+			if scope.checkMpCmp {
+				if isPkgSel(n.X, mpPkg, "NegInf") || isPkgSel(n.Y, mpPkg, "NegInf") {
+					report(n.OpPos, "mpcmp",
+						"max-plus scalar compared with %s against %s.NegInf; use IsNegInf()", n.Op, mpPkg)
+				} else if tr.isMp(n.X) || tr.isMp(n.Y) {
+					report(n.OpPos, "mpcmp",
+						"max-plus scalars compared with %s; use Cmp (or IsNegInf for the sentinel)", n.Op)
+				}
+			}
+		case *ast.CallExpr:
+			if !scope.checkFloatConv {
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "float64" && len(n.Args) == 1 {
+				report(n.Pos(), "floatconv",
+					"float64 conversion inside an exact-arithmetic package; keep rat/max-plus values exact")
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Float" && len(n.Args) == 0 {
+				report(n.Pos(), "floatconv",
+					"Rat.Float() inside an exact-arithmetic package; Float is for reporting only")
+			}
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := calleeName(call); ok && entryPoints[name] {
+				report(n.Pos(), "droperr",
+					"result of %s discarded; its error reports a violated analysis precondition", name)
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || len(n.Lhs) == 0 {
+				return true
+			}
+			last, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident)
+			if !ok || last.Name != "_" {
+				return true
+			}
+			if name, ok := calleeName(call); ok && entryPoints[name] {
+				report(n.Pos(), "droperr",
+					"error from %s assigned to _; handle it or propagate it", name)
+			}
+		case *ast.SelectorExpr:
+			if scope.checkMinMaxInt && mathPkg != "" && isPkgSel(n, mathPkg, "") && bannedMathConsts[n.Sel.Name] {
+				report(n.Pos(), "minmaxint",
+					"raw math.%s outside the arithmetic kernels; use maxplus.NegInf for the -inf sentinel or rat's checked arithmetic", n.Sel.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// localImportNames maps import paths to their local names in the file
+// ("math" -> "math", aliased imports -> the alias).
+func localImportNames(file *ast.File) map[string]string {
+	names := make(map[string]string)
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		name := path.Base(p)
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				continue
+			}
+			name = imp.Name.Name
+		}
+		names[p] = name
+	}
+	return names
+}
+
+// isPkgSel reports whether e is the selector pkg.sel (any sel when sel is
+// empty). pkg must be the file-local package name; an empty pkg never
+// matches, so files that do not import the package are naturally exempt.
+func isPkgSel(e ast.Expr, pkg, sel string) bool {
+	if pkg == "" {
+		return false
+	}
+	s, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := s.X.(*ast.Ident)
+	if !ok || id.Name != pkg {
+		return false
+	}
+	// Only treat it as a package selector when the identifier does not
+	// resolve to a local object (a variable named like the package).
+	if id.Obj != nil {
+		return false
+	}
+	return sel == "" || s.Sel.Name == sel
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name, true
+	case *ast.SelectorExpr:
+		return f.Sel.Name, true
+	default:
+		return "", false
+	}
+}
+
+// tracker is the file-local, purely syntactic value-flow analysis: it
+// records which identifiers are known to hold rat.Rat or maxplus.T
+// values (declared types, constructor results, arithmetic-method
+// results) keyed by the parser's resolved objects, so shadowing cannot
+// confuse it.
+type tracker struct {
+	ratPkg, mpPkg string
+	ratObjs       map[*ast.Object]bool
+	mpObjs        map[*ast.Object]bool
+}
+
+func newTracker(file *ast.File, ratPkg, mpPkg string) *tracker {
+	tr := &tracker{
+		ratPkg: ratPkg, mpPkg: mpPkg,
+		ratObjs: make(map[*ast.Object]bool),
+		mpObjs:  make(map[*ast.Object]bool),
+	}
+	// Two passes so that declarations textually after a use (rare, but
+	// legal at package level) are still known during the second sweep;
+	// method-result propagation only needs the one extra round.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				tr.collectFieldList(n.Recv)
+				if n.Type != nil {
+					tr.collectFieldList(n.Type.Params)
+					tr.collectFieldList(n.Type.Results)
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					for _, name := range n.Names {
+						tr.markType(name, n.Type)
+					}
+					return true
+				}
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						tr.markFromExpr(name, n.Values[i])
+					}
+				}
+			case *ast.AssignStmt:
+				tr.collectAssign(n)
+			case *ast.RangeStmt:
+				// for _, x := range xs where xs is []rat.Rat — unknowable
+				// without types; skip.
+			}
+			return true
+		})
+	}
+	return tr
+}
+
+func (tr *tracker) collectFieldList(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			tr.markType(name, f.Type)
+		}
+	}
+}
+
+// markType records name when typ is literally rat.Rat or maxplus.T.
+func (tr *tracker) markType(name *ast.Ident, typ ast.Expr) {
+	if name.Obj == nil {
+		return
+	}
+	if isPkgSel(typ, tr.ratPkg, "Rat") {
+		tr.ratObjs[name.Obj] = true
+	}
+	if isPkgSel(typ, tr.mpPkg, "T") {
+		tr.mpObjs[name.Obj] = true
+	}
+}
+
+// markFromExpr records name when the initialiser expression is a known
+// producer of a tracked value.
+func (tr *tracker) markFromExpr(name *ast.Ident, e ast.Expr) {
+	if name.Obj == nil {
+		return
+	}
+	if tr.isRat(e) {
+		tr.ratObjs[name.Obj] = true
+	}
+	if tr.isMp(e) {
+		tr.mpObjs[name.Obj] = true
+	}
+}
+
+// collectAssign propagates through `x := rat.MustNew(...)`,
+// `x, err := rat.New(...)`, `x, err := a.Mul(b)` and the max-plus
+// equivalents.
+func (tr *tracker) collectAssign(n *ast.AssignStmt) {
+	if len(n.Rhs) == 1 {
+		call, ok := n.Rhs[0].(*ast.CallExpr)
+		if ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				first, _ := n.Lhs[0].(*ast.Ident)
+				if first == nil {
+					return
+				}
+				switch {
+				case isPkgSel(call.Fun, tr.ratPkg, "") && ratCtors[sel.Sel.Name] && len(n.Lhs) == 1:
+					tr.markObj(first, tr.ratObjs)
+				case isPkgSel(call.Fun, tr.ratPkg, "") && ratPairFuncs[sel.Sel.Name] && len(n.Lhs) == 2:
+					tr.markObj(first, tr.ratObjs)
+				case tr.isRatIdent(sel.X) && ratPairMethods[sel.Sel.Name] && len(n.Lhs) == 2:
+					tr.markObj(first, tr.ratObjs)
+				case isPkgSel(call.Fun, tr.mpPkg, "") && mpCtors[sel.Sel.Name] && len(n.Lhs) == 1:
+					tr.markObj(first, tr.mpObjs)
+				case tr.isMpIdent(sel.X) && mpMethods[sel.Sel.Name] && len(n.Lhs) == 1:
+					tr.markObj(first, tr.mpObjs)
+				}
+			}
+			return
+		}
+	}
+	// Parallel assignment x, y := expr1, expr2.
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				tr.markFromExpr(id, n.Rhs[i])
+			}
+		}
+	}
+}
+
+func (tr *tracker) markObj(id *ast.Ident, set map[*ast.Object]bool) {
+	if id.Obj != nil {
+		set[id.Obj] = true
+	}
+}
+
+func (tr *tracker) isRatIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Obj != nil && tr.ratObjs[id.Obj]
+}
+
+func (tr *tracker) isMpIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Obj != nil && tr.mpObjs[id.Obj]
+}
+
+// isRat reports whether e is syntactically known to be a rat.Rat value:
+// a tracked identifier, a constructor call, or a composite literal.
+func (tr *tracker) isRat(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return tr.isRatIdent(e)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return isPkgSel(e.Fun, tr.ratPkg, "") && ratCtors[sel.Sel.Name]
+		}
+	case *ast.CompositeLit:
+		return isPkgSel(e.Type, tr.ratPkg, "Rat")
+	case *ast.ParenExpr:
+		return tr.isRat(e.X)
+	}
+	return false
+}
+
+// isMp reports whether e is syntactically known to be a maxplus.T value:
+// a tracked identifier, FromInt, the NegInf constant, or an
+// arithmetic-method call on a tracked identifier.
+func (tr *tracker) isMp(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return tr.isMpIdent(e)
+	case *ast.SelectorExpr:
+		return isPkgSel(e, tr.mpPkg, "NegInf")
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if isPkgSel(e.Fun, tr.mpPkg, "") && mpCtors[sel.Sel.Name] {
+				return true
+			}
+			return tr.isMpIdent(sel.X) && mpMethods[sel.Sel.Name]
+		}
+	case *ast.ParenExpr:
+		return tr.isMp(e.X)
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+// Package example seeds one violation per line marked with a
+// want-comment naming the check; cmd/sdfvet's fixture test asserts the
+// analyzer reports exactly those lines.
+package example
+
+import (
+	"math"
+
+	"repro/internal/maxplus"
+	"repro/internal/rat"
+)
+
+func compareRats(a, b rat.Rat) bool {
+	if a == b { // want ratcmp
+		return true
+	}
+	c := rat.MustNew(1, 2)
+	if c != b { // want ratcmp
+		return false
+	}
+	d, err := a.Mul(b)
+	if err != nil {
+		return false
+	}
+	if d == rat.Zero() { // want ratcmp
+		return false
+	}
+	return a.Equal(b) // ok: method comparison states the intent
+}
+
+func compareScalars(x, y maxplus.T) bool {
+	if x == maxplus.NegInf { // want mpcmp
+		return false
+	}
+	if x != y { // want mpcmp
+		return true
+	}
+	if x.Add(y) == maxplus.FromInt(3) { // want mpcmp
+		return false
+	}
+	return x.Cmp(y) == 0 // ok: Cmp returns a plain int
+}
+
+func sentinel() maxplus.T {
+	return maxplus.T(math.MinInt64) // want minmaxint
+}
+
+func harmlessFloat(v int64) float64 {
+	return float64(v) // ok: floatconv only applies inside the exact kernels
+}
+
+type graph struct{}
+
+func (graph) Validate() error                    { return nil }
+func (graph) RepetitionVector() ([]int64, error) { return nil, nil }
+func (graph) IterationLength() (int64, error)    { return 0, nil }
+
+func dropErrors(g graph) int64 {
+	g.Validate()     // want droperr
+	_ = g.Validate() // want droperr
+	q, _ := g.RepetitionVector() // want droperr
+	if err := g.Validate(); err != nil { // ok: error handled
+		return 0
+	}
+	n, err := g.IterationLength() // ok: error captured
+	if err != nil {
+		return int64(len(q))
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+// Fixture standing in for internal/core: the float64 ban applies here,
+// and max-plus sentinel comparisons are still flagged.
+package core
+
+import (
+	"repro/internal/maxplus"
+	"repro/internal/rat"
+)
+
+func leak(r rat.Rat, t maxplus.T) float64 {
+	x := float64(t) // want floatconv
+	y := r.Float()  // want floatconv
+	return x + y
+}
+
+func compare(t maxplus.T) bool {
+	if t == maxplus.NegInf { // want mpcmp
+		return false
+	}
+	return t.IsNegInf() // ok: the sentinel predicate
+}

@@ -1,0 +1,12 @@
+// Fixture standing in for internal/maxplus: the defining package is
+// exempt from mpcmp and minmaxint — the sentinel has to be defined
+// somewhere — so nothing in this file is reported.
+package maxplus
+
+import "math"
+
+type T int64
+
+const NegInf = T(math.MinInt64) // ok: sentinel definition lives here
+
+func (t T) IsNegInf() bool { return t == NegInf } // ok: defining package

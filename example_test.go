@@ -46,7 +46,10 @@ func ExampleConvertSymbolic() {
 	g.MustAddChannel(vld, vld, 1, 1, 1)
 	g.MustAddChannel(mc, mc, 1, 1, 1)
 
-	iterLen, _ := g.IterationLength()
+	iterLen, err := g.IterationLength()
+	if err != nil {
+		log.Fatal(err)
+	}
 	_, r, stats, err := sdfreduce.ConvertSymbolic(g)
 	if err != nil {
 		log.Fatal(err)

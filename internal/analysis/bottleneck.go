@@ -69,7 +69,7 @@ func criticalCycle(m *maxplus.Matrix, lam rat.Rat) ([]int, error) {
 	b := maxplus.NewMatrix(n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if v := m.At(i, j); v != maxplus.NegInf {
+			if v := m.At(i, j); !v.IsNegInf() {
 				b.Set(i, j, maxplus.T(int64(v)*den-num))
 			}
 		}
@@ -102,11 +102,11 @@ func criticalCycle(m *maxplus.Matrix, lam rat.Rat) ([]int, error) {
 		var nextW int64
 		for w := 0; w < n; w++ {
 			e := b.At(w, v)
-			if e == maxplus.NegInf {
+			if e.IsNegInf() {
 				continue
 			}
 			back := star.At(start, w)
-			if back == maxplus.NegInf {
+			if back.IsNegInf() {
 				continue
 			}
 			if p+int64(e)+int64(back) == 0 {

@@ -86,7 +86,7 @@ func MakespanAfter(g *sdf.Graph, k int) (int64, bool, error) {
 	// applied to the token times at the start of that iteration.
 	best := maxplus.NegInf
 	for j, c := range r.Completion {
-		if c == maxplus.NegInf || x[j] == maxplus.NegInf {
+		if c.IsNegInf() || x[j].IsNegInf() {
 			continue
 		}
 		if s := c.Add(x[j]); s > best {

@@ -96,7 +96,7 @@ func BuildHSDFFromMatrix(name string, m *maxplus.Matrix, opts BuildOptions) (*sd
 	dropped := 0
 	for j := 0; j < n; j++ {
 		for k := 0; k < n; k++ {
-			if m.At(k, j) != maxplus.NegInf {
+			if !m.At(k, j).IsNegInf() {
 				keep[j*n+k] = true
 				rowCount[j]++
 				colCount[k]++
@@ -109,7 +109,7 @@ func BuildHSDFFromMatrix(name string, m *maxplus.Matrix, opts BuildOptions) (*sd
 				o.Name, len(o.Times), n)
 		}
 		for j, v := range o.Times {
-			if v != maxplus.NegInf {
+			if !v.IsNegInf() {
 				obsUses[j]++
 			}
 		}
@@ -212,7 +212,7 @@ func BuildHSDFFromMatrix(name string, m *maxplus.Matrix, opts BuildOptions) (*sd
 		obsCollector[oi] = id
 		stats.ObserverActors++
 		for j, v := range o.Times {
-			if v == maxplus.NegInf || colCount[j] == 0 {
+			if v.IsNegInf() || colCount[j] == 0 {
 				continue
 			}
 			cid, err := h.AddActor(fmt.Sprintf("obs_%s_t%d", o.Name, j), v.Int())

@@ -71,10 +71,10 @@ func TestSymbolicGCoefficientAccessor(t *testing.T) {
 		t.Fatal(err)
 	}
 	// g_{j,k} = Matrix.At(k, j): new token 0 depends on token 2 with 3.
-	if got := r.G(2, 0); got != maxplus.FromInt(3) {
+	if got := r.G(2, 0); got.Cmp(maxplus.FromInt(3)) != 0 {
 		t.Errorf("G(2,0) = %v, want 3", got)
 	}
-	if got := r.G(3, 0); got != maxplus.NegInf {
+	if got := r.G(3, 0); !got.IsNegInf() {
 		t.Errorf("G(3,0) = %v, want -inf", got)
 	}
 }

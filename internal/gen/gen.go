@@ -207,12 +207,20 @@ func RandomGraph(rng *rand.Rand, opts RandomOptions) (*sdf.Graph, error) {
 		ids[i] = g.MustAddActor(fmt.Sprintf("a%d", i), exec)
 	}
 	// rates(src, dst) solves q[src]·p == q[dst]·c minimally, scaled by a
-	// small random factor.
+	// small random factor. Exact duplicates of an existing channel are
+	// skipped: Validate rejects them, and they add nothing to the graph's
+	// dependency structure.
+	have := make(map[sdf.Channel]bool)
 	addBalanced := func(src, dst int, initial int) {
 		gcd := gcd64(q[src], q[dst])
 		f := 1 + rng.Int63n(2)
 		p := q[dst] / gcd * f
 		c := q[src] / gcd * f
+		ch := sdf.Channel{Src: ids[src], Dst: ids[dst], Prod: int(p), Cons: int(c), Initial: initial}
+		if have[ch] {
+			return
+		}
+		have[ch] = true
 		g.MustAddChannel(ids[src], ids[dst], int(p), int(c), initial)
 	}
 	for i := 0; i+1 < n; i++ {
@@ -284,11 +292,23 @@ func RandomRegular(rng *rand.Rand, opts RegularOptions) (*sdf.Graph, error) {
 			ids[gi][i] = g.MustAddActor(name, 1+rng.Int63n(opts.MaxExec))
 		}
 	}
+	// add skips exact duplicates (a same-group shift-1 family would
+	// retrace the ring, for example): Validate rejects them, and a
+	// duplicate imposes no constraint the original does not.
+	have := make(map[sdf.Channel]bool)
+	add := func(src, dst sdf.ActorID, p, c, d int) {
+		ch := sdf.Channel{Src: src, Dst: dst, Prod: p, Cons: c, Initial: d}
+		if have[ch] {
+			return
+		}
+		have[ch] = true
+		g.MustAddChannel(src, dst, p, c, d)
+	}
 	for gi := range ids {
 		for i := 0; i+1 < opts.Copies; i++ {
-			g.MustAddChannel(ids[gi][i], ids[gi][i+1], 1, 1, 0)
+			add(ids[gi][i], ids[gi][i+1], 1, 1, 0)
 		}
-		g.MustAddChannel(ids[gi][opts.Copies-1], ids[gi][0], 1, 1, 1)
+		add(ids[gi][opts.Copies-1], ids[gi][0], 1, 1, 1)
 	}
 	for l := 0; l < opts.Links; l++ {
 		src := rng.Intn(opts.Groups)
@@ -311,7 +331,7 @@ func RandomRegular(rng *rand.Rand, opts RegularOptions) (*sdf.Graph, error) {
 				j -= opts.Copies
 				d = 1
 			}
-			g.MustAddChannel(ids[src][i], ids[dst][j], 1, 1, d)
+			add(ids[src][i], ids[dst][j], 1, 1, d)
 		}
 	}
 	return g, nil
@@ -345,11 +365,21 @@ func RandomRegularMultirate(rng *rand.Rand, opts RegularOptions, maxRep int64) (
 			ids[gi][i] = g.MustAddActor(name, 1+rng.Int63n(opts.MaxExec))
 		}
 	}
+	// Exact duplicates are skipped, as in RandomRegular.
+	have := make(map[sdf.Channel]bool)
+	add := func(src, dst sdf.ActorID, p, c, d int) {
+		ch := sdf.Channel{Src: src, Dst: dst, Prod: p, Cons: c, Initial: d}
+		if have[ch] {
+			return
+		}
+		have[ch] = true
+		g.MustAddChannel(src, dst, p, c, d)
+	}
 	for gi := range ids {
 		for i := 0; i+1 < opts.Copies; i++ {
-			g.MustAddChannel(ids[gi][i], ids[gi][i+1], 1, 1, 0)
+			add(ids[gi][i], ids[gi][i+1], 1, 1, 0)
 		}
-		g.MustAddChannel(ids[gi][opts.Copies-1], ids[gi][0], 1, 1, 1)
+		add(ids[gi][opts.Copies-1], ids[gi][0], 1, 1, 1)
 	}
 	for l := 0; l < opts.Links; l++ {
 		src := rng.Intn(opts.Groups)
@@ -384,7 +414,7 @@ func RandomRegularMultirate(rng *rand.Rand, opts RegularOptions, maxRep int64) (
 				// boundary.
 				d = c * int(rep[dst])
 			}
-			g.MustAddChannel(ids[src][i], ids[dst][j], p, c, d)
+			add(ids[src][i], ids[dst][j], p, c, d)
 		}
 	}
 	return g, nil

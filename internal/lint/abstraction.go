@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sdf"
+)
+
+// Group is one maximal set of actors sharing a repetition count — the
+// candidate unit of the paper's §4 abstraction, which merges exactly such
+// groups into single abstract actors (Definition 3 requires equal
+// repetition counts within a group).
+type Group struct {
+	// Repetition is the common repetition count q(a) of the members.
+	Repetition int64
+	// Actors are the member names, sorted.
+	Actors []string
+}
+
+// EligibilityReport statically describes where the §4–5 reduction applies
+// to a graph and what the §6 conversion would gain.
+type EligibilityReport struct {
+	// Groups are the maximal equal-repetition actor groups with at least
+	// two members, ordered by descending size then repetition count.
+	Groups []Group
+	// IterationLength is Σq, the traditional HSDF conversion's actor
+	// count. Zero when the sum overflows int64.
+	IterationLength int64
+	// Tokens is N, the total initial token count, and NovelBound the
+	// N(N+2) actor bound of the symbolic conversion. NovelBound is zero
+	// when N(N+2) overflows int64.
+	Tokens     int
+	NovelBound int64
+}
+
+// Eligibility computes the abstraction-eligibility report of a consistent
+// graph: the maximal actor groups with identical repetition counts, and
+// the traditional-versus-novel HSDF size comparison (Σq against N(N+2)).
+func Eligibility(g *sdf.Graph) (*EligibilityReport, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, fmt.Errorf("lint: eligibility: %w", err)
+	}
+	byRep := make(map[int64][]string)
+	for a := 0; a < g.NumActors(); a++ {
+		byRep[q[a]] = append(byRep[q[a]], g.Actor(sdf.ActorID(a)).Name)
+	}
+	rep := &EligibilityReport{Tokens: g.TotalInitialTokens()}
+	for r, names := range byRep {
+		if len(names) < 2 {
+			continue
+		}
+		sort.Strings(names)
+		rep.Groups = append(rep.Groups, Group{Repetition: r, Actors: names})
+	}
+	sort.Slice(rep.Groups, func(i, j int) bool {
+		if len(rep.Groups[i].Actors) != len(rep.Groups[j].Actors) {
+			return len(rep.Groups[i].Actors) > len(rep.Groups[j].Actors)
+		}
+		return rep.Groups[i].Repetition < rep.Groups[j].Repetition
+	})
+	var sum int64
+	for _, v := range q {
+		s, ok := addChecked(sum, v)
+		if !ok {
+			sum = 0
+			break
+		}
+		sum = s
+	}
+	rep.IterationLength = sum
+	n := int64(rep.Tokens)
+	if b, ok := mulChecked(n, n+2); ok {
+		rep.NovelBound = b
+	}
+	return rep, nil
+}
+
+// runAbstraction renders the eligibility report as Info diagnostics: one
+// per maximal equal-repetition group of two or more actors, plus a
+// summary comparing the traditional conversion size Σq with the symbolic
+// conversion's N(N+2) bound — statically, where the paper's reductions
+// pay off on this graph.
+func runAbstraction(cx *context) []Diagnostic {
+	if cx.qErr != nil {
+		return nil
+	}
+	rep, err := Eligibility(cx.g)
+	if err != nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, grp := range rep.Groups {
+		shown := grp.Actors
+		if len(shown) > 8 {
+			shown = append(append([]string(nil), shown[:8]...), fmt.Sprintf("… %d more", len(grp.Actors)-8))
+		}
+		out = append(out, Diagnostic{
+			Pass: "abstraction", Severity: Info,
+			Msg: fmt.Sprintf("actors {%s} share repetition count %d: §4 abstraction can merge these %d actors into one (index by zero-delay precedence)",
+				strings.Join(shown, ", "), grp.Repetition, len(grp.Actors)),
+		})
+	}
+	switch {
+	case cx.g.NumActors() == 0:
+		// Σq == 0 means "overflow" only for non-empty graphs; an empty
+		// graph has nothing to compare.
+	case rep.IterationLength == 0:
+		out = append(out, Diagnostic{
+			Pass: "abstraction", Severity: Info,
+			Msg: "iteration length overflows int64; the traditional conversion is impossible and the symbolic conversion is the only HSDF route",
+		})
+	case rep.NovelBound > 0 && rep.NovelBound < rep.IterationLength:
+		out = append(out, Diagnostic{
+			Pass: "abstraction", Severity: Info,
+			Msg: fmt.Sprintf("symbolic conversion wins: ≤ %d actors (N=%d, bound N(N+2)) against the traditional conversion's %d (= Σq), a ≥ %.1fx reduction",
+				rep.NovelBound, rep.Tokens, rep.IterationLength,
+				float64(rep.IterationLength)/float64(rep.NovelBound)),
+		})
+	case rep.NovelBound > 0:
+		out = append(out, Diagnostic{
+			Pass: "abstraction", Severity: Info,
+			Msg: fmt.Sprintf("traditional conversion is already small: Σq = %d against the symbolic bound N(N+2) = %d (N=%d tokens)",
+				rep.IterationLength, rep.NovelBound, rep.Tokens),
+		})
+	}
+	return out
+}

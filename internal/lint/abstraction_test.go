@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/sdf"
+)
+
+// TestEligibilityMatchesRepetitionVectors checks, for every Table-1
+// benchmark graph, that the eligibility report's groups are exactly the
+// equivalence classes of the repetition vector computed by
+// internal/sdf/repetition.go: every group's members share one repetition
+// count, distinct groups have distinct counts, groups are maximal (no
+// actor with the same count is left out), and singletons are omitted.
+func TestEligibilityMatchesRepetitionVectors(t *testing.T) {
+	for _, c := range benchmarks.All() {
+		g := c.Graph()
+		q, err := g.RepetitionVector()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		rep, err := Eligibility(g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		// Expected classes straight from q.
+		want := make(map[int64][]string)
+		for a := 0; a < g.NumActors(); a++ {
+			want[q[a]] = append(want[q[a]], g.Actor(sdf.ActorID(a)).Name)
+		}
+		seen := make(map[int64]bool)
+		for _, grp := range rep.Groups {
+			if seen[grp.Repetition] {
+				t.Errorf("%s: repetition count %d reported twice", c.Name, grp.Repetition)
+			}
+			seen[grp.Repetition] = true
+			expect := append([]string(nil), want[grp.Repetition]...)
+			sort.Strings(expect)
+			if strings.Join(grp.Actors, ",") != strings.Join(expect, ",") {
+				t.Errorf("%s: group q=%d = %v, want %v", c.Name, grp.Repetition, grp.Actors, expect)
+			}
+			for _, name := range grp.Actors {
+				id, ok := g.ActorByName(name)
+				if !ok || q[id] != grp.Repetition {
+					t.Errorf("%s: actor %s reported with q=%d, has q=%d", c.Name, name, grp.Repetition, q[id])
+				}
+			}
+		}
+		for r, members := range want {
+			if len(members) >= 2 && !seen[r] {
+				t.Errorf("%s: maximal group q=%d (%d actors) missing from report", c.Name, r, len(members))
+			}
+			if len(members) < 2 && seen[r] {
+				t.Errorf("%s: singleton q=%d reported as a group", c.Name, r)
+			}
+		}
+		// The size comparison matches Σq.
+		var sum int64
+		for _, v := range q {
+			sum += v
+		}
+		if rep.IterationLength != sum {
+			t.Errorf("%s: IterationLength = %d, want Σq = %d", c.Name, rep.IterationLength, sum)
+		}
+		n := int64(g.TotalInitialTokens())
+		if rep.Tokens != int(n) || rep.NovelBound != n*(n+2) {
+			t.Errorf("%s: tokens/bound = %d/%d, want %d/%d", c.Name, rep.Tokens, rep.NovelBound, n, n*(n+2))
+		}
+	}
+}
+
+// TestAbstractionPassOnBenchmarks exercises the Info rendering on at
+// least two benchmark graphs with known group structure.
+func TestAbstractionPassOnBenchmarks(t *testing.T) {
+	cases := map[string]struct {
+		minGroups int
+		mention   string
+	}{
+		// H.263 decoder: IQ and IDCT both fire 594 times per iteration.
+		"h.263 decoder": {minGroups: 2, mention: "IQ"},
+		// Sample-rate converter: CD and Up2 share q = 147.
+		"sample rate conv.": {minGroups: 1, mention: "CD"},
+	}
+	matched := 0
+	for _, c := range benchmarks.All() {
+		spec, ok := cases[c.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		rep := analyze(t, c.Graph(), "abstraction")
+		groups := 0
+		var joined strings.Builder
+		for _, d := range rep.ByPass("abstraction") {
+			if strings.Contains(d.Msg, "share repetition count") {
+				groups++
+			}
+			joined.WriteString(d.Msg)
+			joined.WriteString("\n")
+		}
+		if groups < spec.minGroups {
+			t.Errorf("%s: %d groups reported, want >= %d:\n%s", c.Name, groups, spec.minGroups, joined.String())
+		}
+		if !strings.Contains(joined.String(), spec.mention) {
+			t.Errorf("%s: expected actor %q in report:\n%s", c.Name, spec.mention, joined.String())
+		}
+		// Every benchmark row also gets the size comparison.
+		if !strings.Contains(joined.String(), "conversion") {
+			t.Errorf("%s: missing size comparison:\n%s", c.Name, joined.String())
+		}
+	}
+	if matched != len(cases) {
+		t.Fatalf("matched %d of %d benchmark cases", matched, len(cases))
+	}
+}
+
+// TestAbstractionEmptyGraph pins the empty-graph boundary: Σq = 0 there
+// means "nothing to convert", not "iteration length overflowed".
+func TestAbstractionEmptyGraph(t *testing.T) {
+	rep := analyze(t, sdf.NewGraph("empty"), "abstraction")
+	for _, d := range rep.Diagnostics {
+		if strings.Contains(d.Msg, "overflows") {
+			t.Errorf("empty graph reported as overflow: %s", d.Msg)
+		}
+	}
+}

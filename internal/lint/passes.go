@@ -1,0 +1,580 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// chanLabel renders a channel as "Src -> Dst (prod=p cons=c init=d)".
+func chanLabel(g *sdf.Graph, c sdf.Channel) string {
+	return fmt.Sprintf("%s -> %s (prod=%d cons=%d init=%d)",
+		g.Actor(c.Src).Name, g.Actor(c.Dst).Name, c.Prod, c.Cons, c.Initial)
+}
+
+// --- consistency -----------------------------------------------------------
+
+// runConsistency decides solvability of the balance equations through the
+// nullspace of the topology matrix Γ (one row per channel: +prod at the
+// source column, −cons at the destination; self-loops contribute
+// prod−cons), computed by Gaussian elimination over internal/rat. A graph
+// with c weakly connected components is consistent iff rank(Γ) = n − c,
+// i.e. every component contributes exactly one nullspace dimension — the
+// ray spanned by its repetition vector (Lee & Messerschmitt).
+//
+// When the rank is too large, the pass localises the fault: rates are
+// propagated over a spanning forest and every non-tree channel whose
+// balance equation disagrees with the propagated rates is reported.
+func runConsistency(cx *context) []Diagnostic {
+	g := cx.g
+	n := g.NumActors()
+	if n == 0 || g.NumChannels() == 0 {
+		return nil
+	}
+	if cx.qErr != nil && !errors.Is(cx.qErr, sdf.ErrInconsistent) {
+		// The solver failed for a non-structural reason (rational
+		// overflow); the overflow pass owns that diagnostic.
+		return nil
+	}
+	rank, rankOK := topologyRank(g)
+	comps := weakComponents(g)
+	nComps := 0
+	for _, c := range comps {
+		if len(c) > 0 {
+			nComps++
+		}
+	}
+	consistent := cx.qErr == nil
+	var out []Diagnostic
+	if rankOK && consistent != (rank == n-nComps) {
+		// The two decision procedures disagree: that is a bug in one of
+		// them, and worth shouting about rather than hiding.
+		out = append(out, Diagnostic{
+			Pass: "consistency", Severity: Error,
+			Msg: fmt.Sprintf("internal: topology-matrix rank %d (n=%d, components=%d) contradicts the repetition-vector solver", rank, n, nComps),
+		})
+		return out
+	}
+	if consistent {
+		return nil
+	}
+	if rankOK {
+		out = append(out, Diagnostic{
+			Pass: "consistency", Severity: Error,
+			Msg: fmt.Sprintf("graph is not consistent: topology matrix has rank %d over %d actors in %d component(s); the balance equations admit only the zero solution",
+				rank, n, nComps),
+			Fix: "adjust the rates of the channels reported below until every cycle's rate product is balanced",
+		})
+	}
+	out = append(out, unbalancedChannels(g)...)
+	return out
+}
+
+// topologyRank computes rank(Γ) by fraction-free-ish Gaussian elimination
+// over exact rationals. ok is false when an intermediate overflows int64
+// (absurd rates); callers then fall back to the propagation witnesses.
+func topologyRank(g *sdf.Graph) (rank int, ok bool) {
+	n := g.NumActors()
+	rows := make([][]rat.Rat, 0, g.NumChannels())
+	for _, c := range g.Channels() {
+		row := make([]rat.Rat, n)
+		if c.Src == c.Dst {
+			row[c.Src] = rat.FromInt(int64(c.Prod) - int64(c.Cons))
+		} else {
+			row[c.Src] = rat.FromInt(int64(c.Prod))
+			row[c.Dst] = rat.FromInt(int64(-c.Cons))
+		}
+		rows = append(rows, row)
+	}
+	for col := 0; col < n && rank < len(rows); col++ {
+		pivot := -1
+		for i := rank; i < len(rows); i++ {
+			if !rows[i][col].IsZero() {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		p := rows[rank][col]
+		for i := rank + 1; i < len(rows); i++ {
+			if rows[i][col].IsZero() {
+				continue
+			}
+			f, err := rows[i][col].Div(p)
+			if err != nil {
+				return 0, false
+			}
+			for j := col; j < n; j++ {
+				t, err := f.Mul(rows[rank][j])
+				if err != nil {
+					return 0, false
+				}
+				rows[i][j], err = rows[i][j].Sub(t)
+				if err != nil {
+					return 0, false
+				}
+			}
+		}
+		rank++
+	}
+	return rank, true
+}
+
+// unbalancedChannels propagates rational firing rates over a spanning
+// forest (BFS from an arbitrary root per component, rate 1) and reports
+// every channel whose balance equation q(src)·prod = q(dst)·cons the
+// propagated rates violate. Tree channels always agree by construction,
+// so each diagnostic names a genuinely conflicting constraint.
+func unbalancedChannels(g *sdf.Graph) []Diagnostic {
+	n := g.NumActors()
+	type half struct {
+		other        sdf.ActorID
+		mine, theirs int
+		ch           sdf.ChannelID
+	}
+	adj := make([][]half, n)
+	for i, c := range g.Channels() {
+		adj[c.Src] = append(adj[c.Src], half{other: c.Dst, mine: c.Prod, theirs: c.Cons, ch: sdf.ChannelID(i)})
+		adj[c.Dst] = append(adj[c.Dst], half{other: c.Src, mine: c.Cons, theirs: c.Prod, ch: sdf.ChannelID(i)})
+	}
+	rates := make([]rat.Rat, n)
+	assigned := make([]bool, n)
+	bad := make(map[sdf.ChannelID]bool)
+	for start := 0; start < n; start++ {
+		if assigned[start] {
+			continue
+		}
+		queue := []sdf.ActorID{sdf.ActorID(start)}
+		rates[start] = rat.One()
+		assigned[start] = true
+		for head := 0; head < len(queue); head++ {
+			a := queue[head]
+			for _, h := range adj[a] {
+				want, err := rates[a].Mul(rat.MustNew(int64(h.mine), int64(h.theirs)))
+				if err != nil {
+					bad[h.ch] = true
+					continue
+				}
+				if !assigned[h.other] {
+					rates[h.other] = want
+					assigned[h.other] = true
+					queue = append(queue, h.other)
+				} else if !rates[h.other].Equal(want) {
+					bad[h.ch] = true
+				}
+			}
+		}
+	}
+	ids := make([]sdf.ChannelID, 0, len(bad))
+	for id := range bad {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Diagnostic, 0, len(ids))
+	for _, id := range ids {
+		c := g.Channel(id)
+		out = append(out, Diagnostic{
+			Pass: "consistency", Severity: Error,
+			Channel: chanLabel(g, c),
+			Msg:     "balance equation q(src)·prod = q(dst)·cons conflicts with the rates implied by the rest of the graph",
+			Fix:     "change prod/cons on this channel (or on the conflicting path) so the cycle's rate product is 1",
+		})
+	}
+	return out
+}
+
+// --- deadlock --------------------------------------------------------------
+
+// runDeadlock performs the structural liveness precheck: a directed cycle
+// on which *every* channel holds fewer initial tokens than its
+// consumption rate can never fire any of its actors (the first firing on
+// the cycle would need a predecessor firing first), so the graph
+// deadlocks. The check is sound but not complete — multirate token
+// accumulation can deadlock without such a cycle — which is exactly what
+// makes it a cheap precheck rather than a full schedule construction.
+//
+// Implementation: strongly connected components of the subgraph of
+// token-insufficient channels (Initial < Cons); any SCC that contains one
+// of its channels is a witness cycle.
+func runDeadlock(cx *context) []Diagnostic {
+	g := cx.g
+	n := g.NumActors()
+	if n == 0 {
+		return nil
+	}
+	insufficient := func(c sdf.Channel) bool { return c.Initial < c.Cons }
+	adj := make([][]sdf.ActorID, n)
+	for _, c := range g.Channels() {
+		if insufficient(c) && c.Src != c.Dst {
+			adj[c.Src] = append(adj[c.Src], c.Dst)
+		}
+	}
+	comp := sccKosaraju(n, adj)
+	var out []Diagnostic
+	// Self-loops first: an actor whose self-loop cannot enable its first
+	// firing is permanently blocked, the smallest deadlock cycle.
+	for _, id := range g.SelfLoops() {
+		c := g.Channel(id)
+		if insufficient(c) {
+			out = append(out, Diagnostic{
+				Pass: "deadlock", Severity: Error,
+				Actor:   g.Actor(c.Src).Name,
+				Channel: chanLabel(g, c),
+				Msg:     fmt.Sprintf("self-loop holds %d initial tokens but each firing consumes %d: the actor can never fire", c.Initial, c.Cons),
+				Fix:     fmt.Sprintf("give the self-loop at least %d initial tokens", c.Cons),
+			})
+		}
+	}
+	// Multi-actor SCCs in the insufficient subgraph.
+	members := make(map[int][]sdf.ActorID)
+	for a := 0; a < n; a++ {
+		members[comp[a]] = append(members[comp[a]], sdf.ActorID(a))
+	}
+	keys := make([]int, 0, len(members))
+	for k := range members {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		ms := members[k]
+		if len(ms) < 2 {
+			continue
+		}
+		names := make([]string, 0, len(ms))
+		for _, a := range ms {
+			names = append(names, g.Actor(a).Name)
+		}
+		sort.Strings(names)
+		shown := names
+		if len(shown) > 8 {
+			shown = append(append([]string(nil), shown[:8]...), fmt.Sprintf("… %d more", len(names)-8))
+		}
+		out = append(out, Diagnostic{
+			Pass: "deadlock", Severity: Error,
+			Msg: fmt.Sprintf("cycle through {%s} is token-insufficient on every channel (initial < cons everywhere): no actor on it can ever fire",
+				strings.Join(shown, ", ")),
+			Fix: "add initial tokens to at least one channel of the cycle (enough to cover its consumption rate)",
+		})
+	}
+	return out
+}
+
+// sccKosaraju returns a component id per vertex.
+func sccKosaraju(n int, adj [][]sdf.ActorID) []int {
+	rev := make([][]sdf.ActorID, n)
+	for u := 0; u < n; u++ {
+		for _, v := range adj[u] {
+			rev[v] = append(rev[v], sdf.ActorID(u))
+		}
+	}
+	order := make([]sdf.ActorID, 0, n)
+	seen := make([]bool, n)
+	var dfs1 func(u sdf.ActorID)
+	dfs1 = func(u sdf.ActorID) {
+		seen[u] = true
+		for _, v := range adj[u] {
+			if !seen[v] {
+				dfs1(v)
+			}
+		}
+		order = append(order, u)
+	}
+	for u := 0; u < n; u++ {
+		if !seen[u] {
+			dfs1(sdf.ActorID(u))
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	id := 0
+	var dfs2 func(u sdf.ActorID)
+	dfs2 = func(u sdf.ActorID) {
+		comp[u] = id
+		for _, v := range rev[u] {
+			if comp[v] < 0 {
+				dfs2(v)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		if comp[order[i]] < 0 {
+			dfs2(order[i])
+			id++
+		}
+	}
+	return comp
+}
+
+// --- overflow --------------------------------------------------------------
+
+// Bounds for the overflow pass. The traditional conversion materialises
+// one actor per firing, so an iteration length beyond int32 breaks its
+// indexing on 32-bit platforms (and beyond ~1M it is merely hopeless);
+// max-plus time stamps are int64 and a single iteration already reaches
+// Σ q(a)·exec(a) in the worst case.
+const (
+	overflowHardIterBound = math.MaxInt32
+	overflowSoftIterBound = 1 << 20
+)
+
+// runOverflow bounds the magnitudes the downstream algorithms will
+// manipulate: the iteration length Σq (the traditional conversion's actor
+// count and the unfolding's index space), per-channel token traffic
+// q(src)·prod, and the worst-case iteration makespan Σ q(a)·exec(a)
+// (max-plus stamps). All arithmetic is overflow-checked; anything that
+// cannot even be computed in int64 is an error, anything beyond the int32
+// indexing range a warning.
+func runOverflow(cx *context) []Diagnostic {
+	if cx.qErr != nil {
+		if errors.Is(cx.qErr, rat.ErrOverflow) {
+			return []Diagnostic{{
+				Pass: "overflow", Severity: Error,
+				Msg: "repetition vector overflows int64 while solving the balance equations: the rate ratios compound beyond machine integers",
+				Fix: "reduce the rate ratios along long chains; coprime rates multiply into the repetition vector",
+			}}
+		}
+		return nil // inconsistent: the consistency pass already reported
+	}
+	g := cx.g
+	q := cx.q
+	var out []Diagnostic
+	var iterLen int64
+	overflowed := false
+	for _, v := range q {
+		s, ok := addChecked(iterLen, v)
+		if !ok {
+			overflowed = true
+			break
+		}
+		iterLen = s
+	}
+	switch {
+	case overflowed:
+		out = append(out, Diagnostic{
+			Pass: "overflow", Severity: Error,
+			Msg: "iteration length Σq overflows int64: no iteration-based analysis (scheduling, traditional conversion, simulation) can run",
+			Fix: "reduce the rate ratios; coprime rates multiply into the repetition vector",
+		})
+	case iterLen > overflowHardIterBound:
+		out = append(out, Diagnostic{
+			Pass: "overflow", Severity: Warning,
+			Msg: fmt.Sprintf("iteration length %d exceeds int32: the traditional conversion would allocate that many actors and break 32-bit indexing", iterLen),
+			Fix: "use the symbolic conversion (size N(N+2) in the token count) or abstract the graph first",
+		})
+	case iterLen > overflowSoftIterBound:
+		out = append(out, Diagnostic{
+			Pass: "overflow", Severity: Info,
+			Msg: fmt.Sprintf("iteration length %d: the traditional SDF→HSDF conversion will materialise %d actors", iterLen, iterLen),
+			Fix: "prefer the symbolic conversion or the abstraction for this graph",
+		})
+	}
+	for i, c := range g.Channels() {
+		traffic, ok := mulChecked(q[c.Src], int64(c.Prod))
+		if !ok || traffic > overflowHardIterBound {
+			d := Diagnostic{
+				Pass: "overflow", Severity: Warning,
+				Channel: chanLabel(g, g.Channel(sdf.ChannelID(i))),
+				Fix:     "lower the channel's rates or the repetition counts feeding it",
+			}
+			if !ok {
+				d.Severity = Error
+				d.Msg = "per-iteration token traffic q(src)·prod overflows int64"
+			} else {
+				d.Msg = fmt.Sprintf("per-iteration token traffic %d exceeds int32; buffer accounting may overflow machine ints", traffic)
+			}
+			out = append(out, d)
+		}
+	}
+	var makespan int64
+	for a, v := range q {
+		work, ok := mulChecked(v, g.Actor(sdf.ActorID(a)).Exec)
+		if ok {
+			makespan, ok = addChecked(makespan, work)
+		}
+		if !ok {
+			out = append(out, Diagnostic{
+				Pass: "overflow", Severity: Error,
+				Actor: g.Actor(sdf.ActorID(a)).Name,
+				Msg:   "worst-case iteration makespan Σ q·exec overflows int64: max-plus time stamps would wrap",
+				Fix:   "rescale execution times to a coarser time unit",
+			})
+			break
+		}
+	}
+	return out
+}
+
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// --- connectivity ----------------------------------------------------------
+
+// weakComponents returns the weakly connected components of g as actor
+// lists, largest first (ties broken by smallest member id).
+func weakComponents(g *sdf.Graph) [][]sdf.ActorID {
+	n := g.NumActors()
+	adj := make([][]sdf.ActorID, n)
+	for _, c := range g.Channels() {
+		adj[c.Src] = append(adj[c.Src], c.Dst)
+		adj[c.Dst] = append(adj[c.Dst], c.Src)
+	}
+	seen := make([]bool, n)
+	var comps [][]sdf.ActorID
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []sdf.ActorID{sdf.ActorID(s)}
+		seen[s] = true
+		for head := 0; head < len(comp); head++ {
+			for _, v := range adj[comp[head]] {
+				if !seen[v] {
+					seen[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	sort.SliceStable(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}
+
+// runConnectivity reports disconnected structure: isolated actors (no
+// channels at all) and secondary weakly connected components. Both are
+// legal SDF but almost always modelling accidents, and the reduction
+// algorithms assume a connected input.
+func runConnectivity(cx *context) []Diagnostic {
+	g := cx.g
+	if g.NumActors() == 0 {
+		return []Diagnostic{{
+			Pass: "connectivity", Severity: Warning,
+			Msg: "graph has no actors",
+		}}
+	}
+	degree := make([]int, g.NumActors())
+	for _, c := range g.Channels() {
+		degree[c.Src]++
+		degree[c.Dst]++
+	}
+	var out []Diagnostic
+	for a, d := range degree {
+		if d == 0 {
+			out = append(out, Diagnostic{
+				Pass: "connectivity", Severity: Warning,
+				Actor: g.Actor(sdf.ActorID(a)).Name,
+				Msg:   "actor has no channels: it is unconstrained and fires infinitely often in self-timed execution",
+				Fix:   "connect the actor or remove it from the model",
+			})
+		}
+	}
+	comps := weakComponents(g)
+	for _, comp := range comps[1:] {
+		if len(comp) == 1 && degree[comp[0]] == 0 {
+			continue // already reported as isolated
+		}
+		names := make([]string, 0, len(comp))
+		for _, a := range comp {
+			names = append(names, g.Actor(a).Name)
+		}
+		sort.Strings(names)
+		shown := names
+		if len(shown) > 8 {
+			shown = append(append([]string(nil), shown[:8]...), fmt.Sprintf("… %d more", len(names)-8))
+		}
+		out = append(out, Diagnostic{
+			Pass: "connectivity", Severity: Warning,
+			Msg: fmt.Sprintf("actors {%s} are disconnected from the main component; throughput and the reductions are per-component",
+				strings.Join(shown, ", ")),
+			Fix: "analyse the components separately or connect them",
+		})
+	}
+	return out
+}
+
+// --- rates (degenerate) ----------------------------------------------------
+
+// coprimeBlowupBound flags channels whose coprime rates multiply the
+// repetition vector: prod·cons beyond this with gcd 1 is almost always a
+// rate-specification mistake rather than a real 1000:999-style converter.
+const coprimeBlowupBound = 1 << 16
+
+// runRates flags degenerate rate/delay patterns that are legal but almost
+// always wrong: self-loops that permit multiple concurrent firings
+// (auto-concurrency guards carry exactly one token), self-loops whose
+// rates differ (always inconsistent), zero-time actors, and coprime rate
+// pairs large enough to explode the repetition vector.
+func runRates(cx *context) []Diagnostic {
+	g := cx.g
+	var out []Diagnostic
+	for i, c := range g.Channels() {
+		label := chanLabel(g, g.Channel(sdf.ChannelID(i)))
+		if c.Src == c.Dst {
+			if c.Prod != c.Cons {
+				out = append(out, Diagnostic{
+					Pass: "rates", Severity: Error,
+					Actor: g.Actor(c.Src).Name, Channel: label,
+					Msg: "self-loop with prod ≠ cons makes the balance equations unsolvable for this actor",
+					Fix: "use equal production and consumption rates on self-loops",
+				})
+			} else if c.Initial >= 2*c.Cons && c.Cons > 0 {
+				out = append(out, Diagnostic{
+					Pass: "rates", Severity: Info,
+					Actor: g.Actor(c.Src).Name, Channel: label,
+					Msg: fmt.Sprintf("self-loop allows %d concurrent firings; auto-concurrency guards usually carry exactly cons tokens", c.Initial/c.Cons),
+				})
+			}
+			continue
+		}
+		if d := gcdInt(c.Prod, c.Cons); d == 1 && c.Prod > 1 && c.Cons > 1 && c.Prod*c.Cons > coprimeBlowupBound {
+			out = append(out, Diagnostic{
+				Pass: "rates", Severity: Warning,
+				Channel: label,
+				Msg:     fmt.Sprintf("coprime rates %d:%d multiply the repetition vector by their product; verify they are intended", c.Prod, c.Cons),
+			})
+		}
+	}
+	for a := 0; a < g.NumActors(); a++ {
+		if g.Actor(sdf.ActorID(a)).Exec == 0 {
+			out = append(out, Diagnostic{
+				Pass: "rates", Severity: Info,
+				Actor: g.Actor(sdf.ActorID(a)).Name,
+				Msg:   "actor has execution time 0: it fires in zero time and never constrains throughput",
+			})
+		}
+	}
+	return out
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

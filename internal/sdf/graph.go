@@ -168,8 +168,12 @@ func (g *Graph) validActor(id ActorID) bool {
 
 // Validate checks the structural invariants of the graph (endpoint
 // validity, positive rates, non-negative delays and execution times,
-// unique names). Graphs built exclusively through AddActor/AddChannel are
-// always valid; Validate guards graphs arriving from parsers.
+// unique names, no duplicate channels). Graphs built exclusively through
+// AddActor/AddChannel can still carry duplicate channels — two parallel
+// edges with identical rates and delay, which are legal FIFOs but almost
+// always a generator or serialisation bug and which double-count initial
+// tokens in the conversion bound — so Validate rejects them; it guards
+// graphs arriving from parsers and generators.
 func (g *Graph) Validate() error {
 	seen := make(map[string]bool, len(g.actors))
 	for i, a := range g.actors {
@@ -184,6 +188,7 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("sdf: actor %q: negative execution time %d", a.Name, a.Exec)
 		}
 	}
+	chans := make(map[Channel]int, len(g.channels))
 	for i, c := range g.channels {
 		if !g.validActor(c.Src) || !g.validActor(c.Dst) {
 			return fmt.Errorf("sdf: channel %d: endpoints out of range", i)
@@ -194,6 +199,11 @@ func (g *Graph) Validate() error {
 		if c.Initial < 0 {
 			return fmt.Errorf("sdf: channel %d: negative initial tokens", i)
 		}
+		if j, dup := chans[c]; dup {
+			return fmt.Errorf("sdf: channel %d duplicates channel %d (%s -> %s prod=%d cons=%d init=%d)",
+				i, j, g.actors[c.Src].Name, g.actors[c.Dst].Name, c.Prod, c.Cons, c.Initial)
+		}
+		chans[c] = i
 	}
 	return nil
 }

@@ -75,6 +75,102 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateErrors drives every error path of Validate with graphs
+// whose invariants are broken behind the constructors' backs — the
+// states a buggy parser or generator could hand over.
+func TestValidateErrors(t *testing.T) {
+	// base builds the valid two-actor graph the cases then corrupt.
+	base := func() *Graph {
+		g := NewGraph("t")
+		a := g.MustAddActor("A", 1)
+		b := g.MustAddActor("B", 2)
+		g.MustAddChannel(a, b, 2, 3, 1)
+		return g
+	}
+	cases := []struct {
+		name    string
+		corrupt func(g *Graph)
+		wantSub string
+	}{
+		{
+			name:    "empty actor name",
+			corrupt: func(g *Graph) { g.actors[0].Name = "" },
+			wantSub: "empty name",
+		},
+		{
+			name:    "duplicate actor name",
+			corrupt: func(g *Graph) { g.actors[1].Name = "A" },
+			wantSub: "duplicate actor name",
+		},
+		{
+			name:    "negative execution time",
+			corrupt: func(g *Graph) { g.actors[1].Exec = -3 },
+			wantSub: "negative execution time",
+		},
+		{
+			name:    "source out of range",
+			corrupt: func(g *Graph) { g.channels[0].Src = 9 },
+			wantSub: "out of range",
+		},
+		{
+			name:    "destination out of range",
+			corrupt: func(g *Graph) { g.channels[0].Dst = -1 },
+			wantSub: "out of range",
+		},
+		{
+			name:    "zero production rate",
+			corrupt: func(g *Graph) { g.channels[0].Prod = 0 },
+			wantSub: "rates must be >= 1",
+		},
+		{
+			name:    "zero consumption rate",
+			corrupt: func(g *Graph) { g.channels[0].Cons = 0 },
+			wantSub: "rates must be >= 1",
+		},
+		{
+			name:    "negative initial tokens",
+			corrupt: func(g *Graph) { g.channels[0].Initial = -1 },
+			wantSub: "negative initial tokens",
+		},
+		{
+			name: "duplicate channel",
+			corrupt: func(g *Graph) {
+				g.channels = append(g.channels, g.channels[0])
+			},
+			wantSub: "duplicates channel",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := base()
+			c.corrupt(g)
+			err := g.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted corrupted graph:\n%s", g)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("Validate error = %q, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+// TestValidateParallelChannels pins the boundary of the duplicate check:
+// parallel channels between the same actors are legal as long as any
+// component of the tuple differs.
+func TestValidateParallelChannels(t *testing.T) {
+	g := NewGraph("t")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 2)
+	g.MustAddChannel(a, b, 2, 3, 1)
+	g.MustAddChannel(a, b, 2, 3, 0) // differs in delay only
+	g.MustAddChannel(a, b, 4, 6, 1) // differs in rates only
+	g.MustAddChannel(b, a, 3, 2, 1) // reverse direction
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate rejected legal parallel channels: %v", err)
+	}
+}
+
 func TestClone(t *testing.T) {
 	g := NewGraph("t")
 	a := g.MustAddActor("A", 1)

@@ -1,0 +1,49 @@
+package sdfio
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the native text parser with arbitrary input. The
+// contract under fuzzing: ParseText never panics, and any graph it
+// accepts satisfies every Validate invariant (so the analyses behind the
+// facade can assume well-formedness for all parsed graphs) and survives
+// a serialise/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"sdf demo\nactor A 2\nactor B 3\nchan A B 2 1 0\nchan B A 1 2 4\n",
+		"# comment\n\nsdf g\nactor A 0\nchan A A 1 1 1\n",
+		"sdf g\nactor A 1\nactor A 1\n",                      // duplicate actor
+		"sdf g\nactor A 1\nchan A A 1 1 0\nchan A A 1 1 0\n", // duplicate channel
+		"sdf g\nactor A 1\nchan A B 1 1 0\n",                 // unknown endpoint
+		"sdf g\nactor A -1\n",                                // negative exec
+		"sdf g\nactor A 1\nchan A A 0 1 0\n",                 // zero rate
+		"sdf g\nactor A 1\nchan A A 1 1 -1\n",                // negative delay
+		"sdf\n",                                              // short directive
+		"actor A 9223372036854775807\nbogus\n",               // overflow-adjacent + unknown directive
+		"sdf g\nactor \x00 1\n",                              // control bytes in names
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseText(input)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ParseText accepted a graph that Validate rejects: %v\ninput: %q", verr, input)
+		}
+		// Round trip: what we serialise must parse back.
+		text := TextString(g)
+		g2, err := ParseText(text)
+		if err != nil {
+			t.Fatalf("re-parsing serialised graph failed: %v\nserialised: %q\ninput: %q", err, text, input)
+		}
+		if g2.NumActors() != g.NumActors() || g2.NumChannels() != g.NumChannels() {
+			t.Fatalf("round trip changed shape: %d/%d actors, %d/%d channels\ninput: %q",
+				g.NumActors(), g2.NumActors(), g.NumChannels(), g2.NumChannels(), input)
+		}
+	})
+}

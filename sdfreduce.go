@@ -35,6 +35,7 @@ import (
 	"repro/internal/buffersizing"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/lint"
 	"repro/internal/mapping"
 	"repro/internal/mcm"
 	"repro/internal/rat"
@@ -84,15 +85,72 @@ const (
 	MethodHSDF = analysis.HSDF
 )
 
-// ComputeThroughput analyses the self-timed throughput of g.
+// ComputeThroughput analyses the self-timed throughput of g. Structurally
+// unsound graphs (inconsistent rates, token-insufficient cycles) fail
+// fast with the lint prechecks' diagnostics.
 func ComputeThroughput(g *Graph, m Method) (Throughput, error) {
+	if err := lint.Precheck(g); err != nil {
+		return Throughput{}, err
+	}
 	return analysis.ComputeThroughput(g, m)
 }
 
-// ComputeLatency derives a latency report of one iteration of g.
+// ComputeLatency derives a latency report of one iteration of g, after
+// the lint prechecks.
 func ComputeLatency(g *Graph) (*LatencyReport, error) {
+	if err := lint.Precheck(g); err != nil {
+		return nil, err
+	}
 	return analysis.ComputeLatency(g)
 }
+
+// Model-level static analysis (diagnostics over graphs).
+type (
+	// LintReport is the result of linting one graph.
+	LintReport = lint.Report
+	// Diagnostic is one finding of one lint pass.
+	Diagnostic = lint.Diagnostic
+	// LintOptions selects which lint passes run.
+	LintOptions = lint.Options
+	// EligibilityReport surveys the §4–5 abstraction opportunities of a
+	// graph: its maximal equal-repetition actor groups and the size of the
+	// novel conversion against the iteration length.
+	EligibilityReport = lint.EligibilityReport
+	// LintSeverity classifies a diagnostic.
+	LintSeverity = lint.Severity
+)
+
+// Diagnostic severities.
+const (
+	// LintInfo reports a property of the graph without judging it.
+	LintInfo = lint.Info
+	// LintWarning flags a likely modelling mistake or a scalability risk.
+	LintWarning = lint.Warning
+	// LintError marks a violated precondition of the analyses.
+	LintError = lint.Error
+)
+
+// ErrDeadlockCycle is wrapped by precheck errors caused by a
+// token-insufficient cycle; test with errors.Is.
+var ErrDeadlockCycle = lint.ErrDeadlockCycle
+
+// ErrInconsistent is wrapped by errors reported for graphs whose balance
+// equations admit only the trivial solution; test with errors.Is.
+var ErrInconsistent = sdf.ErrInconsistent
+
+// Lint runs the model-level diagnostic passes over g.
+func Lint(g *Graph, opts LintOptions) (*LintReport, error) { return lint.Analyze(g, opts) }
+
+// Precheck runs only the cheap lint passes and returns an error carrying
+// the report when any precondition of the analyses is violated. The
+// analysis and conversion entry points of this package call it
+// implicitly.
+func Precheck(g *Graph) error { return lint.Precheck(g) }
+
+// AbstractionEligibility reports the maximal equal-repetition actor
+// groups of g together with the iteration length and the N(N+2) bound of
+// the novel conversion.
+func AbstractionEligibility(g *Graph) (*EligibilityReport, error) { return lint.Eligibility(g) }
 
 // Bottleneck names the critical cycle of a graph in terms of its tokens
 // and channels.
@@ -171,8 +229,12 @@ func AbstractionThroughputBound(abstractPeriod Rat, n int) (Rat, error) {
 // 1, lines 1–11) and returns the max-plus iteration matrix.
 func SymbolicIteration(g *Graph) (*SymbolicResult, error) { return core.SymbolicIteration(g) }
 
-// ConvertSymbolic converts g to HSDF with the paper's novel algorithm.
+// ConvertSymbolic converts g to HSDF with the paper's novel algorithm,
+// after the lint prechecks.
 func ConvertSymbolic(g *Graph) (*Graph, *SymbolicResult, ConvertStats, error) {
+	if err := lint.Precheck(g); err != nil {
+		return nil, nil, ConvertStats{}, err
+	}
 	return core.ConvertSymbolic(g)
 }
 
@@ -194,8 +256,11 @@ func BuildHSDF(name string, r *SymbolicResult, opts BuildOptions) (*Graph, Conve
 }
 
 // ConvertTraditional converts g to HSDF with the classical algorithm: one
-// actor per firing of an iteration.
+// actor per firing of an iteration. The lint prechecks run first.
 func ConvertTraditional(g *Graph) (*Graph, TraditionalStats, error) {
+	if err := lint.Precheck(g); err != nil {
+		return nil, TraditionalStats{}, err
+	}
 	return transform.Traditional(g)
 }
 

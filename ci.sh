@@ -16,6 +16,13 @@ echo '== sdfvet ./...'
 go run ./cmd/sdfvet ./...
 
 echo '== go test -race ./...'
-go test -race ./...
+# Hard wall-clock cap on top of go test's own -timeout, so a scheduler
+# hang can never wedge the gate.
+timeout 300 go test -race -timeout 240s ./...
+
+echo '== fuzz smoke: FuzzPerturb (10s)'
+# Short coverage-guided run of the perturbation fuzzer: catches panics
+# and hangs in the analysis engines without slowing the gate much.
+timeout 120 go test -run='^$' -fuzz='^FuzzPerturb$' -fuzztime=10s .
 
 echo 'ci: all checks passed'

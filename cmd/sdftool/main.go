@@ -10,7 +10,8 @@
 //
 //	info        structural summary: actors, channels, tokens, consistency
 //	rv          repetition vector
-//	throughput  iteration period and per-actor throughput
+//	throughput  iteration period and per-actor throughput (-method
+//	            matrix|statespace|hsdf|resilient)
 //	latency     iteration latency report
 //	convert     SDF→HSDF conversion (-algo symbolic|traditional)
 //	abstract    apply the name-based abstraction and report the bound
@@ -23,11 +24,25 @@
 //	buffers     throughput/buffer-size Pareto exploration (-maxsteps)
 //	fmt         convert between formats (-to text|xml|json|dot)
 //
-// A file name of "-" reads standard input; -format overrides the format
-// inferred from the file extension.
+// Every command accepts -timeout (a wall-clock deadline such as 500ms)
+// and -budget (a uniform work cap on states, firings, HSDF actors and
+// tokens; 0 keeps the defaults, negative lifts every cap). A file name
+// of "-" reads standard input; -format overrides the format inferred
+// from the file extension.
+//
+// Exit codes:
+//
+//	0  success
+//	1  usage or I/O error
+//	2  model precondition failed (lint precheck, inconsistent rates,
+//	   deadlocking cycle, error-level lint diagnostics)
+//	3  work budget exceeded or deadline/cancellation hit
+//	4  internal engine failure (isolated panic)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,9 +57,47 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sdftool:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
+
+// errLintDiagnostics marks a lint run that reported error-level
+// diagnostics, so the process exits with the precondition code.
+var errLintDiagnostics = errors.New("error-level diagnostics")
+
+// exitCode maps an error to the documented process exit code. Budget
+// and deadline conditions are checked first: they are the actionable
+// ones (raise -budget, raise -timeout), and an engine error that
+// ultimately stems from an exceeded budget should report the budget.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, sdfreduce.ErrBudgetExceeded),
+		errors.Is(err, sdfreduce.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return 3
+	case errors.Is(err, sdfreduce.ErrEngineFailed):
+		return 4
+	case isPrecondition(err):
+		return 2
+	default:
+		return 1
+	}
+}
+
+func isPrecondition(err error) bool {
+	var pre *sdfreduce.PrecheckError
+	return errors.As(err, &pre) ||
+		errors.Is(err, sdfreduce.ErrInconsistent) ||
+		errors.Is(err, sdfreduce.ErrDeadlockCycle) ||
+		errors.Is(err, errLintDiagnostics)
+}
+
+// graphFunc is one sdftool command: it runs under the context built
+// from the global -timeout/-budget flags.
+type graphFunc func(context.Context, io.Writer, *sdfreduce.Graph) error
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
@@ -58,9 +111,9 @@ func run(args []string, out io.Writer) error {
 		return withGraph(rest, out, cmdRV, nil)
 	case "throughput":
 		fs := flag.NewFlagSet("throughput", flag.ContinueOnError)
-		method := fs.String("method", "matrix", "engine: matrix, statespace or hsdf")
-		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
-			return cmdThroughput(w, g, *method)
+		method := fs.String("method", "matrix", "engine: matrix, statespace, hsdf or resilient")
+		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
+			return cmdThroughput(ctx, w, g, *method)
 		}, fs)
 	case "latency":
 		return withGraph(rest, out, cmdLatency, nil)
@@ -68,19 +121,19 @@ func run(args []string, out io.Writer) error {
 		fs := flag.NewFlagSet("convert", flag.ContinueOnError)
 		algo := fs.String("algo", "symbolic", "algorithm: symbolic (the paper's) or traditional")
 		emit := fs.Bool("emit", false, "print the converted graph instead of its statistics")
-		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
-			return cmdConvert(w, g, *algo, *emit)
+		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
+			return cmdConvert(ctx, w, g, *algo, *emit)
 		}, fs)
 	case "abstract":
 		fs := flag.NewFlagSet("abstract", flag.ContinueOnError)
 		emit := fs.Bool("emit", false, "print the abstract graph instead of the analysis")
-		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
+		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 			return cmdAbstract(w, g, *emit)
 		}, fs)
 	case "unfold":
 		fs := flag.NewFlagSet("unfold", flag.ContinueOnError)
 		n := fs.Int("n", 2, "unfolding factor")
-		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
+		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 			u, err := sdfreduce.Unfold(g, *n)
 			if err != nil {
 				return err
@@ -93,14 +146,14 @@ func run(args []string, out io.Writer) error {
 		traceF := fs.Bool("trace", false, "print every firing")
 		gantt := fs.Bool("gantt", false, "render a textual Gantt chart")
 		vcd := fs.String("vcd", "", "write a VCD waveform dump to this file")
-		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
-			return cmdSimulate(w, g, *iters, *traceF, *gantt, *vcd)
+		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
+			return cmdSimulate(ctx, w, g, *iters, *traceF, *gantt, *vcd)
 		}, fs)
 	case "lint":
 		fs := flag.NewFlagSet("lint", flag.ContinueOnError)
 		asJSON := fs.Bool("json", false, "emit the report as JSON")
 		passes := fs.String("passes", "", "comma-separated pass names (default: all)")
-		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
+		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 			return cmdLint(w, g, *asJSON, *passes)
 		}, fs)
 	case "matrix":
@@ -112,13 +165,13 @@ func run(args []string, out io.Writer) error {
 	case "buffers":
 		fs := flag.NewFlagSet("buffers", flag.ContinueOnError)
 		steps := fs.Int("maxsteps", 256, "maximum number of capacity increases")
-		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
-			return cmdBuffers(w, g, *steps)
+		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
+			return cmdBuffers(ctx, w, g, *steps)
 		}, fs)
 	case "fmt":
 		fs := flag.NewFlagSet("fmt", flag.ContinueOnError)
 		to := fs.String("to", "text", "output format: text, xml, json or dot")
-		return withGraph(rest, out, func(w io.Writer, g *sdfreduce.Graph) error {
+		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 			return writeAs(w, g, *to)
 		}, fs)
 	case "help", "-h", "--help":
@@ -133,13 +186,15 @@ func usageError() error {
 }
 
 // withGraph parses flags (when fs is non-nil), loads the graph named by
-// the remaining argument and invokes fn.
-func withGraph(args []string, out io.Writer, fn func(io.Writer, *sdfreduce.Graph) error, fs *flag.FlagSet) error {
-	var format *string
+// the remaining argument, builds the analysis context from the global
+// -timeout/-budget flags and invokes fn under it.
+func withGraph(args []string, out io.Writer, fn graphFunc, fs *flag.FlagSet) error {
 	if fs == nil {
 		fs = flag.NewFlagSet("cmd", flag.ContinueOnError)
 	}
-	format = fs.String("format", "", "input format: text, xml or json (default: by extension)")
+	format := fs.String("format", "", "input format: text, xml or json (default: by extension)")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the analysis (0 = none)")
+	budget := fs.Int64("budget", 0, "uniform work cap on states/firings/actors/tokens (0 = defaults, negative = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,7 +205,16 @@ func withGraph(args []string, out io.Writer, fn func(io.Writer, *sdfreduce.Graph
 	if err != nil {
 		return err
 	}
-	return fn(out, g)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *budget != 0 {
+		ctx = sdfreduce.WithBudget(ctx, sdfreduce.UniformBudget(*budget))
+	}
+	return fn(ctx, out, g)
 }
 
 func loadGraph(path, format string) (*sdfreduce.Graph, error) {
@@ -202,7 +266,7 @@ func writeAs(w io.Writer, g *sdfreduce.Graph, format string) error {
 	}
 }
 
-func cmdInfo(w io.Writer, g *sdfreduce.Graph) error {
+func cmdInfo(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 	fmt.Fprintf(w, "graph:      %s\n", g.Name())
 	fmt.Fprintf(w, "actors:     %d\n", g.NumActors())
 	fmt.Fprintf(w, "channels:   %d\n", g.NumChannels())
@@ -224,7 +288,7 @@ func cmdInfo(w io.Writer, g *sdfreduce.Graph) error {
 	return nil
 }
 
-func cmdRV(w io.Writer, g *sdfreduce.Graph) error {
+func cmdRV(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 	q, err := sdfreduce.RepetitionVector(g)
 	if err != nil {
 		return err
@@ -235,7 +299,7 @@ func cmdRV(w io.Writer, g *sdfreduce.Graph) error {
 	return nil
 }
 
-func cmdThroughput(w io.Writer, g *sdfreduce.Graph, methodName string) error {
+func cmdThroughput(ctx context.Context, w io.Writer, g *sdfreduce.Graph, methodName string) error {
 	var method sdfreduce.Method
 	switch methodName {
 	case "matrix":
@@ -244,30 +308,52 @@ func cmdThroughput(w io.Writer, g *sdfreduce.Graph, methodName string) error {
 		method = sdfreduce.MethodStateSpace
 	case "hsdf":
 		method = sdfreduce.MethodHSDF
+	case "resilient":
+		return cmdThroughputResilient(ctx, w, g)
 	default:
-		return fmt.Errorf("unknown method %q (matrix, statespace, hsdf)", methodName)
+		return fmt.Errorf("unknown method %q (matrix, statespace, hsdf, resilient)", methodName)
 	}
-	tp, err := sdfreduce.ComputeThroughput(g, method)
+	tp, err := sdfreduce.ComputeThroughputCtx(ctx, g, method)
 	if err != nil {
 		return err
 	}
-	if tp.Unbounded {
-		fmt.Fprintln(w, "throughput: unbounded (no dependency cycle constrains the steady state)")
-		return nil
-	}
-	fmt.Fprintf(w, "iteration period: %v (engine: %v)\n", tp.Period, method)
-	for i := 0; i < g.NumActors(); i++ {
-		tau, err := tp.ActorThroughput(sdfreduce.ActorID(i))
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "  τ(%-12s) = %v\n", g.Actor(sdfreduce.ActorID(i)).Name, tau)
-	}
+	printThroughput(w, g, tp, method.String())
 	return nil
 }
 
-func cmdLatency(w io.Writer, g *sdfreduce.Graph) error {
-	rep, err := sdfreduce.ComputeLatency(g)
+func cmdThroughputResilient(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
+	tp, rep, err := sdfreduce.ComputeThroughputResilient(ctx, g)
+	if rep != nil {
+		fmt.Fprintln(w, "engine ladder:")
+		for _, line := range strings.Split(strings.TrimRight(rep.String(), "\n"), "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	printThroughput(w, g, tp, rep.Winner.String())
+	return nil
+}
+
+func printThroughput(w io.Writer, g *sdfreduce.Graph, tp sdfreduce.Throughput, engine string) {
+	if tp.Unbounded {
+		fmt.Fprintln(w, "throughput: unbounded (no dependency cycle constrains the steady state)")
+		return
+	}
+	fmt.Fprintf(w, "iteration period: %v (engine: %s)\n", tp.Period, engine)
+	for i := 0; i < g.NumActors(); i++ {
+		tau, err := tp.ActorThroughput(sdfreduce.ActorID(i))
+		if err != nil {
+			fmt.Fprintf(w, "  τ(%-12s) = ?\n", g.Actor(sdfreduce.ActorID(i)).Name)
+			continue
+		}
+		fmt.Fprintf(w, "  τ(%-12s) = %v\n", g.Actor(sdfreduce.ActorID(i)).Name, tau)
+	}
+}
+
+func cmdLatency(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
+	rep, err := sdfreduce.ComputeLatencyCtx(ctx, g)
 	if err != nil {
 		return err
 	}
@@ -280,10 +366,10 @@ func cmdLatency(w io.Writer, g *sdfreduce.Graph) error {
 	return nil
 }
 
-func cmdConvert(w io.Writer, g *sdfreduce.Graph, algo string, emit bool) error {
+func cmdConvert(ctx context.Context, w io.Writer, g *sdfreduce.Graph, algo string, emit bool) error {
 	switch algo {
 	case "symbolic":
-		h, r, stats, err := sdfreduce.ConvertSymbolic(g)
+		h, r, stats, err := sdfreduce.ConvertSymbolicCtx(ctx, g)
 		if err != nil {
 			return err
 		}
@@ -302,7 +388,7 @@ func cmdConvert(w io.Writer, g *sdfreduce.Graph, algo string, emit bool) error {
 		}
 		return nil
 	case "traditional":
-		h, stats, err := sdfreduce.ConvertTraditional(g)
+		h, stats, err := sdfreduce.ConvertTraditionalCtx(ctx, g)
 		if err != nil {
 			return err
 		}
@@ -356,8 +442,8 @@ func cmdAbstract(w io.Writer, g *sdfreduce.Graph, emit bool) error {
 	return nil
 }
 
-func cmdSimulate(w io.Writer, g *sdfreduce.Graph, iterations int64, traceFirings, gantt bool, vcdPath string) error {
-	tr, err := sdfreduce.Simulate(g, iterations)
+func cmdSimulate(ctx context.Context, w io.Writer, g *sdfreduce.Graph, iterations int64, traceFirings, gantt bool, vcdPath string) error {
+	tr, err := sdfreduce.SimulateCtx(ctx, g, iterations)
 	if err != nil {
 		return err
 	}
@@ -392,8 +478,8 @@ func cmdSimulate(w io.Writer, g *sdfreduce.Graph, iterations int64, traceFirings
 	return nil
 }
 
-func cmdBuffers(w io.Writer, g *sdfreduce.Graph, maxSteps int) error {
-	res, err := sdfreduce.ExploreBuffers(g, sdfreduce.BufferOptions{MaxSteps: maxSteps})
+func cmdBuffers(ctx context.Context, w io.Writer, g *sdfreduce.Graph, maxSteps int) error {
+	res, err := sdfreduce.ExploreBuffersCtx(ctx, g, sdfreduce.BufferOptions{MaxSteps: maxSteps})
 	if err != nil {
 		return err
 	}
@@ -434,12 +520,12 @@ func cmdLint(w io.Writer, g *sdfreduce.Graph, asJSON bool, passes string) error 
 		fmt.Fprint(w, rep)
 	}
 	if n := rep.Count(sdfreduce.LintError); n > 0 {
-		return fmt.Errorf("lint: %d error-level diagnostic(s)", n)
+		return fmt.Errorf("lint: %d %w", n, errLintDiagnostics)
 	}
 	return nil
 }
 
-func cmdMatrix(w io.Writer, g *sdfreduce.Graph) error {
+func cmdMatrix(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 	r, err := sdfreduce.SymbolicIteration(g)
 	if err != nil {
 		return err
@@ -467,7 +553,7 @@ func cmdMatrix(w io.Writer, g *sdfreduce.Graph) error {
 	return nil
 }
 
-func cmdBottleneck(w io.Writer, g *sdfreduce.Graph) error {
+func cmdBottleneck(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 	res, err := sdfreduce.FindBottleneck(g)
 	if err != nil {
 		return err

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	sdfreduce "repro"
 )
 
 const sampleText = `sdf demo
@@ -490,5 +496,132 @@ func TestPrecheckWiredIntoFacadeCommands(t *testing.T) {
 		if _, err := runTool(t, args...); err == nil {
 			t.Errorf("%v accepted unsound graph", args)
 		}
+	}
+}
+
+// explosiveText is a consistent, live chain whose iteration length
+// Σq = 1 + 2000 + 4_000_000 exceeds 10^6: the traditional conversion
+// is inadmissible under the default budget, while the matrix engine
+// (three initial tokens) answers easily.
+const explosiveText = `sdf boom
+actor A 1
+actor B 1
+actor C 1
+chan A A 1 1 1
+chan B B 1 1 1
+chan C C 1 1 1
+chan A B 2000 1 0
+chan B C 2000 1 0
+`
+
+// hugeIterText pushes the iteration length to ~17M firings so that even
+// the symbolic iteration takes well over any sub-second deadline.
+const hugeIterText = `sdf huge
+actor A 1
+actor B 1
+actor C 1
+actor D 1
+actor E 1
+chan A A 1 1 1
+chan B B 1 1 1
+chan C C 1 1 1
+chan D D 1 1 1
+chan E E 1 1 1
+chan A B 64 1 0
+chan B C 64 1 0
+chan C D 64 1 0
+chan D E 64 1 0
+`
+
+func TestExitCodes(t *testing.T) {
+	healthy := writeSample(t, "g.sdf", sampleText)
+	bad := writeSample(t, "bad.sdf", inconsistentText)
+	boom := writeSample(t, "boom.sdf", explosiveText)
+	huge := writeSample(t, "huge.sdf", hugeIterText)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"info", healthy}, 0},
+		{"usage", []string{"nonsense"}, 1},
+		{"missing-file", []string{"info", "/does/not/exist.sdf"}, 1},
+		{"precondition-throughput", []string{"throughput", bad}, 2},
+		{"precondition-lint", []string{"lint", bad}, 2},
+		{"budget-traditional", []string{"convert", "-algo", "traditional", boom}, 3},
+		{"budget-uniform", []string{"simulate", "-budget", "1000", "-iterations", "1", huge}, 3},
+		{"deadline-statespace", []string{"throughput", "-method", "statespace", "-timeout", "50ms", "-budget", "-1", huge}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			start := time.Now()
+			_, err := runTool(t, tc.args...)
+			if got := exitCode(err); got != tc.want {
+				t.Errorf("exitCode(%v) = %d, want %d", err, got, tc.want)
+			}
+			if d := time.Since(start); d > 5*time.Second {
+				t.Errorf("command took %v; budget/deadline enforcement should be fast", d)
+			}
+		})
+	}
+}
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("plain"), 1},
+		{fmt.Errorf("wrap: %w", sdfreduce.ErrBudgetExceeded), 3},
+		{fmt.Errorf("wrap: %w", sdfreduce.ErrCanceled), 3},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), 3},
+		{fmt.Errorf("wrap: %w", sdfreduce.ErrEngineFailed), 4},
+		{fmt.Errorf("wrap: %w", sdfreduce.ErrInconsistent), 2},
+		{fmt.Errorf("wrap: %w", sdfreduce.ErrDeadlockCycle), 2},
+		{fmt.Errorf("3 %w", errLintDiagnostics), 2},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestThroughputResilient(t *testing.T) {
+	healthy := writeSample(t, "g.sdf", sampleText)
+	out, err := runTool(t, "throughput", "-method", "resilient", healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine ladder:", "matrix", "answered", "iteration period: 5/2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resilient output missing %q:\n%s", want, out)
+		}
+	}
+
+	// On the explosive graph the matrix engine still answers while the
+	// HSDF rung is skipped by the static size estimate.
+	boom := writeSample(t, "boom.sdf", explosiveText)
+	out, err = runTool(t, "throughput", "-method", "resilient", boom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"matrix", "answered", "skipped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resilient output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeoutFlagOnHealthyGraph(t *testing.T) {
+	// A generous deadline must not disturb a fast analysis.
+	healthy := writeSample(t, "g.sdf", sampleText)
+	out, err := runTool(t, "throughput", "-timeout", "30s", healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "iteration period: 5/2") {
+		t.Errorf("output:\n%s", out)
 	}
 }

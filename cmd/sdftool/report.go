@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -11,7 +12,7 @@ import (
 // structure, consistency, throughput through all applicable engines,
 // latency, both HSDF conversions, and — when the name-based inference
 // applies — the abstraction with its Theorem-1 bound.
-func cmdReport(w io.Writer, g *sdfreduce.Graph) error {
+func cmdReport(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 	fmt.Fprintf(w, "# Analysis report: %s\n\n", g.Name())
 
 	fmt.Fprintln(w, "## Structure")

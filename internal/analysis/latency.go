@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/maxplus"
 	"repro/internal/sdf"
 )
@@ -29,7 +31,27 @@ type LatencyReport struct {
 
 // ComputeLatency derives the latency report of g.
 func ComputeLatency(g *sdf.Graph) (*LatencyReport, error) {
-	r, err := core.SymbolicIteration(g)
+	return ComputeLatencyCtx(guard.WithBudget(context.Background(), guard.Unlimited()), g)
+}
+
+// ComputeLatencyCtx is ComputeLatency under the resilience runtime
+// carried by ctx: the symbolic iteration honours the deadline and the
+// budget, and the whole derivation runs behind panic isolation.
+func ComputeLatencyCtx(ctx context.Context, g *sdf.Graph) (*LatencyReport, error) {
+	var rep *LatencyReport
+	err := guard.Protect("latency", "latency", func() error {
+		var err error
+		rep, err = computeLatency(ctx, g)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func computeLatency(ctx context.Context, g *sdf.Graph) (*LatencyReport, error) {
+	r, err := core.SymbolicIterationCtx(ctx, g)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: latency: %w", err)
 	}

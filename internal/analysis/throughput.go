@@ -15,10 +15,12 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/mcm"
 	"repro/internal/rat"
 	"repro/internal/sdf"
@@ -92,17 +94,40 @@ func (t Throughput) IterationThroughput() (rat.Rat, error) {
 // consistent and deadlock-free; a deadlock is reported as an error
 // wrapping the underlying cause.
 func ComputeThroughput(g *sdf.Graph, method Method) (Throughput, error) {
+	return ComputeThroughputCtx(guard.WithBudget(context.Background(), guard.Unlimited()), g, method)
+}
+
+// ComputeThroughputCtx is ComputeThroughput under the resilience
+// runtime: the engine honours the deadline/cancellation of ctx at
+// checkpoints inside its hot loops, charges its work against the budget
+// carried by ctx (guard.WithBudget; the default budget when absent) and
+// runs behind panic isolation, so a broken or bombed engine yields a
+// structured *guard.EngineError instead of hanging or crashing.
+func ComputeThroughputCtx(ctx context.Context, g *sdf.Graph, method Method) (Throughput, error) {
+	var tp Throughput
+	err := guard.Protect(method.String(), "throughput", func() error {
+		var err error
+		tp, err = computeThroughput(ctx, g, method)
+		return err
+	})
+	if err != nil {
+		return Throughput{}, err
+	}
+	return tp, nil
+}
+
+func computeThroughput(ctx context.Context, g *sdf.Graph, method Method) (Throughput, error) {
 	q, err := g.RepetitionVector()
 	if err != nil {
 		return Throughput{}, fmt.Errorf("analysis: %w", err)
 	}
 	switch method {
 	case Matrix:
-		r, err := core.SymbolicIteration(g)
+		r, err := core.SymbolicIterationCtx(ctx, g)
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}
-		lam, hasCycle, err := r.Matrix.Eigenvalue()
+		lam, hasCycle, err := r.Matrix.EigenvalueCtx(ctx)
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}
@@ -112,12 +137,12 @@ func ComputeThroughput(g *sdf.Graph, method Method) (Throughput, error) {
 		return Throughput{Period: lam, Repetition: q}, nil
 
 	case StateSpace:
-		r, err := core.SymbolicIteration(g)
+		r, err := core.SymbolicIterationCtx(ctx, g)
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}
 		const maxIter = 1 << 22
-		res, ok, err := r.Matrix.PowerIteration(maxIter)
+		res, ok, err := r.Matrix.PowerIterationCtx(ctx, maxIter)
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}
@@ -127,7 +152,7 @@ func ComputeThroughput(g *sdf.Graph, method Method) (Throughput, error) {
 		return Throughput{Period: res.CycleMean, Repetition: q}, nil
 
 	case HSDF:
-		h, _, err := transform.Traditional(g)
+		h, _, err := transform.TraditionalCtx(ctx, g)
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}

@@ -17,10 +17,12 @@
 package buffersizing
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/guard"
 	"repro/internal/rat"
 	"repro/internal/schedule"
 	"repro/internal/sdf"
@@ -88,6 +90,17 @@ func MinimalCapacity(c sdf.Channel) int {
 
 // Explore walks the capacity space of g.
 func Explore(g *sdf.Graph, opts Options) (*Result, error) {
+	return ExploreCtx(guard.WithBudget(context.Background(), guard.Unlimited()), g, opts)
+}
+
+// ExploreCtx is Explore under the resilience runtime: the walk
+// checkpoints the context between capacity evaluations and every inner
+// throughput analysis runs under the budget carried by ctx, so a
+// deadline interrupts the exploration at the next configuration
+// boundary (and inside an evaluation via the engine's own checkpoints).
+func ExploreCtx(ctx context.Context, g *sdf.Graph, opts Options) (*Result, error) {
+	meter := guard.NewMeter(ctx, "buffersizing")
+	meter.Phase("explore")
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = 256
 	}
@@ -104,7 +117,7 @@ func Explore(g *sdf.Graph, opts Options) (*Result, error) {
 		}
 	}
 
-	unbounded, err := analysis.ComputeThroughput(g, analysis.Matrix)
+	unbounded, err := analysis.ComputeThroughputCtx(ctx, g, analysis.Matrix)
 	if err != nil {
 		return nil, fmt.Errorf("buffersizing: unbounded analysis: %w", err)
 	}
@@ -119,6 +132,9 @@ func Explore(g *sdf.Graph, opts Options) (*Result, error) {
 
 	res := &Result{UnboundedPeriod: unbounded.Period}
 	evaluate := func(c map[sdf.ChannelID]int) (Point, error) {
+		if err := meter.Canceled(); err != nil {
+			return Point{}, err
+		}
 		bounded, err := transform.WithBufferCapacities(g, c)
 		if err != nil {
 			return Point{}, err
@@ -128,7 +144,7 @@ func Explore(g *sdf.Graph, opts Options) (*Result, error) {
 			p.Deadlock = true
 			return p, nil
 		}
-		tp, err := analysis.ComputeThroughput(bounded, analysis.Matrix)
+		tp, err := analysis.ComputeThroughputCtx(ctx, bounded, analysis.Matrix)
 		if err != nil {
 			return Point{}, err
 		}

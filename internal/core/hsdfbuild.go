@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/maxplus"
@@ -327,6 +328,22 @@ func BuildHSDFFromMatrix(name string, m *maxplus.Matrix, opts BuildOptions) (*sd
 // analysis) and the size statistics.
 func ConvertSymbolic(g *sdf.Graph) (*sdf.Graph, *SymbolicResult, ConvertStats, error) {
 	r, err := SymbolicIteration(g)
+	if err != nil {
+		return nil, nil, ConvertStats{}, err
+	}
+	h, stats, err := BuildHSDF(g.Name()+"_hsdf", r, DefaultBuildOptions())
+	if err != nil {
+		return nil, nil, ConvertStats{}, err
+	}
+	return h, r, stats, nil
+}
+
+// ConvertSymbolicCtx is ConvertSymbolic under the resilience runtime
+// carried by ctx: the symbolic iteration honours the deadline and the
+// budget (the Figure-4 construction itself is only O(N²) in the token
+// count, which the token budget already caps).
+func ConvertSymbolicCtx(ctx context.Context, g *sdf.Graph) (*sdf.Graph, *SymbolicResult, ConvertStats, error) {
+	r, err := SymbolicIterationCtx(ctx, g)
 	if err != nil {
 		return nil, nil, ConvertStats{}, err
 	}

@@ -12,8 +12,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/maxplus"
 	"repro/internal/schedule"
 	"repro/internal/sdf"
@@ -67,10 +69,25 @@ func (r *SymbolicResult) Makespan() (int64, bool) {
 // resulting vectors of the final token distribution form the iteration
 // matrix. The graph must be consistent and deadlock-free.
 func SymbolicIteration(g *sdf.Graph) (*SymbolicResult, error) {
-	sched, err := schedule.Sequential(g)
+	return SymbolicIterationCtx(guard.WithBudget(context.Background(), guard.Unlimited()), g)
+}
+
+// SymbolicIterationCtx is SymbolicIteration under the resilience
+// runtime: the token count is checked against the budget carried by ctx
+// (the result is a dense N×N matrix), the schedule construction runs
+// under the same budget, and the symbolic execution loop checkpoints
+// the context once per firing.
+func SymbolicIterationCtx(ctx context.Context, g *sdf.Graph) (*SymbolicResult, error) {
+	meter := guard.NewMeter(ctx, "symbolic")
+	meter.Phase("precheck")
+	if err := meter.NeedTokens(int64(g.TotalInitialTokens())); err != nil {
+		return nil, fmt.Errorf("core: symbolic iteration: %w", err)
+	}
+	sched, err := schedule.SequentialCtx(ctx, g)
 	if err != nil {
 		return nil, fmt.Errorf("core: symbolic iteration: %w", err)
 	}
+	meter.Phase("execute")
 
 	// Global numbering of initial tokens.
 	n := g.TotalInitialTokens()
@@ -97,6 +114,9 @@ func SymbolicIteration(g *sdf.Graph) (*SymbolicResult, error) {
 	completion := maxplus.NewVec(n)
 	actorCompletion := make([]maxplus.Vec, g.NumActors())
 	for pos, a := range sched {
+		if err := meter.Firings(1); err != nil {
+			return nil, fmt.Errorf("core: symbolic iteration: %w", err)
+		}
 		// Start time stamp: entrywise max over all consumed tokens
 		// (line 7: fire a consuming tokens W ⊆ V).
 		start := maxplus.NewVec(n)

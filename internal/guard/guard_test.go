@@ -1,0 +1,170 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBudgetNormalized(t *testing.T) {
+	d := Default()
+	n := Budget{}.Normalized()
+	if n != d.Normalized() {
+		t.Errorf("zero budget normalizes to %+v, want default %+v", n, d)
+	}
+	u := Unlimited().Normalized()
+	if u.MaxStates >= 0 || u.MaxFirings >= 0 || u.MaxHSDFActors >= 0 || u.MaxTokens >= 0 {
+		t.Errorf("unlimited budget has a finite dimension: %+v", u)
+	}
+	if u.CheckEvery <= 0 {
+		t.Errorf("unlimited budget lost its checkpoint granularity: %+v", u)
+	}
+	if got := Uniform(7); got.MaxStates != 7 || got.MaxFirings != 7 || got.MaxHSDFActors != 7 || got.MaxTokens != 7 {
+		t.Errorf("Uniform(7) = %+v", got)
+	}
+	if got := Uniform(0); got != Unlimited() {
+		t.Errorf("Uniform(0) = %+v, want unlimited", got)
+	}
+}
+
+func TestBudgetContextRoundTrip(t *testing.T) {
+	b := Budget{MaxFirings: 42}
+	ctx := WithBudget(context.Background(), b)
+	got := BudgetFrom(ctx)
+	if got.MaxFirings != 42 {
+		t.Errorf("MaxFirings = %d, want 42", got.MaxFirings)
+	}
+	if got.MaxStates != Default().MaxStates {
+		t.Errorf("unset dimension not defaulted: %+v", got)
+	}
+	if BudgetFrom(context.Background()) != Default().Normalized() {
+		t.Error("bare context does not carry the default budget")
+	}
+}
+
+func TestMeterFiringsBudget(t *testing.T) {
+	ctx := WithBudget(context.Background(), Budget{MaxFirings: 10})
+	m := NewMeter(ctx, "test")
+	m.Phase("loop")
+	var err error
+	for i := 0; i < 20 && err == nil; i++ {
+		err = m.Firings(1)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var ee *EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %T, want *EngineError", err)
+	}
+	if ee.Engine != "test" || ee.Phase != "loop" || ee.Firings != 11 {
+		t.Errorf("EngineError = %+v", ee)
+	}
+}
+
+func TestMeterStatesBudget(t *testing.T) {
+	ctx := WithBudget(context.Background(), Budget{MaxStates: 3})
+	m := NewMeter(ctx, "test")
+	if err := m.States(3); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := m.States(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestMeterCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(WithBudget(context.Background(), Unlimited()))
+	m := NewMeter(ctx, "test")
+	if err := m.Canceled(); err != nil {
+		t.Fatalf("fresh context reported canceled: %v", err)
+	}
+	cancel()
+	err := m.Canceled()
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+func TestMeterDeadlineViaTick(t *testing.T) {
+	ctx, cancel := context.WithTimeout(WithBudget(context.Background(), Unlimited()), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	m := NewMeter(ctx, "test")
+	var err error
+	// Ticks below CheckEvery do not poll; crossing the threshold does.
+	for i := 0; i < 2*m.Budget().CheckEvery && err == nil; i++ {
+		err = m.Tick(1)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestNeedHelpers(t *testing.T) {
+	ctx := WithBudget(context.Background(), Budget{MaxFirings: 100, MaxHSDFActors: 50, MaxTokens: 8})
+	m := NewMeter(ctx, "test")
+	if err := m.NeedFirings(100); err != nil {
+		t.Errorf("NeedFirings(100): %v", err)
+	}
+	if err := m.NeedFirings(101); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("NeedFirings(101) = %v, want ErrBudgetExceeded", err)
+	}
+	if err := m.NeedFirings(-1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("NeedFirings(-1) = %v, want ErrBudgetExceeded (overflowed estimate)", err)
+	}
+	if err := m.NeedActors(51); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("NeedActors(51) = %v, want ErrBudgetExceeded", err)
+	}
+	if err := m.NeedTokens(9); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("NeedTokens(9) = %v, want ErrBudgetExceeded", err)
+	}
+	// Unlimited budget refuses only overflowed estimates.
+	mu := NewMeter(WithBudget(context.Background(), Unlimited()), "test")
+	if err := mu.NeedFirings(1 << 62); err != nil {
+		t.Errorf("unlimited NeedFirings: %v", err)
+	}
+	if err := mu.NeedFirings(-1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("unlimited NeedFirings(-1) = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestSliceCap(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want int
+	}{{-5, 0}, {0, 0}, {100, 100}, {1 << 40, 1 << 20}} {
+		if got := SliceCap(tc.n); got != tc.want {
+			t.Errorf("SliceCap(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestProtectPanic(t *testing.T) {
+	err := Protect("hsdf", "convert", func() error {
+		var s []int
+		_ = s[3] // index out of range
+		return nil
+	})
+	if !errors.Is(err, ErrEngineFailed) {
+		t.Fatalf("err = %v, want ErrEngineFailed", err)
+	}
+	var ee *EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %T, want *EngineError", err)
+	}
+	if ee.Engine != "hsdf" || ee.Phase != "convert" {
+		t.Errorf("EngineError = %+v", ee)
+	}
+}
+
+func TestProtectPassesThrough(t *testing.T) {
+	if err := Protect("e", "p", func() error { return nil }); err != nil {
+		t.Errorf("nil func: %v", err)
+	}
+	sentinel := errors.New("boom")
+	if err := Protect("e", "p", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("error not passed through: %v", err)
+	}
+}

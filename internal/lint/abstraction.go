@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/rat"
 	"repro/internal/sdf"
 )
 
@@ -63,7 +64,7 @@ func Eligibility(g *sdf.Graph) (*EligibilityReport, error) {
 	})
 	var sum int64
 	for _, v := range q {
-		s, ok := addChecked(sum, v)
+		s, ok := rat.AddChecked(sum, v)
 		if !ok {
 			sum = 0
 			break
@@ -72,7 +73,7 @@ func Eligibility(g *sdf.Graph) (*EligibilityReport, error) {
 	}
 	rep.IterationLength = sum
 	n := int64(rep.Tokens)
-	if b, ok := mulChecked(n, n+2); ok {
+	if b, ok := rat.MulChecked(n, n+2); ok {
 		rep.NovelBound = b
 	}
 	return rep, nil

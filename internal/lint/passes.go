@@ -351,7 +351,7 @@ func runOverflow(cx *context) []Diagnostic {
 	var iterLen int64
 	overflowed := false
 	for _, v := range q {
-		s, ok := addChecked(iterLen, v)
+		s, ok := rat.AddChecked(iterLen, v)
 		if !ok {
 			overflowed = true
 			break
@@ -379,7 +379,7 @@ func runOverflow(cx *context) []Diagnostic {
 		})
 	}
 	for i, c := range g.Channels() {
-		traffic, ok := mulChecked(q[c.Src], int64(c.Prod))
+		traffic, ok := rat.MulChecked(q[c.Src], int64(c.Prod))
 		if !ok || traffic > overflowHardIterBound {
 			d := Diagnostic{
 				Pass: "overflow", Severity: Warning,
@@ -397,9 +397,9 @@ func runOverflow(cx *context) []Diagnostic {
 	}
 	var makespan int64
 	for a, v := range q {
-		work, ok := mulChecked(v, g.Actor(sdf.ActorID(a)).Exec)
+		work, ok := rat.MulChecked(v, g.Actor(sdf.ActorID(a)).Exec)
 		if ok {
-			makespan, ok = addChecked(makespan, work)
+			makespan, ok = rat.AddChecked(makespan, work)
 		}
 		if !ok {
 			out = append(out, Diagnostic{
@@ -412,25 +412,6 @@ func runOverflow(cx *context) []Diagnostic {
 		}
 	}
 	return out
-}
-
-func addChecked(a, b int64) (int64, bool) {
-	s := a + b
-	if (b > 0 && s < a) || (b < 0 && s > a) {
-		return 0, false
-	}
-	return s, true
-}
-
-func mulChecked(a, b int64) (int64, bool) {
-	if a == 0 || b == 0 {
-		return 0, true
-	}
-	p := a * b
-	if p/b != a {
-		return 0, false
-	}
-	return p, true
 }
 
 // --- connectivity ----------------------------------------------------------

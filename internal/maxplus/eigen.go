@@ -1,6 +1,9 @@
 package maxplus
 
 import (
+	"context"
+
+	"repro/internal/guard"
 	"repro/internal/rat"
 )
 
@@ -14,8 +17,18 @@ import (
 // there is no recurrent behaviour (the model's throughput is unbounded)
 // and the returned value is meaningless.
 func (m *Matrix) Eigenvalue() (lambda rat.Rat, hasCycle bool, err error) {
+	return m.EigenvalueCtx(guard.WithBudget(context.Background(), guard.Unlimited()))
+}
+
+// EigenvalueCtx is Eigenvalue under the resilience runtime: Karp's
+// O(n·m) dynamic program charges the state budget carried by ctx and
+// checkpoints the context between rounds, so adversarially dense
+// matrices respect deadlines and budgets instead of grinding.
+func (m *Matrix) EigenvalueCtx(ctx context.Context) (lambda rat.Rat, hasCycle bool, err error) {
+	meter := guard.NewMeter(ctx, "matrix")
+	meter.Phase("eigenvalue")
 	g := newPrecGraph(m)
-	return g.maxCycleMean()
+	return g.maxCycleMean(meter)
 }
 
 // precGraph is the precedence graph of a max-plus matrix: node j has an
@@ -45,7 +58,7 @@ func newPrecGraph(m *Matrix) *precGraph {
 // maxCycleMean computes the maximum over all cycles of (total weight /
 // cycle length) via Karp's algorithm applied per strongly connected
 // component.
-func (g *precGraph) maxCycleMean() (rat.Rat, bool, error) {
+func (g *precGraph) maxCycleMean(meter *guard.Meter) (rat.Rat, bool, error) {
 	comps := g.sccs()
 	best := rat.Zero()
 	found := false
@@ -73,7 +86,7 @@ func (g *precGraph) maxCycleMean() (rat.Rat, bool, error) {
 			found = true
 			continue
 		}
-		mean, err := g.karp(comp)
+		mean, err := g.karp(comp, meter)
 		if err != nil {
 			return rat.Rat{}, false, err
 		}
@@ -87,7 +100,7 @@ func (g *precGraph) maxCycleMean() (rat.Rat, bool, error) {
 
 // karp runs Karp's maximum mean cycle algorithm restricted to the strongly
 // connected component comp (len(comp) >= 2, or 1 with a self-loop).
-func (g *precGraph) karp(comp []int) (rat.Rat, error) {
+func (g *precGraph) karp(comp []int, meter *guard.Meter) (rat.Rat, error) {
 	n := len(comp)
 	local := make(map[int]int, n) // global node -> local index
 	for i, v := range comp {
@@ -121,6 +134,12 @@ func (g *precGraph) karp(comp []int) (rat.Rat, error) {
 	}
 	D[0][0] = 0
 	for k := 1; k <= n; k++ {
+		// One Karp round relaxes every edge of the component: charge it
+		// as explored states and let the deadline interrupt between
+		// rounds.
+		if err := meter.States(int64(len(edges))); err != nil {
+			return rat.Rat{}, err
+		}
 		prev, cur := D[k-1], D[k]
 		for _, e := range edges {
 			if prev[e.from] == negInf {

@@ -1,8 +1,10 @@
 package maxplus
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/rat"
 )
 
@@ -38,6 +40,17 @@ type PowerResult struct {
 // nothing constrains the next iteration), ok is false: there is no finite
 // cycle mean and the modelled throughput is unbounded.
 func (m *Matrix) PowerIteration(maxIter int) (res PowerResult, ok bool, err error) {
+	return m.PowerIterationCtx(guard.WithBudget(context.Background(), guard.Unlimited()), maxIter)
+}
+
+// PowerIterationCtx is PowerIteration under the resilience runtime: each
+// explored state charges the state budget carried by ctx and the loop
+// checkpoints the context, so reducible matrices that drift forever are
+// cut off by whichever bound — maxIter, the budget or the deadline —
+// fires first.
+func (m *Matrix) PowerIterationCtx(ctx context.Context, maxIter int) (res PowerResult, ok bool, err error) {
+	meter := guard.NewMeter(ctx, "statespace")
+	meter.Phase("power-iteration")
 	x := make(Vec, m.n) // all zeros: every token at time 0
 	seen := make(map[string]struct {
 		iter  int
@@ -54,6 +67,9 @@ func (m *Matrix) PowerIteration(maxIter int) (res PowerResult, ok bool, err erro
 	}{0, int64(shift)}
 
 	for k := 1; k <= maxIter; k++ {
+		if err := meter.States(1); err != nil {
+			return PowerResult{}, false, err
+		}
 		x = m.Apply(x)
 		norm, shift = x.Normalise()
 		if shift == NegInf {

@@ -324,6 +324,21 @@ func addCheck(a, b int64) (int64, error) {
 	return s, nil
 }
 
+// AddChecked returns a+b and true, or false when the sum overflows
+// int64. It is the overflow-safe helper for iteration-length and
+// time-stamp accounting on adversarial graphs.
+func AddChecked(a, b int64) (int64, bool) {
+	s, err := addCheck(a, b)
+	return s, err == nil
+}
+
+// MulChecked returns a*b and true, or false when the product overflows
+// int64.
+func MulChecked(a, b int64) (int64, bool) {
+	p, err := mulCheck(a, b)
+	return p, err == nil
+}
+
 // floorDiv returns floor(a/b) for b > 0.
 func floorDiv(a, b int64) int64 {
 	q := a / b

@@ -6,9 +6,12 @@
 package schedule
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/guard"
+	"repro/internal/rat"
 	"repro/internal/sdf"
 )
 
@@ -27,6 +30,15 @@ var ErrDeadlock = errors.New("schedule: graph deadlocks")
 // implementation fires each ready actor as often as currently possible,
 // which keeps the schedule construction linear in the iteration length.
 func Sequential(g *sdf.Graph) ([]sdf.ActorID, error) {
+	return SequentialCtx(guard.WithBudget(context.Background(), guard.Unlimited()), g)
+}
+
+// SequentialCtx is Sequential under the resilience runtime: the schedule
+// length Σq is checked against the firing budget carried by ctx before
+// any work starts (an iteration length that overflows int64 is refused
+// outright), and the construction loop checkpoints the context so a
+// deadline or cancellation interrupts even an explosive graph promptly.
+func SequentialCtx(ctx context.Context, g *sdf.Graph) ([]sdf.ActorID, error) {
 	q, err := g.RepetitionVector()
 	if err != nil {
 		return nil, fmt.Errorf("schedule: %w", err)
@@ -36,20 +48,38 @@ func Sequential(g *sdf.Graph) ([]sdf.ActorID, error) {
 		return nil, nil
 	}
 
+	meter := guard.NewMeter(ctx, "schedule")
+	meter.Phase("precheck")
+	remaining := make([]int64, n)
+	total := int64(0)
+	for i, v := range q {
+		remaining[i] = v
+		s, ok := rat.AddChecked(total, v)
+		if !ok {
+			total = -1
+			break
+		}
+		total = s
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("schedule: iteration length Σq overflows int64: %w",
+			meter.NeedFirings(-1))
+	}
+	if err := meter.NeedFirings(total); err != nil {
+		return nil, fmt.Errorf("schedule: iteration length %d: %w", total, err)
+	}
+	meter.Phase("construct")
+
 	inCh := make([][]sdf.ChannelID, n)
+	outCh := make([][]sdf.ChannelID, n)
 	for i := range g.Channels() {
 		id := sdf.ChannelID(i)
 		inCh[g.Channel(id).Dst] = append(inCh[g.Channel(id).Dst], id)
+		outCh[g.Channel(id).Src] = append(outCh[g.Channel(id).Src], id)
 	}
 	tokens := make([]int64, g.NumChannels())
 	for i, c := range g.Channels() {
 		tokens[i] = int64(c.Initial)
-	}
-	remaining := make([]int64, n)
-	var total int64
-	for i, v := range q {
-		remaining[i] = v
-		total += v
 	}
 
 	canFire := func(a sdf.ActorID) bool {
@@ -64,7 +94,9 @@ func Sequential(g *sdf.Graph) ([]sdf.ActorID, error) {
 		return true
 	}
 
-	sched := make([]sdf.ActorID, 0, total)
+	// The capacity is clamped: an adversarial Σq must not allocate
+	// gigabytes before the first checkpoint can fire.
+	sched := make([]sdf.ActorID, 0, guard.SliceCap(total))
 	for int64(len(sched)) < total {
 		progressed := false
 		for a := sdf.ActorID(0); int(a) < n; a++ {
@@ -74,14 +106,15 @@ func Sequential(g *sdf.Graph) ([]sdf.ActorID, error) {
 				for _, id := range inCh[a] {
 					tokens[id] -= int64(g.Channel(id).Cons)
 				}
-				for i, c := range g.Channels() {
-					if c.Src == a {
-						tokens[i] += int64(c.Prod)
-					}
+				for _, id := range outCh[a] {
+					tokens[id] += int64(g.Channel(id).Prod)
 				}
 				remaining[a]--
 				sched = append(sched, a)
 				progressed = true
+				if err := meter.Firings(1); err != nil {
+					return nil, fmt.Errorf("schedule: after %d of %d firings: %w", len(sched), total, err)
+				}
 			}
 		}
 		if !progressed {

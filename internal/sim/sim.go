@@ -13,8 +13,10 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/rat"
 	"repro/internal/schedule"
 	"repro/internal/sdf"
@@ -46,6 +48,13 @@ func Run(g *sdf.Graph, iterations int64) (*Trace, error) {
 	return RunFrom(g, nil, iterations)
 }
 
+// RunCtx is Run under the resilience runtime: the total firing count
+// q·iterations is checked against the budget carried by ctx before the
+// event loop starts and every completed firing checkpoints the context.
+func RunCtx(ctx context.Context, g *sdf.Graph, iterations int64) (*Trace, error) {
+	return RunFromCtx(ctx, g, nil, iterations)
+}
+
 // RunFrom is Run with explicit availability times for the initial tokens,
 // indexed by the global token numbering (channel by channel in channel-ID
 // order, front of each FIFO first — the numbering of the symbolic
@@ -55,6 +64,11 @@ func Run(g *sdf.Graph, iterations int64) (*Trace, error) {
 // length must equal the total initial token count and times must be
 // non-negative.
 func RunFrom(g *sdf.Graph, tokenTimes []int64, iterations int64) (*Trace, error) {
+	return RunFromCtx(guard.WithBudget(context.Background(), guard.Unlimited()), g, tokenTimes, iterations)
+}
+
+// RunFromCtx is RunFrom under the resilience runtime carried by ctx.
+func RunFromCtx(ctx context.Context, g *sdf.Graph, tokenTimes []int64, iterations int64) (*Trace, error) {
 	if iterations < 0 {
 		return nil, fmt.Errorf("sim: negative iteration count %d", iterations)
 	}
@@ -73,9 +87,34 @@ func RunFrom(g *sdf.Graph, tokenTimes []int64, iterations int64) (*Trace, error)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	if !schedule.IsLive(g) {
-		return nil, fmt.Errorf("sim: %w", schedule.ErrDeadlock)
+	meter := guard.NewMeter(ctx, "simulate")
+	meter.Phase("precheck")
+	// Total firing count q·iterations, overflow-checked and refused up
+	// front when it exceeds the firing budget.
+	totalFirings := int64(0)
+	for _, v := range q {
+		work, ok := rat.MulChecked(v, iterations)
+		if ok {
+			totalFirings, ok = rat.AddChecked(totalFirings, work)
+		}
+		if !ok {
+			totalFirings = -1
+			break
+		}
 	}
+	if totalFirings < 0 {
+		return nil, fmt.Errorf("sim: total firing count q·iterations overflows int64: %w",
+			meter.NeedFirings(-1))
+	}
+	if err := meter.NeedFirings(totalFirings); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	// Liveness via the guarded schedule construction, so that the check
+	// itself honours the deadline and budget on explosive graphs.
+	if _, err := schedule.SequentialCtx(ctx, g); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	meter.Phase("events")
 
 	n := g.NumActors()
 	inCh := make([][]sdf.ChannelID, n)
@@ -106,7 +145,14 @@ func RunFrom(g *sdf.Graph, tokenTimes []int64, iterations int64) (*Trace, error)
 	target := make([]int64, n)
 	started := make([]int64, n)
 	for a := range target {
-		target[a] = q[a] * iterations
+		// Overflow was excluded by the precheck above; recompute checked
+		// anyway so the invariant is local.
+		t, ok := rat.MulChecked(q[a], iterations)
+		if !ok {
+			return nil, fmt.Errorf("sim: firing target q·iterations overflows int64 for actor %s",
+				g.Actor(sdf.ActorID(a)).Name)
+		}
+		target[a] = t
 	}
 
 	// nextStart computes the earliest start of actor a's next firing, or
@@ -136,7 +182,7 @@ func RunFrom(g *sdf.Graph, tokenTimes []int64, iterations int64) (*Trace, error)
 	var pq eventQueue
 	trace := &Trace{Graph: g, ByActor: make([][]int64, n)}
 
-	startAll := func() {
+	startAll := func() error {
 		for a := sdf.ActorID(0); int(a) < n; a++ {
 			for started[a] < target[a] {
 				start, ok := nextStart(a)
@@ -147,15 +193,25 @@ func RunFrom(g *sdf.Graph, tokenTimes []int64, iterations int64) (*Trace, error)
 				for _, id := range inCh[a] {
 					heads[id] += g.Channel(id).Cons
 				}
-				end := start + g.Actor(a).Exec
+				end, ok := rat.AddChecked(start, g.Actor(a).Exec)
+				if !ok {
+					return fmt.Errorf("sim: completion time of actor %s overflows int64 (start %d + exec %d)",
+						g.Actor(a).Name, start, g.Actor(a).Exec)
+				}
 				heap.Push(&pq, event{time: end, actor: a, index: started[a], start: start})
 				started[a]++
 			}
 		}
+		return nil
 	}
 
-	startAll()
+	if err := startAll(); err != nil {
+		return nil, err
+	}
 	for pq.Len() > 0 {
+		if err := meter.Firings(1); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 		ev := heap.Pop(&pq).(event)
 		for _, id := range outCh[ev.actor] {
 			c := g.Channel(id)
@@ -168,7 +224,9 @@ func RunFrom(g *sdf.Graph, tokenTimes []int64, iterations int64) (*Trace, error)
 		if ev.time > trace.Horizon {
 			trace.Horizon = ev.time
 		}
-		startAll()
+		if err := startAll(); err != nil {
+			return nil, err
+		}
 	}
 
 	for a := range target {

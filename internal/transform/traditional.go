@@ -6,9 +6,11 @@
 package transform
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/guard"
 	"repro/internal/rat"
 	"repro/internal/sdf"
 )
@@ -33,29 +35,63 @@ type TraditionalStats struct {
 // Parallel channels between the same pair of copies are pruned to the one
 // with the fewest initial tokens; this does not change the timing.
 func Traditional(g *sdf.Graph) (*sdf.Graph, TraditionalStats, error) {
-	q, err := g.RepetitionVector()
-	if err != nil {
+	return TraditionalCtx(guard.WithBudget(context.Background(), guard.Unlimited()), g)
+}
+
+// TraditionalCtx is Traditional under the resilience runtime. The actor
+// count of the result is Σq — the iteration length the paper warns can
+// be exponential in the graph description — so the estimate is checked
+// against the actor budget carried by ctx before anything is allocated,
+// and both construction loops checkpoint the context. All token-position
+// arithmetic is overflow-checked: adversarial rates produce an error
+// instead of silently wrapped channel structure.
+func TraditionalCtx(ctx context.Context, g *sdf.Graph) (*sdf.Graph, TraditionalStats, error) {
+	fail := func(err error) (*sdf.Graph, TraditionalStats, error) {
 		return nil, TraditionalStats{}, fmt.Errorf("transform: traditional conversion: %w", err)
 	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return fail(err)
+	}
 
+	meter := guard.NewMeter(ctx, "traditional")
+	meter.Phase("precheck")
+	iterLen := int64(0)
+	for _, v := range q {
+		s, ok := rat.AddChecked(iterLen, v)
+		if !ok {
+			iterLen = -1
+			break
+		}
+		iterLen = s
+	}
+	if err := meter.NeedActors(iterLen); err != nil {
+		return fail(err)
+	}
+
+	meter.Phase("actors")
 	h := sdf.NewGraph(g.Name() + "_hsdf_traditional")
 	copies := make([][]sdf.ActorID, g.NumActors())
 	for a := 0; a < g.NumActors(); a++ {
 		src := g.Actor(sdf.ActorID(a))
-		copies[a] = make([]sdf.ActorID, q[a])
+		copies[a] = make([]sdf.ActorID, 0, guard.SliceCap(q[a]))
 		for i := int64(0); i < q[a]; i++ {
+			if err := meter.Firings(1); err != nil {
+				return fail(err)
+			}
 			name := src.Name
 			if q[a] > 1 {
 				name = fmt.Sprintf("%s_%d", src.Name, i)
 			}
 			id, err := h.AddActor(name, src.Exec)
 			if err != nil {
-				return nil, TraditionalStats{}, fmt.Errorf("transform: traditional conversion: %w", err)
+				return fail(err)
 			}
-			copies[a][i] = id
+			copies[a] = append(copies[a], id)
 		}
 	}
 
+	meter.Phase("channels")
 	// best[{src,dst}] = fewest initial tokens among parallel channels.
 	type pair struct{ src, dst sdf.ActorID }
 	best := make(map[pair]int)
@@ -68,11 +104,29 @@ func Traditional(g *sdf.Graph) (*sdf.Graph, TraditionalStats, error) {
 
 	for _, c := range g.Channels() {
 		for k := int64(0); k < q[c.Dst]; k++ {
+			// Position, counted from the start of iteration 0, of the
+			// first token consumed by firing k of the destination:
+			// k·cons − initial. Negative positions are initial tokens.
+			base, ok := rat.MulChecked(k, int64(c.Cons))
+			if !ok {
+				return fail(fmt.Errorf("token position k·cons overflows int64 on channel %s -> %s",
+					g.Actor(c.Src).Name, g.Actor(c.Dst).Name))
+			}
+			base, ok = rat.AddChecked(base, -int64(c.Initial))
+			if !ok {
+				return fail(fmt.Errorf("token position overflows int64 on channel %s -> %s",
+					g.Actor(c.Src).Name, g.Actor(c.Dst).Name))
+			}
 			for i := 0; i < c.Cons; i++ {
-				// Position, counted from the start of iteration 0, of the
-				// i-th token consumed by firing k of the destination.
-				// Negative positions are initial tokens.
-				t := k*int64(c.Cons) + int64(i) - int64(c.Initial)
+				if err := meter.Tick(1); err != nil {
+					return fail(err)
+				}
+				// Position of the i-th token consumed by firing k.
+				t, ok := rat.AddChecked(base, int64(i))
+				if !ok {
+					return fail(fmt.Errorf("token position overflows int64 on channel %s -> %s",
+						g.Actor(c.Src).Name, g.Actor(c.Dst).Name))
+				}
 				// Producing firing m of c.Src fills positions
 				// m*Prod … m*Prod+Prod−1; a negative m is a firing of an
 				// earlier iteration and becomes initial tokens on the
@@ -103,7 +157,7 @@ func Traditional(g *sdf.Graph) (*sdf.Graph, TraditionalStats, error) {
 	for _, k := range pairs {
 		tokens := best[k]
 		if _, err := h.AddChannel(k.src, k.dst, 1, 1, tokens); err != nil {
-			return nil, TraditionalStats{}, fmt.Errorf("transform: traditional conversion: %w", err)
+			return fail(err)
 		}
 		stats.Edges++
 		stats.Tokens += tokens

@@ -28,6 +28,7 @@
 package sdfreduce
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -35,6 +36,7 @@ import (
 	"repro/internal/buffersizing"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/guard"
 	"repro/internal/lint"
 	"repro/internal/mapping"
 	"repro/internal/mcm"
@@ -85,23 +87,100 @@ const (
 	MethodHSDF = analysis.HSDF
 )
 
+// Resilience runtime (internal/guard): every analysis entry point of
+// the facade runs under a work budget and, through the Ctx variants,
+// honours context deadlines and cancellation at checkpoints inside the
+// engines' hot loops. Panics inside an engine surface as structured
+// *EngineError values instead of crashing the process.
+type (
+	// Budget caps the work one analysis may perform (states explored,
+	// firings executed, HSDF actors materialised, initial tokens
+	// accepted). The zero value means "defaults"; negative dimensions
+	// are unlimited.
+	Budget = guard.Budget
+	// EngineError is the structured failure of one engine: it names the
+	// engine and phase and carries the work counters at the stop.
+	EngineError = guard.EngineError
+	// ResilientReport explains a resilient analysis: which engine
+	// answered and why the others failed or were skipped.
+	ResilientReport = analysis.ResilientReport
+	// EngineAttempt is one rung of the resilient ladder.
+	EngineAttempt = analysis.EngineAttempt
+)
+
+// Error taxonomy of the resilience runtime; test with errors.Is.
+var (
+	// ErrBudgetExceeded marks work refused or aborted because a budget
+	// dimension was exhausted.
+	ErrBudgetExceeded = guard.ErrBudgetExceeded
+	// ErrCanceled marks work aborted by context cancellation or
+	// deadline; the context cause is wrapped alongside it.
+	ErrCanceled = guard.ErrCanceled
+	// ErrEngineFailed marks an engine that panicked or failed
+	// internally.
+	ErrEngineFailed = guard.ErrEngineFailed
+)
+
+// DefaultBudget returns the budget applied when a context carries none.
+func DefaultBudget() Budget { return guard.Default() }
+
+// UnlimitedBudget returns a budget with every work cap lifted
+// (deadlines still apply).
+func UnlimitedBudget() Budget { return guard.Unlimited() }
+
+// UniformBudget returns a budget with every work dimension set to n
+// (n <= 0 means unlimited) — the shape sdftool's -budget flag uses.
+func UniformBudget(n int64) Budget { return guard.Uniform(n) }
+
+// WithBudget returns a context carrying b; the Ctx analysis variants
+// read their budget from the context they are given.
+func WithBudget(ctx context.Context, b Budget) context.Context { return guard.WithBudget(ctx, b) }
+
 // ComputeThroughput analyses the self-timed throughput of g. Structurally
 // unsound graphs (inconsistent rates, token-insufficient cycles) fail
-// fast with the lint prechecks' diagnostics.
+// fast with the lint prechecks' diagnostics. The default work budget
+// applies: explosive graphs are refused with ErrBudgetExceeded instead
+// of hanging the process.
 func ComputeThroughput(g *Graph, m Method) (Throughput, error) {
+	return ComputeThroughputCtx(context.Background(), g, m)
+}
+
+// ComputeThroughputCtx is ComputeThroughput under an explicit context:
+// the engine honours ctx's deadline/cancellation at checkpoints inside
+// its hot loops and charges its work against the budget carried by ctx
+// (WithBudget; DefaultBudget when absent).
+func ComputeThroughputCtx(ctx context.Context, g *Graph, m Method) (Throughput, error) {
 	if err := lint.Precheck(g); err != nil {
 		return Throughput{}, err
 	}
-	return analysis.ComputeThroughput(g, m)
+	return analysis.ComputeThroughputCtx(ctx, g, m)
+}
+
+// ComputeThroughputResilient analyses g with the engine-degradation
+// ladder: matrix first, state-space as fallback, traditional HSDF only
+// when the static size estimate fits the budget. The report says which
+// engine answered and why the others failed or were skipped; it is
+// returned even on total failure.
+func ComputeThroughputResilient(ctx context.Context, g *Graph) (Throughput, *ResilientReport, error) {
+	if err := lint.Precheck(g); err != nil {
+		return Throughput{}, nil, err
+	}
+	return analysis.ComputeThroughputResilient(ctx, g)
 }
 
 // ComputeLatency derives a latency report of one iteration of g, after
 // the lint prechecks.
 func ComputeLatency(g *Graph) (*LatencyReport, error) {
+	return ComputeLatencyCtx(context.Background(), g)
+}
+
+// ComputeLatencyCtx is ComputeLatency under an explicit context and the
+// budget it carries.
+func ComputeLatencyCtx(ctx context.Context, g *Graph) (*LatencyReport, error) {
 	if err := lint.Precheck(g); err != nil {
 		return nil, err
 	}
-	return analysis.ComputeLatency(g)
+	return analysis.ComputeLatencyCtx(ctx, g)
 }
 
 // Model-level static analysis (diagnostics over graphs).
@@ -129,6 +208,11 @@ const (
 	// LintError marks a violated precondition of the analyses.
 	LintError = lint.Error
 )
+
+// PrecheckError is the error returned when the cheap lint passes find
+// Error-level diagnostics; it carries the full report and unwraps to
+// the sentinel causes (ErrInconsistent, ErrDeadlockCycle).
+type PrecheckError = lint.PrecheckError
 
 // ErrDeadlockCycle is wrapped by precheck errors caused by a
 // token-insufficient cycle; test with errors.Is.
@@ -238,6 +322,29 @@ func ConvertSymbolic(g *Graph) (*Graph, *SymbolicResult, ConvertStats, error) {
 	return core.ConvertSymbolic(g)
 }
 
+// ConvertSymbolicCtx is ConvertSymbolic under an explicit context: the
+// symbolic iteration inside the conversion honours ctx's deadline and
+// the budget it carries.
+func ConvertSymbolicCtx(ctx context.Context, g *Graph) (*Graph, *SymbolicResult, ConvertStats, error) {
+	if err := lint.Precheck(g); err != nil {
+		return nil, nil, ConvertStats{}, err
+	}
+	var (
+		h     *Graph
+		r     *SymbolicResult
+		stats ConvertStats
+	)
+	err := guard.Protect("symbolic", "convert", func() error {
+		var err error
+		h, r, stats, err = core.ConvertSymbolicCtx(ctx, g)
+		return err
+	})
+	if err != nil {
+		return nil, nil, ConvertStats{}, err
+	}
+	return h, r, stats, nil
+}
+
 // BuildOptions configures BuildHSDF (mux/demux elision, observers).
 type BuildOptions = core.BuildOptions
 
@@ -256,12 +363,36 @@ func BuildHSDF(name string, r *SymbolicResult, opts BuildOptions) (*Graph, Conve
 }
 
 // ConvertTraditional converts g to HSDF with the classical algorithm: one
-// actor per firing of an iteration. The lint prechecks run first.
+// actor per firing of an iteration. The lint prechecks run first, and
+// the default work budget applies: a graph whose iteration length
+// exceeds the actor budget is refused with ErrBudgetExceeded up front
+// instead of exhausting the machine.
 func ConvertTraditional(g *Graph) (*Graph, TraditionalStats, error) {
+	return ConvertTraditionalCtx(context.Background(), g)
+}
+
+// ConvertTraditionalCtx is ConvertTraditional under an explicit context:
+// the conversion honours ctx's deadline/cancellation at checkpoints and
+// charges the budget carried by ctx (WithBudget; DefaultBudget when
+// absent) — the Σq actor estimate is checked before anything is
+// allocated.
+func ConvertTraditionalCtx(ctx context.Context, g *Graph) (*Graph, TraditionalStats, error) {
 	if err := lint.Precheck(g); err != nil {
 		return nil, TraditionalStats{}, err
 	}
-	return transform.Traditional(g)
+	var (
+		h     *Graph
+		stats TraditionalStats
+	)
+	err := guard.Protect("traditional", "convert", func() error {
+		var err error
+		h, stats, err = transform.TraditionalCtx(ctx, g)
+		return err
+	})
+	if err != nil {
+		return nil, TraditionalStats{}, err
+	}
+	return h, stats, nil
 }
 
 // PruneRedundantChannels drops dominated parallel channels (§4.2).
@@ -314,7 +445,23 @@ type (
 // ExploreBuffers walks the throughput/buffer trade-off of g, returning
 // the Pareto staircase of (total capacity, iteration period) points.
 func ExploreBuffers(g *Graph, opts BufferOptions) (*BufferResult, error) {
-	return buffersizing.Explore(g, opts)
+	return ExploreBuffersCtx(context.Background(), g, opts)
+}
+
+// ExploreBuffersCtx is ExploreBuffers under an explicit context: the
+// walk checkpoints ctx between capacity evaluations and every inner
+// throughput analysis runs under the budget carried by ctx.
+func ExploreBuffersCtx(ctx context.Context, g *Graph, opts BufferOptions) (*BufferResult, error) {
+	var res *BufferResult
+	err := guard.Protect("buffersizing", "explore", func() error {
+		var err error
+		res, err = buffersizing.ExploreCtx(ctx, g, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // MinimalBufferCapacity returns the smallest capacity under which a
@@ -334,8 +481,28 @@ type (
 )
 
 // Simulate runs self-timed execution of g for the given number of
-// iterations.
-func Simulate(g *Graph, iterations int64) (*Trace, error) { return sim.Run(g, iterations) }
+// iterations. The default work budget applies to the total firing
+// count.
+func Simulate(g *Graph, iterations int64) (*Trace, error) {
+	return SimulateCtx(context.Background(), g, iterations)
+}
+
+// SimulateCtx is Simulate under an explicit context: the total firing
+// count q·iterations is checked against the budget carried by ctx
+// before the event loop starts, and every completed firing checkpoints
+// the context.
+func SimulateCtx(ctx context.Context, g *Graph, iterations int64) (*Trace, error) {
+	var tr *Trace
+	err := guard.Protect("simulate", "run", func() error {
+		var err error
+		tr, err = sim.RunCtx(ctx, g, iterations)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
 
 // MeasuredPeriod estimates the iteration period from a simulation trace.
 func MeasuredPeriod(tr *Trace, iterations int64) (Rat, error) {

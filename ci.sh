@@ -25,4 +25,13 @@ echo '== fuzz smoke: FuzzPerturb (10s)'
 # and hangs in the analysis engines without slowing the gate much.
 timeout 120 go test -run='^$' -fuzz='^FuzzPerturb$' -fuzztime=10s .
 
+echo '== fuzz smoke: FuzzParse (10s)'
+timeout 120 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=10s ./internal/sdfio
+
+echo '== sdfbench engine timings -> BENCH_3.json'
+# Per-engine throughput wall times over the seed benchmark graphs. The
+# short deadline keeps the gate fast; engines that cannot finish in
+# time are recorded in the JSON as deadline errors, not failures.
+timeout 120 go run ./cmd/sdfbench -engines BENCH_3.json -deadline 2s
+
 echo 'ci: all checks passed'

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	sdfreduce "repro"
+	"repro/internal/benchmarks"
+)
+
+// engineTiming is the measured outcome of one engine on one graph.
+type engineTiming struct {
+	Engine    string `json:"engine"`
+	OK        bool   `json:"ok"`
+	Period    string `json:"period,omitempty"`
+	Unbounded bool   `json:"unbounded,omitempty"`
+	Error     string `json:"error,omitempty"`
+	WallNS    int64  `json:"wall_ns"`
+}
+
+// engineCase is one benchmark graph with all engine timings.
+type engineCase struct {
+	Name     string         `json:"name"`
+	Actors   int            `json:"actors"`
+	Channels int            `json:"channels"`
+	Engines  []engineTiming `json:"engines"`
+}
+
+// enginesReport is the JSON document emitted by -engines (the CI gate
+// writes it to BENCH_3.json).
+type enginesReport struct {
+	Benchmark string       `json:"benchmark"`
+	Cases     []engineCase `json:"cases"`
+}
+
+// runEngines measures the throughput wall time of every engine — the
+// three direct ones plus the hedged race — on the seed benchmark
+// graphs, prints a summary table and writes the JSON report to path.
+// Engines that fail (an explosive conversion refused by the budget, for
+// instance) are recorded with their error, not treated as fatal: the
+// benchmark documents engine behaviour, it does not require every
+// engine to fit every graph.
+func runEngines(w io.Writer, path string, deadline time.Duration) error {
+	report := enginesReport{Benchmark: "throughput-engines"}
+	fmt.Fprintln(w, "Throughput engine wall times over the benchmark suite:")
+	fmt.Fprintf(w, "%-24s %-12s %12s   %s\n", "case", "engine", "wall", "result")
+	for _, c := range benchmarks.All() {
+		g := c.Graph()
+		ec := engineCase{Name: c.Name, Actors: g.NumActors(), Channels: g.NumChannels()}
+		for _, m := range []sdfreduce.Method{
+			sdfreduce.MethodMatrix, sdfreduce.MethodStateSpace, sdfreduce.MethodHSDF,
+		} {
+			ec.Engines = append(ec.Engines, timeEngine(m.String(), deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
+				return sdfreduce.ComputeThroughputCtx(ctx, g, m)
+			}))
+		}
+		ec.Engines = append(ec.Engines, timeEngine("hedged", deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
+			tp, _, err := sdfreduce.ComputeThroughputHedged(ctx, g)
+			return tp, err
+		}))
+		for _, e := range ec.Engines {
+			result := e.Period
+			if e.Unbounded {
+				result = "unbounded"
+			}
+			if !e.OK {
+				result = "error: " + e.Error
+			}
+			fmt.Fprintf(w, "%-24s %-12s %12v   %s\n",
+				c.Name, e.Engine, time.Duration(e.WallNS).Round(time.Microsecond), result)
+		}
+		report.Cases = append(report.Cases, ec)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n\n", path)
+	return nil
+}
+
+// timeEngine runs one engine under the per-engine deadline and the
+// default budget and captures its wall time and outcome.
+func timeEngine(name string, deadline time.Duration, run func(context.Context) (sdfreduce.Throughput, error)) engineTiming {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	t0 := time.Now()
+	tp, err := run(ctx)
+	e := engineTiming{Engine: name, WallNS: time.Since(t0).Nanoseconds()}
+	if err != nil {
+		e.Error = err.Error()
+		return e
+	}
+	e.OK = true
+	if tp.Unbounded {
+		e.Unbounded = true
+	} else {
+		e.Period = tp.Period.String()
+	}
+	return e
+}

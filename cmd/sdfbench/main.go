@@ -4,6 +4,8 @@
 //	                     the benchmark suite, with conversion run times
 //	sdfbench -fig1       the §4.1 / Figure 1 abstraction accuracy sweep
 //	sdfbench -fig5       the §7 / Figure 5 prefetch model (1584 blocks)
+//	sdfbench -engines F  per-engine throughput wall times over the
+//	                     benchmark suite, written to the JSON file F
 //	sdfbench -all        everything
 //
 // Output is aligned text with one row per table row or figure series
@@ -27,16 +29,23 @@ func main() {
 	fig5 := flag.Bool("fig5", false, "reproduce the Figure 5 prefetch experiment")
 	all := flag.Bool("all", false, "run every experiment")
 	blocks := flag.Int("blocks", 1584, "fig5: computations per frame")
+	engines := flag.String("engines", "", "measure throughput wall times per engine over the benchmark suite and write this JSON file")
+	deadline := flag.Duration("deadline", 10*time.Second, "engines: per-engine wall-clock cap (slow engines are recorded as deadline errors)")
 	flag.Parse()
 
 	if *all {
 		*table1, *fig1, *fig5 = true, true, true
 	}
-	if !*table1 && !*fig1 && !*fig5 {
+	if !*table1 && !*fig1 && !*fig5 && *engines == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	w := os.Stdout
+	if *engines != "" {
+		if err := runEngines(w, *engines, *deadline); err != nil {
+			fail(err)
+		}
+	}
 	if *table1 {
 		if err := runTable1(w); err != nil {
 			fail(err)

@@ -11,7 +11,8 @@
 //	info        structural summary: actors, channels, tokens, consistency
 //	rv          repetition vector
 //	throughput  iteration period and per-actor throughput (-method
-//	            matrix|statespace|hsdf|resilient)
+//	            matrix|statespace|hsdf|resilient|hedged; -verify certifies
+//	            the result and re-checks it in exact arithmetic)
 //	latency     iteration latency report
 //	convert     SDF→HSDF conversion (-algo symbolic|traditional)
 //	abstract    apply the name-based abstraction and report the bound
@@ -111,9 +112,10 @@ func run(args []string, out io.Writer) error {
 		return withGraph(rest, out, cmdRV, nil)
 	case "throughput":
 		fs := flag.NewFlagSet("throughput", flag.ContinueOnError)
-		method := fs.String("method", "matrix", "engine: matrix, statespace, hsdf or resilient")
+		method := fs.String("method", "matrix", "engine: matrix, statespace, hsdf, resilient or hedged")
+		verifyF := fs.Bool("verify", false, "certify the result and re-check it with the independent exact-arithmetic checker")
 		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
-			return cmdThroughput(ctx, w, g, *method)
+			return cmdThroughput(ctx, w, g, *method, *verifyF)
 		}, fs)
 	case "latency":
 		return withGraph(rest, out, cmdLatency, nil)
@@ -299,7 +301,7 @@ func cmdRV(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 	return nil
 }
 
-func cmdThroughput(ctx context.Context, w io.Writer, g *sdfreduce.Graph, methodName string) error {
+func cmdThroughput(ctx context.Context, w io.Writer, g *sdfreduce.Graph, methodName string, verified bool) error {
 	var method sdfreduce.Method
 	switch methodName {
 	case "matrix":
@@ -309,15 +311,47 @@ func cmdThroughput(ctx context.Context, w io.Writer, g *sdfreduce.Graph, methodN
 	case "hsdf":
 		method = sdfreduce.MethodHSDF
 	case "resilient":
+		if verified {
+			return fmt.Errorf("-verify is not supported with -method resilient (use hedged: it verifies every answer)")
+		}
 		return cmdThroughputResilient(ctx, w, g)
+	case "hedged":
+		return cmdThroughputHedged(ctx, w, g)
 	default:
-		return fmt.Errorf("unknown method %q (matrix, statespace, hsdf, resilient)", methodName)
+		return fmt.Errorf("unknown method %q (matrix, statespace, hsdf, resilient, hedged)", methodName)
+	}
+	if verified {
+		tp, cert, err := sdfreduce.ComputeThroughputCertified(ctx, g, method)
+		if err != nil {
+			return err
+		}
+		printThroughput(w, g, tp, method.String())
+		fmt.Fprintf(w, "verified: %s\n", cert)
+		return nil
 	}
 	tp, err := sdfreduce.ComputeThroughputCtx(ctx, g, method)
 	if err != nil {
 		return err
 	}
 	printThroughput(w, g, tp, method.String())
+	return nil
+}
+
+func cmdThroughputHedged(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
+	tp, rep, err := sdfreduce.ComputeThroughputHedged(ctx, g)
+	if rep != nil {
+		fmt.Fprintln(w, "engine race:")
+		for _, line := range strings.Split(strings.TrimRight(rep.String(), "\n"), "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	printThroughput(w, g, tp, rep.Winner.String())
+	if cert := rep.Certificates[rep.Winner]; cert != nil {
+		fmt.Fprintf(w, "verified: %s\n", cert)
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/guard"
 	"repro/internal/lint"
@@ -41,18 +42,18 @@ type ResilientReport struct {
 
 // String renders the ladder for humans, one line per engine.
 func (r *ResilientReport) String() string {
-	s := ""
+	var b strings.Builder
 	for _, a := range r.Attempts {
 		switch {
 		case r.Answered && a.Method == r.Winner:
-			s += fmt.Sprintf("%-11s answered\n", a.Method)
+			fmt.Fprintf(&b, "%-11s answered\n", a.Method)
 		case a.Skipped:
-			s += fmt.Sprintf("%-11s skipped: %s\n", a.Method, a.Reason)
+			fmt.Fprintf(&b, "%-11s skipped: %s\n", a.Method, a.Reason)
 		default:
-			s += fmt.Sprintf("%-11s failed: %s\n", a.Method, a.Reason)
+			fmt.Fprintf(&b, "%-11s failed: %s\n", a.Method, a.Reason)
 		}
 	}
-	return s
+	return b.String()
 }
 
 // ComputeThroughputResilient analyses g with the engine-degradation

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/guard"
+	"repro/internal/sdf"
+)
+
+// Satellite of the verification PR: the report renderer builds its
+// output incrementally, so cover all three rendering branches with a
+// hand-built report.
+func TestResilientReportStringBranches(t *testing.T) {
+	rep := &ResilientReport{
+		Attempts: []EngineAttempt{
+			{Method: Matrix, Reason: "boom", Err: errors.New("boom")},
+			{Method: StateSpace},
+			{Method: HSDF, Skipped: true, Reason: "too big"},
+		},
+		Winner:   StateSpace,
+		Answered: true,
+	}
+	got := rep.String()
+	want := "matrix      failed: boom\n" +
+		"statespace  answered\n" +
+		"hsdf        skipped: too big\n"
+	if got != want {
+		t.Errorf("String() =\n%q\nwant\n%q", got, want)
+	}
+}
+
+// The HSDF rung is skipped by the static precheck when the iteration
+// length exceeds the actor budget; injected failures push the ladder
+// past the first two rungs deterministically so the skip is observable.
+func TestResilientPrecheckSizeSkip(t *testing.T) {
+	g := gen.Figure2()
+	b := guard.Unlimited()
+	b.CheckEvery = 1
+	b.MaxHSDFActors = 1
+	ctx := guard.WithBudget(context.Background(), b)
+	ctx = guard.WithInjector(ctx, guard.NewInjector(
+		guard.Fault{Engine: "matrix", Point: guard.PointCheckpoint, Mode: guard.ModeError},
+		guard.Fault{Engine: "statespace", Point: guard.PointCheckpoint, Mode: guard.ModeError},
+	))
+	_, rep, err := ComputeThroughputResilient(ctx, g)
+	if err == nil {
+		t.Fatal("ladder answered although every rung was disabled")
+	}
+	if len(rep.Attempts) != 3 {
+		t.Fatalf("report has %d attempts, want 3:\n%s", len(rep.Attempts), rep)
+	}
+	for _, at := range rep.Attempts[:2] {
+		if at.Skipped || !errors.Is(at.Err, guard.ErrEngineFailed) {
+			t.Errorf("%v: want an injected engine failure, got %+v", at.Method, at)
+		}
+	}
+	hsdf := rep.Attempts[2]
+	if !hsdf.Skipped || !strings.Contains(hsdf.Reason, "exceeds the HSDF actor budget") {
+		t.Errorf("hsdf rung not skipped by the size precheck: %+v", hsdf)
+	}
+}
+
+func TestResilientSkipsOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, rep, err := ComputeThroughputResilient(ctx, gen.Figure2())
+	if err == nil {
+		t.Fatal("cancelled context still produced an answer")
+	}
+	if rep.Answered || len(rep.Attempts) != 3 {
+		t.Fatalf("unexpected report shape:\n%s", rep)
+	}
+	for _, at := range rep.Attempts {
+		if !at.Skipped || !strings.Contains(at.Reason, "context done") {
+			t.Errorf("%v: want a context-done skip, got %+v", at.Method, at)
+		}
+	}
+}
+
+func TestResilientAllEnginesFailedReport(t *testing.T) {
+	g := sdf.NewGraph("inconsistent")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 2, 3, 0)
+	g.MustAddChannel(b, a, 1, 1, 1)
+	_, rep, err := ComputeThroughputResilient(context.Background(), g)
+	if err == nil || rep.Answered {
+		t.Fatal("inconsistent graph produced an answer")
+	}
+	if len(rep.Attempts) != 3 {
+		t.Fatalf("report has %d attempts, want 3", len(rep.Attempts))
+	}
+	// The first two rungs fail on the balance equations; the HSDF rung
+	// is skipped because the lint size estimate is unavailable on an
+	// inconsistent graph.
+	s := rep.String()
+	if strings.Count(s, "failed:") != 2 {
+		t.Errorf("report should render two failures:\n%s", s)
+	}
+	if !rep.Attempts[2].Skipped || !strings.Contains(rep.Attempts[2].Reason, "size estimate unavailable") {
+		t.Errorf("hsdf rung should be skipped by the unavailable size estimate: %+v", rep.Attempts[2])
+	}
+}
+
+// A panic injected into the matrix engine is contained by the panic
+// isolation layer and the ladder degrades to the next rung — the
+// documented behaviour, provoked deterministically.
+func TestResilientDegradesOnInjectedPanic(t *testing.T) {
+	g := gen.Figure2()
+	b := guard.Unlimited()
+	b.CheckEvery = 1
+	ctx := guard.WithBudget(context.Background(), b)
+	ctx = guard.WithInjector(ctx, guard.NewInjector(
+		guard.Fault{Engine: "matrix", Point: guard.PointCheckpoint, Mode: guard.ModePanic},
+	))
+	tp, rep, err := ComputeThroughputResilient(ctx, g)
+	if err != nil {
+		t.Fatalf("ladder did not degrade past the injected panic: %v\n%s", err, rep)
+	}
+	if rep.Winner != StateSpace {
+		t.Errorf("winner = %v, want statespace after the matrix rung panics", rep.Winner)
+	}
+	if tp.Unbounded {
+		t.Error("result unbounded")
+	}
+	if !errors.Is(rep.Attempts[0].Err, guard.ErrEngineFailed) {
+		t.Errorf("matrix attempt = %+v, want a contained panic as ErrEngineFailed", rep.Attempts[0])
+	}
+}

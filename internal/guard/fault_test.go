@@ -1,0 +1,140 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// injCtx returns a context with an unlimited budget, checkpoint
+// granularity 1 (so every work unit is a checkpoint) and the given
+// faults armed.
+func injCtx(faults ...Fault) (context.Context, *Injector) {
+	inj := NewInjector(faults...)
+	b := Unlimited()
+	b.CheckEvery = 1
+	ctx := WithInjector(WithBudget(context.Background(), b), inj)
+	return ctx, inj
+}
+
+func TestInjectErrorAtNthCheckpoint(t *testing.T) {
+	ctx, inj := injCtx(Fault{Engine: "matrix", Point: PointCheckpoint, Mode: ModeError, N: 3})
+	m := NewMeter(ctx, "matrix")
+	m.Phase("loop")
+	for i := 1; i <= 2; i++ {
+		if err := m.Tick(1); err != nil {
+			t.Fatalf("checkpoint %d failed early: %v", i, err)
+		}
+	}
+	err := m.Tick(1)
+	if err == nil {
+		t.Fatal("3rd checkpoint did not fire the armed fault")
+	}
+	if !errors.Is(err, ErrEngineFailed) {
+		t.Errorf("injected error wraps %v, want ErrEngineFailed", err)
+	}
+	var ee *EngineError
+	if !errors.As(err, &ee) || ee.Engine != "matrix" || ee.Phase != "loop" {
+		t.Errorf("injected error not attributed: %v", err)
+	}
+	if inj.Fired() != 1 {
+		t.Errorf("Fired = %d, want 1", inj.Fired())
+	}
+	// One-shot: the disarmed fault never fires again.
+	for i := 0; i < 10; i++ {
+		if err := m.Tick(1); err != nil {
+			t.Fatalf("disarmed fault fired again: %v", err)
+		}
+	}
+}
+
+func TestInjectEngineSelectivity(t *testing.T) {
+	ctx, inj := injCtx(Fault{Engine: "matrix", Point: PointCheckpoint, Mode: ModeError})
+	other := NewMeter(ctx, "statespace")
+	for i := 0; i < 5; i++ {
+		if err := other.Tick(1); err != nil {
+			t.Fatalf("fault armed for matrix fired in statespace: %v", err)
+		}
+	}
+	if inj.Fired() != 0 {
+		t.Fatalf("Fired = %d before the matching engine ran", inj.Fired())
+	}
+	if err := NewMeter(ctx, "matrix").Canceled(); !errors.Is(err, ErrEngineFailed) {
+		t.Errorf("matching engine's first checkpoint: %v, want injected failure", err)
+	}
+}
+
+func TestInjectPanicCaughtByProtect(t *testing.T) {
+	ctx, _ := injCtx(Fault{Point: PointCheckpoint, Mode: ModePanic})
+	err := Protect("sim", "run", func() error {
+		m := NewMeter(ctx, "sim")
+		return m.Tick(1)
+	})
+	if !errors.Is(err, ErrEngineFailed) {
+		t.Fatalf("Protect returned %v, want ErrEngineFailed from injected panic", err)
+	}
+}
+
+func TestInjectRefuseAtPrecheck(t *testing.T) {
+	ctx, _ := injCtx(Fault{Point: PointPrecheck, Mode: ModeRefuse})
+	m := NewMeter(ctx, "traditional")
+	err := m.NeedActors(4)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("NeedActors = %v, want injected ErrBudgetExceeded", err)
+	}
+	// Other prechecks are untouched once the one-shot fault fired.
+	if err := m.NeedFirings(4); err != nil {
+		t.Errorf("NeedFirings after disarm: %v", err)
+	}
+	if err := m.NeedTokens(4); err != nil {
+		t.Errorf("NeedTokens after disarm: %v", err)
+	}
+}
+
+func TestInjectRefuseNthAlloc(t *testing.T) {
+	ctx, _ := injCtx(Fault{Point: PointAlloc, Mode: ModeRefuse, N: 2})
+	m := NewMeter(ctx, "schedule")
+	if c, err := m.Alloc(100); err != nil || c != 100 {
+		t.Fatalf("1st Alloc = (%d, %v), want (100, nil)", c, err)
+	}
+	c, err := m.Alloc(100)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("2nd Alloc = (%d, %v), want injected ErrBudgetExceeded", c, err)
+	}
+}
+
+func TestAllocClampsLikeSliceCap(t *testing.T) {
+	m := NewMeter(context.Background(), "schedule")
+	if c, err := m.Alloc(-1); err != nil || c != 0 {
+		t.Errorf("Alloc(-1) = (%d, %v), want (0, nil)", c, err)
+	}
+	if c, err := m.Alloc(1 << 40); err != nil || c != 1<<20 {
+		t.Errorf("Alloc(1<<40) = (%d, %v), want clamp to %d", c, err, 1<<20)
+	}
+}
+
+func TestInjectorZeroNMeansFirst(t *testing.T) {
+	ctx, _ := injCtx(Fault{Point: PointCheckpoint, Mode: ModeError, N: 0})
+	if err := NewMeter(ctx, "x").Canceled(); !errors.Is(err, ErrEngineFailed) {
+		t.Fatalf("N=0 fault did not fire on the first checkpoint: %v", err)
+	}
+}
+
+func TestPointAndModeStrings(t *testing.T) {
+	cases := map[string]string{
+		PointCheckpoint.String(): "checkpoint",
+		PointPrecheck.String():   "precheck",
+		PointAlloc.String():      "alloc",
+		ModeError.String():       "error",
+		ModePanic.String():       "panic",
+		ModeRefuse.String():      "refuse",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if FaultPoint(99).String() == "" || FaultMode(99).String() == "" {
+		t.Error("out-of-range String() empty")
+	}
+}

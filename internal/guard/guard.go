@@ -179,12 +179,16 @@ type Meter struct {
 	states    int64
 	firings   int64
 	sincePoll int
+	inj       *Injector
 }
 
-// NewMeter returns a meter for the named engine, reading the budget from
-// ctx.
+// NewMeter returns a meter for the named engine, reading the budget
+// (and any armed fault injector) from ctx.
 func NewMeter(ctx context.Context, engine string) *Meter {
-	return &Meter{engine: engine, phase: "start", ctx: ctx, budget: BudgetFrom(ctx)}
+	return &Meter{
+		engine: engine, phase: "start", ctx: ctx,
+		budget: BudgetFrom(ctx), inj: InjectorFrom(ctx),
+	}
 }
 
 // Budget returns the normalized budget the meter enforces.
@@ -202,8 +206,12 @@ func (m *Meter) fail(cause error) *EngineError {
 }
 
 // Canceled polls the context immediately and returns a structured
-// cancellation error when it is done.
+// cancellation error when it is done. Each call is one checkpoint
+// event for fault injection.
 func (m *Meter) Canceled() error {
+	if err := m.injected(PointCheckpoint); err != nil {
+		return err
+	}
 	select {
 	case <-m.ctx.Done():
 		return m.fail(fmt.Errorf("%w: %w", ErrCanceled, context.Cause(m.ctx)))
@@ -259,6 +267,9 @@ func (m *Meter) States(n int64) error {
 // unlimited budget can execute more than int64 firings). It also polls
 // the context, so an already-expired deadline fails here.
 func (m *Meter) NeedFirings(estimate int64) error {
+	if err := m.injected(PointPrecheck); err != nil {
+		return err
+	}
 	if estimate < 0 {
 		return m.fail(fmt.Errorf("%w: estimated firing count overflows int64", ErrBudgetExceeded))
 	}
@@ -273,6 +284,9 @@ func (m *Meter) NeedFirings(estimate int64) error {
 // actor count exceeds MaxHSDFActors (negative estimate: the estimate
 // overflowed int64).
 func (m *Meter) NeedActors(estimate int64) error {
+	if err := m.injected(PointPrecheck); err != nil {
+		return err
+	}
 	if estimate < 0 {
 		return m.fail(fmt.Errorf("%w: estimated actor count overflows int64", ErrBudgetExceeded))
 	}
@@ -286,6 +300,9 @@ func (m *Meter) NeedActors(estimate int64) error {
 // NeedTokens refuses a matrix-based engine up front when the
 // initial-token count N exceeds MaxTokens (dense N×N tables).
 func (m *Meter) NeedTokens(n int64) error {
+	if err := m.injected(PointPrecheck); err != nil {
+		return err
+	}
 	if max := m.budget.MaxTokens; max >= 0 && n > max {
 		return m.fail(fmt.Errorf("%w: %d initial tokens exceed the limit of %d",
 			ErrBudgetExceeded, n, max))

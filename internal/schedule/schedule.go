@@ -94,9 +94,14 @@ func SequentialCtx(ctx context.Context, g *sdf.Graph) ([]sdf.ActorID, error) {
 		return true
 	}
 
-	// The capacity is clamped: an adversarial Σq must not allocate
-	// gigabytes before the first checkpoint can fire.
-	sched := make([]sdf.ActorID, 0, guard.SliceCap(total))
+	// The capacity is clamped, and the grant is a fault-injection point:
+	// an adversarial Σq must not allocate gigabytes before the first
+	// checkpoint can fire.
+	schedCap, err := meter.Alloc(total)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: %w", err)
+	}
+	sched := make([]sdf.ActorID, 0, schedCap)
 	for int64(len(sched)) < total {
 		progressed := false
 		for a := sdf.ActorID(0); int(a) < n; a++ {

@@ -180,7 +180,13 @@ func RunFromCtx(ctx context.Context, g *sdf.Graph, tokenTimes []int64, iteration
 	// point we greedily start every enabled firing (its start time is
 	// determined purely by token availability).
 	var pq eventQueue
-	trace := &Trace{Graph: g, ByActor: make([][]int64, n)}
+	// The trace holds one entry per firing; the capacity grant is
+	// clamped and doubles as a fault-injection point.
+	traceCap, err := meter.Alloc(totalFirings)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	trace := &Trace{Graph: g, ByActor: make([][]int64, n), Firings: make([]Firing, 0, traceCap)}
 
 	startAll := func() error {
 		for a := sdf.ActorID(0); int(a) < n; a++ {

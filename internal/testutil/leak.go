@@ -1,0 +1,46 @@
+// Package testutil holds assertion helpers shared by the repository's
+// test suites. It is test-support code: production packages must not
+// import it.
+package testutil
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// FailOnLeakedGoroutines fails t when a live goroutine other than the
+// caller's still has pattern in its stack trace after a short grace
+// period. The hedging tests run it (under -race) after every race to
+// prove the racer goroutines shut down with the call that spawned them;
+// a clean run returns on the first probe without sleeping.
+func FailOnLeakedGoroutines(t testing.TB, pattern string) {
+	t.Helper()
+	var leaked []byte
+	for wait := time.Millisecond; ; wait *= 2 {
+		leaked = leakedStacks(pattern)
+		if len(leaked) == 0 || wait > time.Second {
+			break
+		}
+		time.Sleep(wait)
+	}
+	if len(leaked) > 0 {
+		t.Errorf("leaked goroutines matching %q:\n%s", pattern, leaked)
+	}
+}
+
+// leakedStacks returns the stack dumps of all goroutines, except the
+// calling one, whose trace contains pattern.
+func leakedStacks(pattern string) []byte {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	stacks := bytes.Split(buf[:n], []byte("\n\n"))
+	var leaked [][]byte
+	for _, s := range stacks[1:] { // stacks[0] is the calling goroutine
+		if bytes.Contains(s, []byte(pattern)) {
+			leaked = append(leaked, s)
+		}
+	}
+	return bytes.Join(leaked, []byte("\n\n"))
+}

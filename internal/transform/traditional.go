@@ -74,7 +74,11 @@ func TraditionalCtx(ctx context.Context, g *sdf.Graph) (*sdf.Graph, TraditionalS
 	copies := make([][]sdf.ActorID, g.NumActors())
 	for a := 0; a < g.NumActors(); a++ {
 		src := g.Actor(sdf.ActorID(a))
-		copies[a] = make([]sdf.ActorID, 0, guard.SliceCap(q[a]))
+		copyCap, err := meter.Alloc(q[a])
+		if err != nil {
+			return fail(err)
+		}
+		copies[a] = make([]sdf.ActorID, 0, copyCap)
 		for i := int64(0); i < q[a]; i++ {
 			if err := meter.Firings(1); err != nil {
 				return fail(err)

@@ -1,0 +1,86 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// AbstractionCert certifies the Theorem 1 obligation for an abstraction
+// of a homogeneous graph: the abstract graph's iteration period Λ′
+// (itself certified by the inner throughput certificate) yields the
+// conservative per-firing throughput bound τ(a) ≥ 1/(N·Λ′) for every
+// original actor. The conservativity itself — that the N-fold unfolding
+// of the abstract graph is dominated by the original per Proposition 1 —
+// is discharged mechanically through internal/core/conservativity.go.
+type AbstractionCert struct {
+	// Alpha and Index define the abstraction (Definition 3): original
+	// actor a maps to abstract actor Alpha[a] with firing index
+	// Index[a].
+	Alpha []string
+	Index []int
+	// N is the firing round length, 1 + the largest index.
+	N int
+	// AbstractPeriod is the certified iteration period Λ′ of the
+	// abstract graph.
+	AbstractPeriod rat.Rat
+	// Bound is the claimed conservative throughput bound 1/(N·Λ′).
+	Bound rat.Rat
+	// Inner certifies AbstractPeriod against the abstract graph, which
+	// the checker reconstructs from g and the abstraction itself.
+	Inner *ThroughputCert
+}
+
+// Kind returns KindAbstraction.
+func (c *AbstractionCert) Kind() Kind { return KindAbstraction }
+
+// Check validates the certificate against g: the §5 proof obligation
+// (unfold and dominate), the inner period certificate against the
+// reconstructed abstract graph, and the bound arithmetic.
+func (c *AbstractionCert) Check(ctx context.Context, g *sdf.Graph) error {
+	ab := &core.Abstraction{Alpha: c.Alpha, Index: c.Index}
+	if got := ab.N(); got != c.N {
+		return invalidf("abstraction has round length %d, certificate claims %d", got, c.N)
+	}
+	if err := core.VerifyAbstractionConservative(g, ab); err != nil {
+		return fmt.Errorf("%w: theorem 1 obligation: %v", ErrInvalid, err)
+	}
+	if c.Inner == nil {
+		return invalidf("abstraction certificate carries no inner period certificate")
+	}
+	if c.Inner.Unbounded {
+		return invalidf("abstract graph with unbounded throughput yields no finite bound")
+	}
+	if !c.Inner.Period.Equal(c.AbstractPeriod) {
+		return invalidf("inner certificate proves period %v, certificate claims %v",
+			c.Inner.Period, c.AbstractPeriod)
+	}
+	abstract, _, err := core.Abstract(g, ab)
+	if err != nil {
+		return invalidf("abstract graph cannot be reconstructed: %v", err)
+	}
+	if err := c.Inner.Check(ctx, abstract); err != nil {
+		return fmt.Errorf("inner period certificate: %w", err)
+	}
+	want, err := core.ThroughputBound(c.AbstractPeriod, c.N)
+	if err != nil {
+		return invalidf("throughput bound 1/(%d·%v): %v", c.N, c.AbstractPeriod, err)
+	}
+	if !c.Bound.Equal(want) {
+		return invalidf("claimed bound %v, theorem 1 gives %v", c.Bound, want)
+	}
+	return nil
+}
+
+// compile-time interface conformance for every certificate kind
+var (
+	_ Certificate = (*RepetitionCert)(nil)
+	_ Certificate = (*ScheduleCert)(nil)
+	_ Certificate = (*MatrixCert)(nil)
+	_ Certificate = (*ThroughputCert)(nil)
+	_ Certificate = (*TraceCert)(nil)
+	_ Certificate = (*AbstractionCert)(nil)
+)

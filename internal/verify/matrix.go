@@ -1,0 +1,199 @@
+package verify
+
+import (
+	"context"
+
+	"repro/internal/guard"
+	"repro/internal/maxplus"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// exhaustiveReplayLimit caps the work of the exhaustive column-replay
+// cross-check: N columns at one schedule replay (Σq firings) each.
+// Beyond it the checker still performs the single concrete iteration
+// but reports the binding as partial through ExhaustiveFor.
+const exhaustiveReplayLimit = 1 << 22
+
+// MatrixCert certifies the max-plus iteration matrix of Algorithm 1
+// against the graph itself, by concrete replay rather than by trusting
+// the symbolic engine:
+//
+//  1. the carried schedule is certified as a minimal single iteration
+//     (buffer-safe, marking-restoring);
+//  2. one concrete iteration is replayed with every initial token
+//     available at time 0 — the final token time stamps must equal the
+//     row maxima of the claimed matrix (the simulated iteration the
+//     certificate is cross-checked against);
+//  3. when affordable, one further replay per initial token i starts
+//     from B·e_i with B = 2·M0+1 (M0 the makespan of the zero replay):
+//     because every true matrix entry lies in {−∞} ∪ [0, M0], the final
+//     time of token k is At(k,i)+B exactly when token k depends on
+//     token i and at most M0 otherwise, so the N replays recover every
+//     column of the true matrix and pin the claimed one entry by entry.
+//
+// The replays use overflow-checked scalar max-plus arithmetic; the
+// matrix is schedule-independent, so certifying it against the carried
+// schedule certifies it for every schedule.
+type MatrixCert struct {
+	// Matrix is the claimed iteration matrix in Apply convention
+	// (Matrix.At(k, j) is the paper's g_{j,k}).
+	Matrix *maxplus.Matrix
+	// Schedule is the single-iteration schedule the replays execute.
+	Schedule []sdf.ActorID
+}
+
+// Kind returns KindMatrix.
+func (c *MatrixCert) Kind() Kind { return KindMatrix }
+
+// ExhaustiveFor reports whether Check performs the exhaustive
+// column-recovery binding on g, or only the single-iteration row-maxima
+// cross-check (for graphs where N·Σq exceeds the replay work cap).
+func (c *MatrixCert) ExhaustiveFor(g *sdf.Graph) bool {
+	work, ok := rat.MulChecked(int64(g.TotalInitialTokens()), int64(len(c.Schedule)))
+	return ok && work <= exhaustiveReplayLimit
+}
+
+// Check validates the matrix against g by concrete replay.
+func (c *MatrixCert) Check(ctx context.Context, g *sdf.Graph) error {
+	if c.Matrix == nil {
+		return invalidf("matrix certificate carries no matrix")
+	}
+	n := g.TotalInitialTokens()
+	if c.Matrix.Size() != n {
+		return invalidf("matrix dimension %d, graph has %d initial tokens", c.Matrix.Size(), n)
+	}
+	if _, err := replayCounts(ctx, g, c.Schedule); err != nil {
+		return err
+	}
+
+	// One concrete simulated iteration from the zero vector: final token
+	// times are the row maxima of the true matrix.
+	zero := make([]maxplus.T, n)
+	final, err := replayTokens(ctx, g, c.Schedule, zero)
+	if err != nil {
+		return err
+	}
+	m0 := int64(0)
+	for k := 0; k < n; k++ {
+		rowMax := maxplus.NegInf
+		for j := 0; j < n; j++ {
+			rowMax = rowMax.Max(c.Matrix.At(k, j))
+		}
+		if rowMax.Cmp(final[k]) != 0 {
+			return invalidf("row %d: claimed maximum %v, concrete iteration produced %v", k, rowMax, final[k])
+		}
+		if !final[k].IsNegInf() && final[k].Int() > m0 {
+			m0 = final[k].Int()
+		}
+	}
+	// Cheap entry sanity: true entries lie in {−∞} ∪ [0, M0].
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			if e := c.Matrix.At(k, j); !e.IsNegInf() && (e.Int() < 0 || e.Int() > m0) {
+				return invalidf("entry (%d,%d) = %v outside the feasible range [0, %d]", k, j, e, m0)
+			}
+		}
+	}
+
+	if !c.ExhaustiveFor(g) {
+		return nil
+	}
+	// Exhaustive binding: recover each column by a shifted replay.
+	b, ok := rat.MulChecked(m0, 2)
+	if ok {
+		b, ok = rat.AddChecked(b, 1)
+	}
+	if !ok {
+		return invalidf("column-recovery shift 2·%d+1 overflows int64", m0)
+	}
+	start := make([]maxplus.T, n)
+	for i := 0; i < n; i++ {
+		for j := range start {
+			start[j] = 0
+		}
+		start[i] = maxplus.FromInt(b)
+		final, err := replayTokens(ctx, g, c.Schedule, start)
+		if err != nil {
+			return err
+		}
+		for k := 0; k < n; k++ {
+			got := maxplus.NegInf
+			if !final[k].IsNegInf() && final[k].Int() >= b {
+				got = maxplus.FromInt(final[k].Int() - b)
+			}
+			if want := c.Matrix.At(k, i); got.Cmp(want) != 0 {
+				return invalidf("entry (%d,%d): claimed %v, column replay recovered %v", k, i, want, got)
+			}
+		}
+	}
+	return nil
+}
+
+// replayTokens executes one concrete iteration of sched with the given
+// initial-token time stamps (global channel-order numbering, front of
+// each FIFO first) and returns the final token time stamps in the same
+// numbering. All additions are overflow-checked. The schedule must
+// already be certified by replayCounts; token underflow is still
+// rejected defensively.
+func replayTokens(ctx context.Context, g *sdf.Graph, sched []sdf.ActorID, start []maxplus.T) ([]maxplus.T, error) {
+	meter := guard.NewMeter(ctx, "verify")
+	meter.Phase("token-replay")
+	queues := make([][]maxplus.T, g.NumChannels())
+	idx := 0
+	for i, ch := range g.Channels() {
+		for t := 0; t < ch.Initial; t++ {
+			queues[i] = append(queues[i], start[idx])
+			idx++
+		}
+	}
+	inCh := make([][]sdf.ChannelID, g.NumActors())
+	outCh := make([][]sdf.ChannelID, g.NumActors())
+	for i := range g.Channels() {
+		id := sdf.ChannelID(i)
+		ch := g.Channel(id)
+		inCh[ch.Dst] = append(inCh[ch.Dst], id)
+		outCh[ch.Src] = append(outCh[ch.Src], id)
+	}
+	for pos, a := range sched {
+		if err := meter.Tick(1); err != nil {
+			return nil, err
+		}
+		at := maxplus.NegInf
+		for _, id := range inCh[a] {
+			ch := g.Channel(id)
+			q := queues[id]
+			if len(q) < ch.Cons {
+				return nil, invalidf("token replay step %d underflows channel %s -> %s",
+					pos, g.Actor(ch.Src).Name, g.Actor(ch.Dst).Name)
+			}
+			for t := 0; t < ch.Cons; t++ {
+				at = at.Max(q[t])
+			}
+			queues[id] = q[ch.Cons:]
+		}
+		end := maxplus.NegInf
+		if !at.IsNegInf() {
+			sum, ok := rat.AddChecked(at.Int(), g.Actor(a).Exec)
+			if !ok {
+				return nil, invalidf("token replay step %d overflows a time stamp", pos)
+			}
+			end = maxplus.FromInt(sum)
+		}
+		for _, id := range outCh[a] {
+			ch := g.Channel(id)
+			for t := 0; t < ch.Prod; t++ {
+				queues[id] = append(queues[id], end)
+			}
+		}
+	}
+	final := make([]maxplus.T, 0, len(start))
+	for i, ch := range g.Channels() {
+		if len(queues[i]) != ch.Initial {
+			return nil, invalidf("channel %s -> %s ends the replay with %d tokens, want %d",
+				g.Actor(ch.Src).Name, g.Actor(ch.Dst).Name, len(queues[i]), ch.Initial)
+		}
+		final = append(final, queues[i]...)
+	}
+	return final, nil
+}

@@ -1,0 +1,456 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/guard"
+	"repro/internal/maxplus"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// refEdge is one dependency of a reference precedence graph: the value
+// of node `to` in an iteration lags the value of node `from` in the
+// d-th previous iteration by at least w. Cycle ratios Σw/Σd over this
+// graph are iteration periods.
+type refEdge struct {
+	from, to int
+	w, d     int64
+}
+
+// ThroughputCert certifies an iteration period Λ (or unboundedness) of
+// a timed SDF graph. The claim is anchored in exactly one of two
+// reference precedence graphs:
+//
+//   - Matrix anchor: the precedence graph of a certified iteration
+//     matrix (one node per initial token, one unit-delay edge per
+//     finite entry). The matrix itself is bound to the graph by
+//     MatrixCert's concrete replays, so the anchor inherits no trust
+//     from the producing engine.
+//   - HSDF anchor: the classical converted graph (one node per firing,
+//     edge delay = initial tokens). The checker pins the node count to
+//     Σq and every edge weight to the execution time of the original
+//     actor the node maps back to (the conversion lays firings out
+//     actor by actor), but trusts the anchor's edge set and delays —
+//     a narrower binding than the matrix anchor's, and the documented
+//     reason two *verified* engines can still disagree.
+//
+// On top of the anchor, the certificate pairs two witnesses:
+//
+//   - Potentials (upper bound): integers p with
+//     p[from] + w·den − num·d ≤ p[to] for every reference edge, where
+//     Λ = num/den. Summing around any cycle gives Σw/Σd ≤ Λ — feasible
+//     potentials are exactly a max-plus sub-eigenvector for Λ.
+//   - Cycle (lower bound): a closed walk of reference edges with
+//     Σd ≥ 1 and Σw/Σd = Λ exactly, exhibiting a critical cycle that
+//     attains the claim.
+//
+// Together the witnesses prove Λ is exactly the maximum cycle ratio of
+// the reference graph. An unbounded claim instead carries Order, a
+// topological order proving the reference graph has no cycle at all.
+type ThroughputCert struct {
+	// Unbounded claims no dependency cycle constrains the steady state.
+	Unbounded bool
+	// Period is the claimed iteration period Λ (unused when Unbounded).
+	Period rat.Rat
+	// Q is the repetition vector the period refers to, certified
+	// against the balance equations.
+	Q []int64
+
+	// Matrix anchors the claim in a certified iteration matrix.
+	Matrix *MatrixCert
+	// HSDF anchors the claim in a classical converted graph.
+	HSDF *sdf.Graph
+
+	// Potentials is the feasibility witness (one entry per reference
+	// node); nil when Unbounded.
+	Potentials []int64
+	// Cycle is the critical-cycle witness: indices into the canonical
+	// reference edge enumeration forming a closed walk; nil when
+	// Unbounded.
+	Cycle []int
+	// Order is the topological-order witness (a permutation of the
+	// reference nodes); nil unless Unbounded.
+	Order []int
+}
+
+// Kind returns KindThroughput.
+func (c *ThroughputCert) Kind() Kind { return KindThroughput }
+
+// Engine-facing description, used by the CLI's -verify output.
+func (c *ThroughputCert) String() string {
+	anchor := "matrix"
+	if c.HSDF != nil {
+		anchor = "hsdf"
+	}
+	if c.Unbounded {
+		return fmt.Sprintf("throughput certificate [%s anchor]: unbounded (topological order over %d nodes)",
+			anchor, len(c.Order))
+	}
+	return fmt.Sprintf("throughput certificate [%s anchor]: period %v (critical cycle of %d edges, %d potentials)",
+		anchor, c.Period, len(c.Cycle), len(c.Potentials))
+}
+
+// refGraph derives the canonical reference precedence graph of the
+// anchor for g. Both Check and the witness extractor use this exact
+// enumeration, so Cycle indices align by construction.
+func (c *ThroughputCert) refGraph(ctx context.Context, g *sdf.Graph) (nodes int, edges []refEdge, err error) {
+	switch {
+	case c.Matrix != nil && c.HSDF == nil:
+		if err := c.Matrix.Check(ctx, g); err != nil {
+			return 0, nil, err
+		}
+		nodes, edges = matrixRef(c.Matrix.Matrix)
+		return nodes, edges, nil
+	case c.HSDF != nil && c.Matrix == nil:
+		return hsdfRef(g, c.HSDF, c.Q)
+	default:
+		return 0, nil, invalidf("throughput certificate must carry exactly one anchor")
+	}
+}
+
+// Check validates the anchor and both witnesses against g.
+func (c *ThroughputCert) Check(ctx context.Context, g *sdf.Graph) error {
+	if err := checkRepetition(g, c.Q); err != nil {
+		return err
+	}
+	nodes, edges, err := c.refGraph(ctx, g)
+	if err != nil {
+		return err
+	}
+	if c.Unbounded {
+		return checkTopoOrder(nodes, edges, c.Order)
+	}
+	if err := checkPotentials(nodes, edges, c.Potentials, c.Period); err != nil {
+		return err
+	}
+	return checkCycle(edges, c.Cycle, c.Period)
+}
+
+// matrixRef enumerates the precedence graph of an iteration matrix:
+// node per token, and for each finite entry At(i, j) an edge j→i of
+// weight At(i, j) and delay 1 (each matrix application is one
+// iteration).
+func matrixRef(m *maxplus.Matrix) (int, []refEdge) {
+	n := m.Size()
+	var edges []refEdge
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if e := m.At(i, j); !e.IsNegInf() {
+				edges = append(edges, refEdge{from: j, to: i, w: e.Int(), d: 1})
+			}
+		}
+	}
+	return n, edges
+}
+
+// hsdfRef enumerates the precedence graph of a classical conversion,
+// pinning what can be re-derived from g: the graph must be homogeneous,
+// its node count must equal Σq, and each node maps back to the original
+// actor whose block of q consecutive copies contains it (the layout of
+// the traditional conversion), which pins every edge weight to that
+// actor's execution time in g.
+func hsdfRef(g *sdf.Graph, h *sdf.Graph, q []int64) (int, []refEdge, error) {
+	if !h.IsHSDF() {
+		return 0, nil, invalidf("hsdf anchor has a rate different from 1")
+	}
+	total := int64(0)
+	for _, copies := range q {
+		next, ok := rat.AddChecked(total, copies)
+		if !ok {
+			return 0, nil, invalidf("iteration length Σq overflows int64")
+		}
+		total = next
+	}
+	if int64(h.NumActors()) != total {
+		return 0, nil, invalidf("hsdf anchor has %d nodes, the iteration length is %d", h.NumActors(), total)
+	}
+	actorOf := make([]sdf.ActorID, 0, h.NumActors())
+	for a, copies := range q {
+		for i := int64(0); i < copies; i++ {
+			actorOf = append(actorOf, sdf.ActorID(a))
+		}
+	}
+	edges := make([]refEdge, 0, h.NumChannels())
+	for _, ch := range h.Channels() {
+		w := g.Actor(actorOf[ch.Src]).Exec
+		edges = append(edges, refEdge{from: int(ch.Src), to: int(ch.Dst), w: w, d: int64(ch.Initial)})
+	}
+	return h.NumActors(), edges, nil
+}
+
+// checkPotentials verifies the feasibility witness: for every edge,
+// p[from] + w·den − num·d ≤ p[to], in overflow-checked arithmetic.
+func checkPotentials(nodes int, edges []refEdge, p []int64, period rat.Rat) error {
+	if len(p) != nodes {
+		return invalidf("potential witness covers %d of %d nodes", len(p), nodes)
+	}
+	num, den := period.Num(), period.Den()
+	for i, e := range edges {
+		s, err := scaledWeight(e, num, den)
+		if err != nil {
+			return err
+		}
+		lhs, ok := rat.AddChecked(p[e.from], s)
+		if !ok {
+			return invalidf("potential inequality of edge %d overflows int64", i)
+		}
+		if lhs > p[e.to] {
+			return invalidf("edge %d (%d->%d, w=%d, d=%d) violates feasibility: p[%d]=%d + %d > p[%d]=%d — some cycle exceeds the claimed period %v",
+				i, e.from, e.to, e.w, e.d, e.from, p[e.from], s, e.to, p[e.to], period)
+		}
+	}
+	return nil
+}
+
+// scaledWeight returns w·den − num·d, the edge weight of the reference
+// graph rescaled so that a cycle meets the claimed period exactly when
+// its scaled weight sums to zero.
+func scaledWeight(e refEdge, num, den int64) (int64, error) {
+	wd, ok1 := rat.MulChecked(e.w, den)
+	nd, ok2 := rat.MulChecked(num, e.d)
+	if !ok1 || !ok2 {
+		return 0, invalidf("scaled weight of edge %d->%d overflows int64", e.from, e.to)
+	}
+	s, ok := rat.AddChecked(wd, -nd)
+	if !ok {
+		return 0, invalidf("scaled weight of edge %d->%d overflows int64", e.from, e.to)
+	}
+	return s, nil
+}
+
+// checkCycle verifies the critical-cycle witness: the edge indices form
+// a closed walk with at least one unit of delay whose ratio Σw/Σd
+// equals the claimed period exactly.
+func checkCycle(edges []refEdge, cycle []int, period rat.Rat) error {
+	if len(cycle) == 0 {
+		return invalidf("critical-cycle witness is empty")
+	}
+	sumW, sumD := int64(0), int64(0)
+	for k, idx := range cycle {
+		if idx < 0 || idx >= len(edges) {
+			return invalidf("critical-cycle witness references unknown edge %d", idx)
+		}
+		e := edges[idx]
+		next := edges[cycle[(k+1)%len(cycle)]]
+		if e.to != next.from {
+			return invalidf("critical-cycle witness is not a closed walk: edge %d ends at node %d, next starts at %d",
+				idx, e.to, next.from)
+		}
+		var ok bool
+		if sumW, ok = rat.AddChecked(sumW, e.w); !ok {
+			return invalidf("critical-cycle weight overflows int64")
+		}
+		if sumD, ok = rat.AddChecked(sumD, e.d); !ok {
+			return invalidf("critical-cycle delay overflows int64")
+		}
+	}
+	if sumD < 1 {
+		return invalidf("critical-cycle witness carries no delay (Σd = %d)", sumD)
+	}
+	mean, err := rat.New(sumW, sumD)
+	if err != nil {
+		return invalidf("critical-cycle ratio %d/%d: %v", sumW, sumD, err)
+	}
+	if !mean.Equal(period) {
+		return invalidf("critical cycle attains %v, claimed period is %v", mean, period)
+	}
+	return nil
+}
+
+// checkTopoOrder verifies the unboundedness witness: order is a
+// permutation of the nodes and every edge goes strictly forward, so the
+// reference graph is acyclic and no cycle constrains the steady state.
+func checkTopoOrder(nodes int, edges []refEdge, order []int) error {
+	if len(order) != nodes {
+		return invalidf("topological order covers %d of %d nodes", len(order), nodes)
+	}
+	seen := make([]bool, nodes)
+	for _, v := range order {
+		if v < 0 || v >= nodes || seen[v] {
+			return invalidf("topological order is not a permutation of the nodes")
+		}
+		seen[v] = true
+	}
+	pos := make([]int, nodes)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range edges {
+		if pos[e.from] >= pos[e.to] {
+			return invalidf("edge %d->%d violates the topological order: the reference graph has a cycle", e.from, e.to)
+		}
+	}
+	return nil
+}
+
+// extractWitness derives the (Potentials, Cycle) pair for a bounded
+// claim by Bellman–Ford longest paths over the scaled weights followed
+// by a cycle search in the tight subgraph. Extraction succeeds exactly
+// when the claimed period equals the maximum cycle ratio of the
+// reference graph: if some cycle exceeds it the relaxation never
+// stabilises, and if every cycle is strictly below it no tight cycle
+// with delay exists.
+func extractWitness(ctx context.Context, nodes int, edges []refEdge, period rat.Rat) ([]int64, []int, error) {
+	meter := guard.NewMeter(ctx, "verify")
+	meter.Phase("witness-extraction")
+	num, den := period.Num(), period.Den()
+	scaled := make([]int64, len(edges))
+	for i, e := range edges {
+		s, err := scaledWeight(e, num, den)
+		if err != nil {
+			return nil, nil, err
+		}
+		scaled[i] = s
+	}
+	// Longest-path potentials from an implicit all-zero source. With the
+	// true maximum cycle ratio ≤ period, every scaled cycle weight is
+	// ≤ 0 and the relaxation stabilises within `nodes` rounds.
+	p := make([]int64, nodes)
+	for round := 0; ; round++ {
+		if err := meter.States(int64(len(edges)) + 1); err != nil {
+			return nil, nil, err
+		}
+		changed := false
+		for i, e := range edges {
+			cand, ok := rat.AddChecked(p[e.from], scaled[i])
+			if !ok {
+				return nil, nil, invalidf("potential extraction overflows int64")
+			}
+			if cand > p[e.to] {
+				p[e.to] = cand
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round >= nodes {
+			return nil, nil, invalidf("claimed period %v is below some cycle ratio of the reference graph", period)
+		}
+	}
+	// Tight subgraph: edges whose inequality is met with equality. Every
+	// closed walk of tight edges has scaled weight exactly zero, so any
+	// such walk through a delay-carrying edge is a critical cycle.
+	tight := make([][]int, nodes) // node -> outgoing tight edge indices
+	for i, e := range edges {
+		if p[e.from]+scaled[i] == p[e.to] {
+			tight[e.from] = append(tight[e.from], i)
+		}
+	}
+	for i, e := range edges {
+		if e.d < 1 || p[e.from]+scaled[i] != p[e.to] {
+			continue
+		}
+		if e.from == e.to {
+			return p, []int{i}, nil
+		}
+		if back, ok := tightPath(edges, tight, e.to, e.from); ok {
+			return p, append([]int{i}, back...), nil
+		}
+	}
+	return nil, nil, invalidf("claimed period %v is above every cycle ratio of the reference graph", period)
+}
+
+// tightPath finds a path of tight edges from src to dst (BFS), returned
+// as edge indices.
+func tightPath(edges []refEdge, tight [][]int, src, dst int) ([]int, bool) {
+	parentEdge := make(map[int]int) // node -> edge index that reached it
+	queue := []int{src}
+	visited := map[int]bool{src: true}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			var path []int
+			for v := dst; v != src; {
+				idx := parentEdge[v]
+				path = append(path, idx)
+				v = edges[idx].from
+			}
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			return path, true
+		}
+		for _, idx := range tight[u] {
+			v := edges[idx].to
+			if !visited[v] {
+				visited[v] = true
+				parentEdge[v] = idx
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil, false
+}
+
+// extractTopoOrder derives the unboundedness witness (Kahn's
+// algorithm); it fails when the reference graph has a cycle.
+func extractTopoOrder(nodes int, edges []refEdge) ([]int, error) {
+	indeg := make([]int, nodes)
+	adj := make([][]int, nodes)
+	for _, e := range edges {
+		indeg[e.to]++
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	order := make([]int, 0, nodes)
+	for v := 0; v < nodes; v++ {
+		if indeg[v] == 0 {
+			order = append(order, v)
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		for _, v := range adj[order[head]] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				order = append(order, v)
+			}
+		}
+	}
+	if len(order) != nodes {
+		return nil, invalidf("unbounded claim on a reference graph with a cycle")
+	}
+	return order, nil
+}
+
+// NewMatrixThroughputCert assembles and proves a matrix-anchored
+// throughput certificate: mc must already describe g's iteration
+// matrix, q its repetition vector, and the claim (unbounded, period)
+// the engine's answer. Witness extraction fails — and with it
+// certification — exactly when the claim is not the true maximum cycle
+// ratio of the matrix's precedence graph.
+func NewMatrixThroughputCert(ctx context.Context, g *sdf.Graph, mc *MatrixCert, q []int64, unbounded bool, period rat.Rat) (*ThroughputCert, error) {
+	cert := &ThroughputCert{Unbounded: unbounded, Period: period, Q: q, Matrix: mc}
+	nodes, edges := matrixRef(mc.Matrix)
+	return finishThroughputCert(ctx, cert, nodes, edges)
+}
+
+// NewHSDFThroughputCert assembles and proves an HSDF-anchored
+// throughput certificate over the classical conversion h of g.
+func NewHSDFThroughputCert(ctx context.Context, g *sdf.Graph, h *sdf.Graph, q []int64, unbounded bool, period rat.Rat) (*ThroughputCert, error) {
+	cert := &ThroughputCert{Unbounded: unbounded, Period: period, Q: q, HSDF: h}
+	nodes, edges, err := hsdfRef(g, h, q)
+	if err != nil {
+		return nil, err
+	}
+	return finishThroughputCert(ctx, cert, nodes, edges)
+}
+
+func finishThroughputCert(ctx context.Context, cert *ThroughputCert, nodes int, edges []refEdge) (*ThroughputCert, error) {
+	if cert.Unbounded {
+		order, err := extractTopoOrder(nodes, edges)
+		if err != nil {
+			return nil, err
+		}
+		cert.Order = order
+		return cert, nil
+	}
+	pot, cycle, err := extractWitness(ctx, nodes, edges, cert.Period)
+	if err != nil {
+		return nil, err
+	}
+	cert.Potentials, cert.Cycle = pot, cycle
+	return cert, nil
+}

@@ -1,0 +1,137 @@
+package verify
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/guard"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// TraceFiring is one actor firing of a timed execution trace.
+type TraceFiring struct {
+	Actor      sdf.ActorID
+	Start, End int64
+}
+
+// TraceCert certifies a timed self-timed execution trace of Iterations
+// complete graph iterations: every firing takes exactly its actor's
+// execution time, every actor fires its repetition count per iteration,
+// buffers never go negative when consumptions happen at firing starts
+// and productions at firing ends, and the marking returns to the
+// initial token distribution.
+type TraceCert struct {
+	// Iterations is the number of complete iterations the trace claims.
+	Iterations int64
+	// Q is the repetition vector, certified against the balance
+	// equations.
+	Q []int64
+	// Firings lists every firing of the trace (order irrelevant; the
+	// checker sorts events by time).
+	Firings []TraceFiring
+}
+
+// Kind returns KindTrace.
+func (c *TraceCert) Kind() Kind { return KindTrace }
+
+// Check replays the trace event by event in time order.
+func (c *TraceCert) Check(ctx context.Context, g *sdf.Graph) error {
+	meter := guard.NewMeter(ctx, "verify")
+	meter.Phase("trace-replay")
+	if c.Iterations < 1 {
+		return invalidf("trace claims %d iterations, want >= 1", c.Iterations)
+	}
+	if err := checkRepetition(g, c.Q); err != nil {
+		return err
+	}
+	n := g.NumActors()
+	counts := make([]int64, n)
+	for i, f := range c.Firings {
+		if f.Actor < 0 || int(f.Actor) >= n {
+			return invalidf("firing %d names unknown actor %d", i, f.Actor)
+		}
+		if f.Start < 0 {
+			return invalidf("firing %d of actor %s starts at %d, before time 0",
+				i, g.Actor(f.Actor).Name, f.Start)
+		}
+		end, ok := rat.AddChecked(f.Start, g.Actor(f.Actor).Exec)
+		if !ok || end != f.End {
+			return invalidf("firing %d of actor %s: end %d != start %d + exec %d",
+				i, g.Actor(f.Actor).Name, f.End, f.Start, g.Actor(f.Actor).Exec)
+		}
+		counts[f.Actor]++
+	}
+	for a := 0; a < n; a++ {
+		want, ok := rat.MulChecked(c.Q[a], c.Iterations)
+		if !ok {
+			return invalidf("firing count q·iterations of actor %s overflows int64", g.Actor(sdf.ActorID(a)).Name)
+		}
+		if counts[a] != want {
+			return invalidf("actor %s fired %d times, want q·iterations = %d",
+				g.Actor(sdf.ActorID(a)).Name, counts[a], want)
+		}
+	}
+
+	// Event replay: consumptions happen at firing starts, productions at
+	// firing ends. At equal time stamps productions come first — a token
+	// produced at time t is available to a firing starting at t, the
+	// self-timed semantics of the simulator.
+	type event struct {
+		time    int64
+		produce bool
+		actor   sdf.ActorID
+	}
+	events := make([]event, 0, 2*len(c.Firings))
+	for _, f := range c.Firings {
+		events = append(events, event{time: f.Start, produce: false, actor: f.Actor})
+		events = append(events, event{time: f.End, produce: true, actor: f.Actor})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].time != events[j].time {
+			return events[i].time < events[j].time
+		}
+		return events[i].produce && !events[j].produce
+	})
+	inCh := make([][]sdf.ChannelID, n)
+	outCh := make([][]sdf.ChannelID, n)
+	for i := range g.Channels() {
+		id := sdf.ChannelID(i)
+		inCh[g.Channel(id).Dst] = append(inCh[g.Channel(id).Dst], id)
+		outCh[g.Channel(id).Src] = append(outCh[g.Channel(id).Src], id)
+	}
+	tokens := make([]int64, g.NumChannels())
+	for i, ch := range g.Channels() {
+		tokens[i] = int64(ch.Initial)
+	}
+	for _, ev := range events {
+		if err := meter.Tick(1); err != nil {
+			return err
+		}
+		if ev.produce {
+			for _, id := range outCh[ev.actor] {
+				next, ok := rat.AddChecked(tokens[id], int64(g.Channel(id).Prod))
+				if !ok {
+					return invalidf("token count overflows int64 at time %d", ev.time)
+				}
+				tokens[id] = next
+			}
+			continue
+		}
+		for _, id := range inCh[ev.actor] {
+			tokens[id] -= int64(g.Channel(id).Cons)
+			if tokens[id] < 0 {
+				ch := g.Channel(id)
+				return invalidf("firing of %s at time %d underflows channel %s -> %s",
+					g.Actor(ev.actor).Name, ev.time, g.Actor(ch.Src).Name, g.Actor(ch.Dst).Name)
+			}
+		}
+	}
+	for i, ch := range g.Channels() {
+		if tokens[i] != int64(ch.Initial) {
+			return invalidf("channel %s -> %s ends with %d tokens, want the initial %d",
+				g.Actor(ch.Src).Name, g.Actor(ch.Dst).Name, tokens[i], ch.Initial)
+		}
+	}
+	return nil
+}

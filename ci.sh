@@ -28,10 +28,126 @@ timeout 120 go test -run='^$' -fuzz='^FuzzPerturb$' -fuzztime=10s .
 echo '== fuzz smoke: FuzzParse (10s)'
 timeout 120 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=10s ./internal/sdfio
 
+echo '== fuzz smoke: FuzzRequest (10s)'
+# The sdfserved wire decoder guards the daemon's admission path, so it
+# gets its own coverage-guided smoke run on top of its seed corpus.
+timeout 120 go test -run='^$' -fuzz='^FuzzRequest$' -fuzztime=10s ./internal/serve
+
 echo '== sdfbench engine timings -> BENCH_3.json'
 # Per-engine throughput wall times over the seed benchmark graphs. The
 # short deadline keeps the gate fast; engines that cannot finish in
 # time are recorded in the JSON as deadline errors, not failures.
 timeout 120 go run ./cmd/sdfbench -engines BENCH_3.json -deadline 2s
+
+echo '== sdfserved soak: mixed wire load, breaker trip/recover, graceful drain'
+# End-to-end soak of the serving stack: a race-instrumented sdfserved
+# daemon takes ~200 mixed requests through the real wire format —
+# healthy graphs across engines, precondition failures, budget refusals
+# and fault-injected statespace panics — then the statespace breaker
+# must have tripped, the engine must recover after the injection stops,
+# and SIGTERM must drain the daemon cleanly (exit 0). The in-process
+# twin of this scenario, TestServedSoak, additionally asserts zero
+# leaked goroutines under -race.
+SOAK_DIR=$(mktemp -d)
+SERVED_PID=
+cleanup_soak() {
+    [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null || true
+    rm -rf "$SOAK_DIR"
+}
+trap cleanup_soak EXIT
+
+go build -race -o "$SOAK_DIR/sdfserved" ./cmd/sdfserved
+go build -o "$SOAK_DIR/sdftool" ./cmd/sdftool
+
+cat > "$SOAK_DIR/healthy.sdf" <<'EOF'
+sdf demo
+actor A 2
+actor B 3
+chan A B 2 1 0
+chan B A 1 2 4
+EOF
+cat > "$SOAK_DIR/deadlocked.sdf" <<'EOF'
+sdf dl
+actor A 1
+actor B 1
+chan A B 1 1 0
+chan B A 1 1 0
+EOF
+cat > "$SOAK_DIR/inject.json" <<'EOF'
+{"graph_text":"sdf demo\nactor A 2\nactor B 3\nchan A B 2 1 0\nchan B A 1 2 4\n","method":"statespace","inject":[{"engine":"statespace","mode":"panic","times":-1}]}
+EOF
+
+SOAK_ADDR="127.0.0.1:$((20000 + $$ % 20000))"
+"$SOAK_DIR/sdfserved" -addr "$SOAK_ADDR" -allow-injection \
+    -breaker-threshold 3 -breaker-cooldown 1s > "$SOAK_DIR/served.log" 2>&1 &
+SERVED_PID=$!
+
+ready=0
+for _ in $(seq 1 100); do
+    if "$SOAK_DIR/sdftool" query -server "http://$SOAK_ADDR" -health >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { echo 'soak: sdfserved never became ready'; cat "$SOAK_DIR/served.log"; exit 1; }
+
+expect() {
+    want=$1
+    shift
+    rc=0
+    "$@" >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "soak: '$*' exited $rc, want $want"
+        cat "$SOAK_DIR/served.log"
+        exit 1
+    fi
+}
+
+i=0
+while [ $i -lt 40 ]; do
+    # Healthy hedged + single-engine traffic (repeat graphs: cache hits).
+    expect 0 "$SOAK_DIR/sdftool" query -server "http://$SOAK_ADDR" "$SOAK_DIR/healthy.sdf"
+    expect 0 "$SOAK_DIR/sdftool" query -server "http://$SOAK_ADDR" -method matrix "$SOAK_DIR/healthy.sdf"
+    # Structurally broken model: precondition exit code through the wire.
+    expect 2 "$SOAK_DIR/sdftool" query -server "http://$SOAK_ADDR" "$SOAK_DIR/deadlocked.sdf"
+    # Starved budget: budget exit code through the wire.
+    expect 3 "$SOAK_DIR/sdftool" query -server "http://$SOAK_ADDR" -budget 1 "$SOAK_DIR/healthy.sdf"
+    # Fault-injected statespace panic (or a breaker-open refusal once
+    # tripped); either way the daemon must answer, never die.
+    curl -s -o /dev/null -X POST -d @"$SOAK_DIR/inject.json" "http://$SOAK_ADDR/v1/throughput"
+    i=$((i + 1))
+done
+
+# The panic streak must have tripped the statespace breaker at least once.
+"$SOAK_DIR/sdftool" query -server "http://$SOAK_ADDR" -health > "$SOAK_DIR/health.txt"
+grep -E 'statespace .*trips [1-9]' "$SOAK_DIR/health.txt" >/dev/null || {
+    echo 'soak: statespace breaker never tripped'
+    cat "$SOAK_DIR/health.txt"
+    exit 1
+}
+
+# Injection stopped: after the cooldown the half-open probe must heal
+# the engine and healthy statespace requests must flow again.
+sleep 1.2
+expect 0 "$SOAK_DIR/sdftool" query -server "http://$SOAK_ADDR" -method statespace "$SOAK_DIR/healthy.sdf"
+
+# SIGTERM: graceful drain, clean exit.
+kill -TERM "$SERVED_PID"
+rc=0
+wait "$SERVED_PID" || rc=$?
+SERVED_PID=
+if [ "$rc" -ne 0 ]; then
+    echo "soak: sdfserved exited $rc after SIGTERM, want 0"
+    cat "$SOAK_DIR/served.log"
+    exit 1
+fi
+grep -q 'drained cleanly' "$SOAK_DIR/served.log" || {
+    echo 'soak: no clean-drain line in the daemon log'
+    cat "$SOAK_DIR/served.log"
+    exit 1
+}
+cleanup_soak
+trap - EXIT
 
 echo 'ci: all checks passed'

@@ -1,0 +1,134 @@
+// Command sdfserved is the long-running analysis daemon: an HTTP front
+// end over the internal/serve layer, built for sustained concurrent
+// traffic of untrusted graphs. Admission control refuses work that does
+// not fit (HTTP 429 + Retry-After), per-engine circuit breakers shed
+// engines that start panicking or blowing deadlines, identical requests
+// are deduplicated and answered from a bounded result cache, and
+// SIGTERM triggers a graceful drain: admission stops, /readyz turns
+// 503, in-flight analyses finish under the drain deadline, stragglers
+// are cancelled.
+//
+// Usage:
+//
+//	sdfserved [flags]
+//
+// Endpoints:
+//
+//	POST /v1/throughput  analyse a graph; body {"graph": {...}} or
+//	                     {"graph_text": "..."} plus optional "method"
+//	                     (hedged|matrix|statespace|hsdf), "timeout_ms",
+//	                     "budget"
+//	GET  /healthz        full health report: breaker states, queue
+//	                     depth, pool headroom, cache and admission
+//	                     counters
+//	GET  /readyz         200 while admitting, 503 while draining
+//
+// The process exits 0 after a clean drain and 1 when the drain deadline
+// forced straggler cancellation (or on any setup error).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sdfserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (the signal)
+// and the subsequent drain finishes. When ready is non-nil the bound
+// listen address is sent on it once the server accepts connections —
+// tests use it to connect to a ":0" listener.
+func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("sdfserved", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr           = fs.String("addr", "127.0.0.1:8080", "listen address")
+		workers        = fs.Int("workers", 0, "concurrent analyses (0 = default)")
+		queue          = fs.Int("queue", 0, "admission queue depth on top of the workers (0 = default)")
+		pool           = fs.Int64("pool", 0, "global work-unit pool for admission control (0 = default)")
+		cache          = fs.Int("cache", 0, "result cache entries (0 = default)")
+		timeout        = fs.Duration("timeout", 0, "default per-request analysis deadline (0 = server default)")
+		maxTimeout     = fs.Duration("max-timeout", 0, "upper clamp on client-requested deadlines (0 = server default)")
+		threshold      = fs.Int("breaker-threshold", 0, "consecutive failures that trip an engine's breaker (0 = default)")
+		cooldown       = fs.Duration("breaker-cooldown", 0, "how long a tripped breaker refuses before probing (0 = default)")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits before cancelling stragglers")
+		allowInjection = fs.Bool("allow-injection", false, "accept per-request fault injection (soak testing only; never in production)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	s := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		PoolCapacity:   *pool,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Breaker:        guard.BreakerOptions{Threshold: *threshold, Cooldown: *cooldown},
+		AllowInjection: *allowInjection,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: serve.NewHandler(s)}
+	fmt.Fprintf(logw, "sdfserved: listening on %s\n", ln.Addr())
+	if *allowInjection {
+		fmt.Fprintln(logw, "sdfserved: fault injection ENABLED (soak mode)")
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		s.Close()
+		return fmt.Errorf("http server: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admission first so /readyz flips to 503 and
+	// new requests are refused while in-flight analyses complete; then
+	// shut the HTTP server down under the same deadline so handlers
+	// still writing responses can finish.
+	fmt.Fprintf(logw, "sdfserved: draining (deadline %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	if err := httpSrv.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = fmt.Errorf("http shutdown: %w", err)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("unclean drain: %w", drainErr)
+	}
+	h := s.Health()
+	fmt.Fprintf(logw, "sdfserved: drained cleanly (served=%d failed=%d overloaded=%d cache hits=%d deduped=%d)\n",
+		h.Served, h.Failed, h.Overloaded, h.CacheHits, h.Deduped)
+	return nil
+}

@@ -24,6 +24,9 @@
 //	bottleneck  channels on the critical cycle (where tokens buy speed)
 //	buffers     throughput/buffer-size Pareto exploration (-maxsteps)
 //	fmt         convert between formats (-to text|xml|json|dot)
+//	query       analyse through a running sdfserved daemon (-server,
+//	            -method, -health); server errors map onto the same exit
+//	            codes as local analyses
 //
 // Every command accepts -timeout (a wall-clock deadline such as 500ms)
 // and -budget (a uniform work cap on states, firings, HSDF actors and
@@ -34,11 +37,18 @@
 // Exit codes:
 //
 //	0  success
-//	1  usage or I/O error
+//	1  usage or I/O error (including malformed server responses)
 //	2  model precondition failed (lint precheck, inconsistent rates,
 //	   deadlocking cycle, error-level lint diagnostics)
 //	3  work budget exceeded or deadline/cancellation hit
-//	4  internal engine failure (isolated panic)
+//	4  internal engine failure (isolated panic, verified-engine
+//	   disagreement)
+//	5  certificate verification failed: an engine produced an answer
+//	   whose witness did not survive the independent exact-arithmetic
+//	   check
+//	6  analysis service unavailable: the sdfserved daemon refused the
+//	   request (overloaded, draining, or the engine's circuit breaker
+//	   is open) — retry later
 package main
 
 import (
@@ -70,15 +80,24 @@ var errLintDiagnostics = errors.New("error-level diagnostics")
 // and deadline conditions are checked first: they are the actionable
 // ones (raise -budget, raise -timeout), and an engine error that
 // ultimately stems from an exceeded budget should report the budget.
+// Certificate failures are checked before generic engine failures so a
+// rejected witness keeps its own code even when wrapped in an engine
+// error. Errors relayed from an sdfserved daemon (remoteError) carry
+// the server's classification and map onto the same table.
 func exitCode(err error) int {
+	var re *remoteError
 	switch {
 	case err == nil:
 		return 0
+	case errors.As(err, &re):
+		return re.exitCode()
 	case errors.Is(err, sdfreduce.ErrBudgetExceeded),
 		errors.Is(err, sdfreduce.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
 		return 3
+	case errors.Is(err, sdfreduce.ErrCertificateInvalid):
+		return 5
 	case errors.Is(err, sdfreduce.ErrEngineFailed):
 		return 4
 	case isPrecondition(err):
@@ -176,6 +195,8 @@ func run(args []string, out io.Writer) error {
 		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 			return writeAs(w, g, *to)
 		}, fs)
+	case "query":
+		return cmdQuery(rest, out)
 	case "help", "-h", "--help":
 		return usageError()
 	default:
@@ -184,7 +205,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|lint|matrix|report|bottleneck|buffers|fmt> [flags] <graph file>")
+	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|lint|matrix|report|bottleneck|buffers|fmt|query> [flags] <graph file>")
 }
 
 // withGraph parses flags (when fs is non-nil), loads the graph named by

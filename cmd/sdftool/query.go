@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	sdfreduce "repro"
+	"repro/internal/serve"
+)
+
+// remoteError is an analysis failure relayed by an sdfserved daemon.
+// It preserves the server's stable error classification (the "kind"
+// field of the wire error payload) so exitCode can map a remote failure
+// onto the same exit-code table as a local one.
+type remoteError struct {
+	status int    // HTTP status
+	kind   string // serve.KindOf classification
+	msg    string // server-side error text
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("server: %s (kind %s, http %d)", e.msg, e.kind, e.status)
+}
+
+// exitCode maps the server's error kind onto sdftool's exit codes.
+// Unavailability kinds get their own code, 6: the request was fine, the
+// service was not, and the caller should retry rather than touch the
+// model.
+func (e *remoteError) exitCode() int {
+	switch e.kind {
+	case "precondition":
+		return 2
+	case "budget", "deadline", "canceled":
+		return 3
+	case "engine", "disagreement", "internal":
+		return 4
+	case "certificate":
+		return 5
+	case "overloaded", "draining", "breaker-open":
+		return 6
+	default: // bad-request, injection-disabled, unknown kinds
+		return 1
+	}
+}
+
+// cmdQuery analyses a graph through a running sdfserved daemon instead
+// of in-process, or (with -health) fetches the daemon's health report.
+func cmdQuery(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "base URL of the sdfserved daemon")
+	method := fs.String("method", "hedged", "engine: hedged, matrix, statespace or hsdf")
+	format := fs.String("format", "", "input format: text, xml or json (default: by extension)")
+	timeout := fs.Duration("timeout", 0, "per-request analysis deadline sent to the server (0 = server default)")
+	budget := fs.Int64("budget", 0, "uniform work cap sent to the server (0 = defaults, negative = unlimited)")
+	health := fs.Bool("health", false, "fetch the server health report instead of analysing a graph")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *health {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-health takes no graph argument")
+		}
+		return queryHealth(out, *server)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one graph file argument")
+	}
+	g, err := loadGraph(fs.Arg(0), *format)
+	if err != nil {
+		return err
+	}
+
+	var graphJSON bytes.Buffer
+	if err := sdfreduce.WriteJSON(&graphJSON, g); err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.RequestPayload{
+		Graph:     json.RawMessage(graphJSON.Bytes()),
+		Method:    *method,
+		TimeoutMS: timeout.Milliseconds(),
+		Budget:    *budget,
+	})
+	if err != nil {
+		return err
+	}
+
+	res, err := postThroughput(*server, body, *timeout)
+	if err != nil {
+		return err
+	}
+	if len(res.Report) > 0 {
+		fmt.Fprintln(out, "engine race:")
+		for _, line := range res.Report {
+			fmt.Fprintf(out, "  %s\n", line)
+		}
+	}
+	if res.Unbounded {
+		fmt.Fprintln(out, "throughput: unbounded (no dependency cycle constrains the steady state)")
+	} else {
+		fmt.Fprintf(out, "iteration period: %s (engine: %s)\n", res.Period, res.Engine)
+	}
+	if res.Verified {
+		fmt.Fprintf(out, "verified: %s\n", res.Certificate)
+	}
+	switch {
+	case res.Cached:
+		fmt.Fprintln(out, "served from the result cache")
+	case res.Deduped:
+		fmt.Fprintln(out, "deduplicated against an identical in-flight request")
+	}
+	return nil
+}
+
+// postThroughput performs the wire round trip and converts error
+// payloads into remoteError.
+func postThroughput(server string, body []byte, timeout time.Duration) (*serve.ResultPayload, error) {
+	// The client deadline covers the server's analysis deadline plus
+	// generous transport slack; it exists so a dead server cannot hang
+	// the tool forever.
+	client := &http.Client{Timeout: timeout + 60*time.Second}
+	resp, err := client.Post(server+"/v1/throughput", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ep serve.ErrorPayload
+		if err := json.Unmarshal(data, &ep); err != nil || ep.Kind == "" {
+			return nil, fmt.Errorf("server: http %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		return nil, &remoteError{status: resp.StatusCode, kind: ep.Kind, msg: ep.Error}
+	}
+	var res serve.ResultPayload
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("server: malformed result: %w", err)
+	}
+	return &res, nil
+}
+
+// queryHealth prints the daemon's health report: breaker states first
+// (they are what an operator acts on), then the raw counters.
+func queryHealth(out io.Writer, server string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(server + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: http %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var h serve.Health
+	if err := json.Unmarshal(data, &h); err != nil {
+		return fmt.Errorf("server: malformed health report: %w", err)
+	}
+	state := "admitting"
+	if h.Draining {
+		state = "draining"
+	}
+	fmt.Fprintf(out, "server:     %s (%s)\n", server, state)
+	fmt.Fprintf(out, "in flight:  %d (running %d of %d workers, queue capacity %d)\n",
+		h.InFlight, h.Running, h.Workers, h.QueueCapacity)
+	fmt.Fprintf(out, "pool:       %d/%d units in use (headroom %d)\n", h.PoolInUse, h.PoolCapacity, h.PoolHeadroom)
+	fmt.Fprintf(out, "cache:      %d/%d entries, %d hits, %d misses, %d deduped\n",
+		h.CacheEntries, h.CacheCapacity, h.CacheHits, h.CacheMisses, h.Deduped)
+	fmt.Fprintf(out, "requests:   %d admitted, %d served, %d failed, %d refused overloaded\n",
+		h.Admitted, h.Served, h.Failed, h.Overloaded)
+	fmt.Fprintln(out, "engines:")
+	for _, e := range h.Engines {
+		fmt.Fprintf(out, "  %-11s %-9s (streak %d, trips %d)\n", e.Engine, e.State, e.Streak, e.Trips)
+	}
+	return nil
+}

@@ -56,6 +56,16 @@ type HedgeOptions struct {
 	// Engines order, which makes reports and disagreements
 	// deterministic; the price is the wall time of the slowest engine.
 	CrossCheck bool
+	// Gate, when non-nil, is consulted once per engine before its racer
+	// goroutine is spawned. A non-nil error removes the engine from the
+	// race entirely — no goroutine, no meter, no budget consumption —
+	// and records it in the report as skipped with the error's text.
+	// The serving layer points this at per-engine circuit breakers so a
+	// tripped engine is shed instead of raced. The gate error is
+	// surfaced verbatim, so gates that reserve state on admission (a
+	// half-open breaker's probe slot) see exactly one engine run per
+	// nil return.
+	Gate func(m Method) error
 }
 
 // HedgeReport extends the resilient ladder's report with the
@@ -106,6 +116,20 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 	if len(engines) == 0 {
 		engines = []Method{Matrix, StateSpace, HSDF}
 	}
+	// The gate sheds engines before anything is spent on them: a gated
+	// engine gets no goroutine, no meter and no budget charge, only a
+	// skipped line in the report.
+	gated := make(map[Method]error)
+	racers := make([]Method, 0, len(engines))
+	for _, m := range engines {
+		if opts.Gate != nil {
+			if err := opts.Gate(m); err != nil {
+				gated[m] = err
+				continue
+			}
+		}
+		racers = append(racers, m)
+	}
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -120,9 +144,9 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 	}
 	// Buffered to the field size so every racer can deliver and exit
 	// even if the receive loop has moved on.
-	results := make(chan finish, len(engines))
+	results := make(chan finish, len(racers))
 	var wg sync.WaitGroup
-	for _, m := range engines {
+	for _, m := range racers {
 		wg.Add(1)
 		go func(m Method) {
 			defer wg.Done()
@@ -139,10 +163,10 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 		}(m)
 	}
 
-	byMethod := make(map[Method]outcome, len(engines))
+	byMethod := make(map[Method]outcome, len(racers))
 	var winner Method
 	won := false
-	for range engines {
+	for range racers {
 		f := <-results
 		byMethod[f.method] = f.outcome
 		if f.err == nil && !won && !opts.CrossCheck {
@@ -155,7 +179,7 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 	wg.Wait()
 	if opts.CrossCheck {
 		// Deterministic winner: the first verified engine in race order.
-		for _, m := range engines {
+		for _, m := range racers {
 			if byMethod[m].err == nil {
 				winner, won = m, true
 				break
@@ -166,6 +190,17 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 	rep := &HedgeReport{Certificates: make(map[Method]*verify.ThroughputCert)}
 	var errs []error
 	for _, m := range engines {
+		if gerr, ok := gated[m]; ok {
+			rep.Attempts = append(rep.Attempts, EngineAttempt{
+				Method: m, Skipped: true,
+				Reason: fmt.Sprintf("gated: %v", gerr),
+				Err:    gerr,
+			})
+			if !won {
+				errs = append(errs, fmt.Errorf("%v: %w", m, gerr))
+			}
+			continue
+		}
 		o := byMethod[m]
 		switch {
 		case o.err == nil && won && m == winner:
@@ -196,7 +231,7 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 	// Any second verified answer must agree with the winner's; a
 	// conflict is structured evidence, not a coin flip.
 	win := byMethod[winner]
-	for _, m := range engines {
+	for _, m := range racers {
 		o := byMethod[m]
 		if m == winner || o.err != nil {
 			continue

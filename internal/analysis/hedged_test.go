@@ -148,6 +148,89 @@ func TestHedgedAllEnginesFail(t *testing.T) {
 	}
 }
 
+// TestHedgedGateShedsTrippedEngine is the breaker-interaction contract
+// of the serving layer: an engine behind an open circuit breaker must
+// be shed before the race starts — no goroutine, no meter, no budget
+// consumption — and the report must say so. The armed injector proves
+// the "no budget consumed" half: had the statespace engine run at all,
+// its very first checkpoint or precheck would have struck the injector.
+func TestHedgedGateShedsTrippedEngine(t *testing.T) {
+	defer noLeaks(t)
+	g := gen.Figure2()
+	b := guard.Unlimited()
+	b.CheckEvery = 1
+	inj := guard.NewInjector(
+		guard.Fault{Engine: "statespace", Point: guard.PointPrecheck, Mode: guard.ModePanic, Times: -1},
+		guard.Fault{Engine: "statespace", Point: guard.PointCheckpoint, Mode: guard.ModePanic, Times: -1},
+	)
+	ctx := guard.WithInjector(guard.WithBudget(context.Background(), b), inj)
+
+	breaker := guard.NewBreaker(guard.BreakerOptions{Threshold: 1})
+	breaker.Failure() // tripped before the race
+	gate := func(m Method) error {
+		if m == StateSpace {
+			return breaker.Allow()
+		}
+		return nil
+	}
+	tp, rep, err := ComputeThroughputHedgedOpts(ctx, g, HedgeOptions{CrossCheck: true, Gate: gate})
+	if err != nil {
+		t.Fatalf("hedged with tripped statespace: %v\n%s", err, rep)
+	}
+	if tp.Unbounded {
+		t.Error("result unbounded")
+	}
+	if rep.Winner != Matrix {
+		t.Errorf("winner = %v, want matrix", rep.Winner)
+	}
+	if inj.Fired() != 0 {
+		t.Errorf("gated engine consumed budget: injector fired %d times, want 0", inj.Fired())
+	}
+	var ss *EngineAttempt
+	for i := range rep.Attempts {
+		if rep.Attempts[i].Method == StateSpace {
+			ss = &rep.Attempts[i]
+		}
+	}
+	if ss == nil {
+		t.Fatalf("no statespace attempt in the report:\n%s", rep)
+	}
+	if !ss.Skipped {
+		t.Fatalf("tripped engine not recorded as skipped: %+v", ss)
+	}
+	if !errors.Is(ss.Err, guard.ErrBreakerOpen) {
+		t.Errorf("skipped attempt carries %v, want ErrBreakerOpen", ss.Err)
+	}
+	if !strings.Contains(rep.String(), "gated") {
+		t.Errorf("report does not say the engine was gated:\n%s", rep)
+	}
+	if _, ok := rep.Certificates[StateSpace]; ok {
+		t.Error("gated engine produced a certificate")
+	}
+}
+
+// When the gate sheds every engine the race must fail with the gate
+// errors joined, not hang or invent a winner.
+func TestHedgedAllEnginesGated(t *testing.T) {
+	defer noLeaks(t)
+	gate := func(Method) error { return guard.ErrBreakerOpen }
+	_, rep, err := ComputeThroughputHedgedOpts(context.Background(), gen.Figure2(), HedgeOptions{Gate: gate})
+	if err == nil {
+		t.Fatal("fully gated race produced an answer")
+	}
+	if !errors.Is(err, guard.ErrBreakerOpen) {
+		t.Errorf("err = %v, want to wrap ErrBreakerOpen", err)
+	}
+	if rep.Answered || len(rep.Attempts) != 3 {
+		t.Fatalf("report = answered=%v attempts=%d, want 3 skipped attempts", rep.Answered, len(rep.Attempts))
+	}
+	for _, at := range rep.Attempts {
+		if !at.Skipped {
+			t.Errorf("%v not skipped: %+v", at.Method, at)
+		}
+	}
+}
+
 // A deterministically injected budget refusal makes the HSDF racer lose
 // while the others proceed: degradation under fault injection, with no
 // timing dependence because cross-check mode waits for every racer.

@@ -22,8 +22,9 @@ type EngineAttempt struct {
 	Skipped bool
 	// Reason explains a skip or summarises a failure.
 	Reason string
-	// Err is the structured error of a failed run (nil for the winner
-	// and for skipped engines).
+	// Err is the structured error of a failed run: nil for the winner
+	// and for engines skipped because an earlier one answered, the
+	// gate's error for engines a HedgeOptions.Gate shed before they ran.
 	Err error
 }
 

@@ -1,0 +1,235 @@
+package guard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual clock for breaker tests: transitions happen
+// when the test advances it, never by sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func testBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	return NewBreaker(BreakerOptions{Threshold: threshold, Cooldown: cooldown, Now: clk.Now}), clk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused request %d: %v", i, err)
+		}
+		b.Failure()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("state after %d failures = %v, want closed", i+1, got)
+		}
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a request: %v", err)
+	}
+	if b.Trips() != 1 {
+		t.Errorf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("streak not reset by success: state = %v", got)
+	}
+	if got := b.Streak(); got != 2 {
+		t.Errorf("Streak = %d, want 2", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Failure() // trips immediately
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted before cooldown: %v", err)
+	}
+	clk.Advance(time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	// Exactly one probe is admitted.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker refused the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("recovered breaker refused: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Failure()
+	clk.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// The cooldown restarts from the failed probe.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("re-opened breaker admitted immediately: %v", err)
+	}
+	if b.Trips() != 2 {
+		t.Errorf("Trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerForgiveReleasesProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Failure()
+	clk.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	// A cancelled probe (lost race) is no verdict: the slot reopens.
+	b.Forgive()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after forgiven probe = %v, want half-open", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("next probe after Forgive refused: %v", err)
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerForgiveWhileClosedKeepsStreak(t *testing.T) {
+	b, _ := testBreaker(2, time.Second)
+	b.Failure()
+	b.Forgive()
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("Forgive interfered with the streak: state = %v, want open", got)
+	}
+}
+
+func TestBreakerConcurrentHammer(t *testing.T) {
+	b, clk := testBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := b.Allow(); err != nil {
+					clk.Advance(time.Millisecond)
+					continue
+				}
+				switch (w + i) % 3 {
+				case 0:
+					b.Failure()
+				case 1:
+					b.Success()
+				default:
+					b.Forgive()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// No assertion beyond the race detector and state sanity.
+	if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+		t.Fatalf("invalid state %v", s)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(100)
+	if !p.TryAcquire(60) {
+		t.Fatal("TryAcquire(60) on empty pool failed")
+	}
+	if p.TryAcquire(50) {
+		t.Fatal("TryAcquire(50) fit into 40 headroom")
+	}
+	if !p.TryAcquire(40) {
+		t.Fatal("TryAcquire(40) at exact headroom failed")
+	}
+	if p.Headroom() != 0 || p.InUse() != 100 {
+		t.Fatalf("headroom=%d inuse=%d, want 0/100", p.Headroom(), p.InUse())
+	}
+	p.Release(100)
+	if p.InUse() != 0 {
+		t.Fatalf("InUse after full release = %d", p.InUse())
+	}
+	if p.TryAcquire(-1) {
+		t.Fatal("negative (overflowed) estimate admitted")
+	}
+	if !p.TryAcquire(0) {
+		t.Fatal("zero-cost reservation refused")
+	}
+	if p.Capacity() != 100 {
+		t.Fatalf("Capacity = %d", p.Capacity())
+	}
+}
+
+func TestPoolOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	NewPool(10).Release(1)
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if p.TryAcquire(8) {
+					p.Release(8)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.InUse() != 0 {
+		t.Fatalf("InUse after balanced hammer = %d, want 0", p.InUse())
+	}
+}

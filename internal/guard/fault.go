@@ -78,10 +78,12 @@ func (mo FaultMode) String() string {
 	}
 }
 
-// Fault arms one deterministic failure: the Nth event matching
-// (Engine, Point) triggers Mode. Faults are one-shot — after firing
-// they are disarmed, so a retrying caller observes exactly one
-// failure.
+// Fault arms one deterministic failure: every Nth event matching
+// (Engine, Point) triggers Mode. By default a fault is one-shot — after
+// firing it is disarmed, so a retrying caller observes exactly one
+// failure — but Times can rearm it for a fixed number of firings or
+// forever, which is how a soak test keeps one engine sick for as long
+// as it chooses.
 type Fault struct {
 	// Engine restricts the fault to meters created for that engine
 	// name; empty matches every engine.
@@ -92,56 +94,89 @@ type Fault struct {
 	Mode FaultMode
 	// N is the 1-based index of the matching event that triggers the
 	// fault; values below 1 are treated as 1 (fire on the first match).
+	// A repeating fault (Times != 0) resets its event count after each
+	// firing, so it fires on every Nth match.
 	N int64
+	// Times bounds how often the fault fires: 0 and 1 mean one-shot,
+	// larger values fire that many times, negative values never disarm.
+	Times int64
 }
 
 type armedFault struct {
 	Fault
-	count int64
-	done  bool
+	count int64 // matching events since the last firing
+	fired int64 // total firings of this fault
+}
+
+// disarmed reports whether the fault has exhausted its firings.
+func (f *armedFault) disarmed() bool {
+	switch {
+	case f.Times < 0:
+		return false
+	case f.Times <= 1:
+		return f.fired >= 1
+	default:
+		return f.fired >= f.Times
+	}
 }
 
 // Injector holds armed faults and counts matching events. It is safe
-// for concurrent use: hedged engines racing in goroutines share one
-// injector through the context.
+// for concurrent use: hedged engines racing in goroutines — and, in the
+// serving layer, unrelated requests on separate server goroutines —
+// share one injector through the context, so every counter (per-fault
+// event counts, per-fault firings, the global fired total) is read and
+// advanced under one lock, and a one-shot fault fires exactly once no
+// matter how many meters strike it simultaneously.
 type Injector struct {
 	mu     sync.Mutex
 	faults []armedFault
-	fired  int
+	fired  int64
 }
 
 // NewInjector arms the given faults.
 func NewInjector(faults ...Fault) *Injector {
-	inj := &Injector{faults: make([]armedFault, len(faults))}
-	for i, f := range faults {
-		if f.N < 1 {
-			f.N = 1
-		}
-		inj.faults[i] = armedFault{Fault: f}
-	}
+	inj := &Injector{}
+	inj.Arm(faults...)
 	return inj
 }
 
-// Fired reports how many armed faults have triggered so far.
+// Arm appends more faults to the injector at runtime; a long-running
+// server test arms and exhausts faults in phases without rebuilding the
+// contexts that carry the injector. Safe for concurrent use with
+// in-flight strikes.
+func (inj *Injector) Arm(faults ...Fault) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for _, f := range faults {
+		if f.N < 1 {
+			f.N = 1
+		}
+		inj.faults = append(inj.faults, armedFault{Fault: f})
+	}
+}
+
+// Fired reports how many fault firings have occurred so far (a
+// repeating fault counts once per firing).
 func (inj *Injector) Fired() int {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
-	return inj.fired
+	return int(inj.fired)
 }
 
 // strike records one event for engine at point p and reports the first
-// armed fault whose count reached N, disarming it.
+// armed fault whose count reached N, consuming one of its firings.
 func (inj *Injector) strike(engine string, p FaultPoint) (Fault, bool) {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	for i := range inj.faults {
 		f := &inj.faults[i]
-		if f.done || f.Point != p || (f.Engine != "" && f.Engine != engine) {
+		if f.disarmed() || f.Point != p || (f.Engine != "" && f.Engine != engine) {
 			continue
 		}
 		f.count++
 		if f.count >= f.N {
-			f.done = true
+			f.count = 0
+			f.fired++
 			inj.fired++
 			return f.Fault, true
 		}

@@ -3,6 +3,9 @@ package guard
 import (
 	"context"
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -117,6 +120,119 @@ func TestInjectorZeroNMeansFirst(t *testing.T) {
 	ctx, _ := injCtx(Fault{Point: PointCheckpoint, Mode: ModeError, N: 0})
 	if err := NewMeter(ctx, "x").Canceled(); !errors.Is(err, ErrEngineFailed) {
 		t.Fatalf("N=0 fault did not fire on the first checkpoint: %v", err)
+	}
+}
+
+func TestInjectRepeatingFault(t *testing.T) {
+	// Times=3, N=2: fires on every 2nd checkpoint, three times total.
+	ctx, inj := injCtx(Fault{Point: PointCheckpoint, Mode: ModeError, N: 2, Times: 3})
+	m := NewMeter(ctx, "matrix")
+	var failures int
+	for i := 0; i < 20; i++ {
+		if err := m.Tick(1); err != nil {
+			failures++
+			if want := []int{1, 3, 5}; failures <= 3 && i != want[failures-1] {
+				t.Errorf("firing %d at checkpoint %d, want %d", failures, i, want[failures-1])
+			}
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("repeating fault fired %d times, want 3", failures)
+	}
+	if inj.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", inj.Fired())
+	}
+}
+
+func TestInjectUnlimitedFault(t *testing.T) {
+	ctx, inj := injCtx(Fault{Engine: "statespace", Point: PointCheckpoint, Mode: ModeError, Times: -1})
+	m := NewMeter(ctx, "statespace")
+	for i := 0; i < 10; i++ {
+		if err := m.Tick(1); !errors.Is(err, ErrEngineFailed) {
+			t.Fatalf("unlimited fault went quiet at checkpoint %d: %v", i, err)
+		}
+	}
+	if inj.Fired() != 10 {
+		t.Errorf("Fired = %d, want 10", inj.Fired())
+	}
+}
+
+// TestInjectorConcurrentOneShot hammers a single injector from many
+// worker goroutines, the access pattern of the serving layer where
+// every request goroutine strikes the same injector. Run under -race
+// this proves the counters are synchronised; the assertion proves a
+// one-shot fault fires exactly once across all workers.
+func TestInjectorConcurrentOneShot(t *testing.T) {
+	const workers, ticks = 16, 200
+	ctx, inj := injCtx(
+		Fault{Point: PointCheckpoint, Mode: ModeError, N: 100},
+		Fault{Point: PointPrecheck, Mode: ModeRefuse, N: 50},
+	)
+	var wg sync.WaitGroup
+	var checkpointFaults, precheckFaults atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := NewMeter(ctx, "matrix")
+			for i := 0; i < ticks; i++ {
+				if err := m.Tick(1); err != nil {
+					checkpointFaults.Add(1)
+				}
+				if err := m.NeedFirings(1); errors.Is(err, ErrBudgetExceeded) {
+					precheckFaults.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := checkpointFaults.Load(); got != 1 {
+		t.Errorf("one-shot checkpoint fault fired %d times across workers, want 1", got)
+	}
+	if got := precheckFaults.Load(); got != 1 {
+		t.Errorf("one-shot precheck fault fired %d times across workers, want 1", got)
+	}
+	if inj.Fired() != 2 {
+		t.Errorf("Fired = %d, want 2", inj.Fired())
+	}
+}
+
+// TestInjectorConcurrentArm arms faults while workers are striking:
+// the serving soak test does exactly this to switch injection phases.
+func TestInjectorConcurrentArm(t *testing.T) {
+	const workers = 8
+	ctx, inj := injCtx()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var fired atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := NewMeter(ctx, "statespace")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := m.Tick(1); err != nil {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		inj.Arm(Fault{Engine: "statespace", Point: PointCheckpoint, Mode: ModeError})
+	}
+	// Wait until every armed fault has been consumed, then stop.
+	for inj.Fired() < 50 {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if got := fired.Load(); got != 50 {
+		t.Errorf("workers observed %d firings, want 50", got)
 	}
 }
 

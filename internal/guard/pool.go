@@ -1,0 +1,78 @@
+// Pool is the admission-control side of the work budget: where a
+// Budget caps how much work one analysis may perform, a Pool caps how
+// much estimated work the whole process may have in flight at once.
+// Each admitted request reserves its static cost estimate up front and
+// releases it when it finishes; once the pool is exhausted, further
+// requests are refused instantly instead of queueing the process into
+// memory exhaustion.
+package guard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a reservation pool of abstract work units, safe for
+// concurrent use. The zero Pool is unusable; construct with NewPool.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+}
+
+// NewPool returns a pool with the given capacity; capacities below 1
+// are treated as 1 so that TryAcquire(0) still succeeds while any real
+// reservation is refused.
+func NewPool(capacity int64) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{capacity: capacity}
+}
+
+// TryAcquire reserves n work units without blocking and reports whether
+// the reservation fit. Negative n (an overflowed estimate) never fits.
+func (p *Pool) TryAcquire(n int64) bool {
+	if n < 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.used+n > p.capacity {
+		return false
+	}
+	p.used += n
+	return true
+}
+
+// Release returns n previously acquired units to the pool. Releasing
+// more than was acquired panics: it is a bookkeeping bug that would
+// silently widen the admission gate.
+func (p *Pool) Release(n int64) {
+	if n < 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n > p.used {
+		panic(fmt.Sprintf("guard: pool release of %d exceeds %d in use", n, p.used))
+	}
+	p.used -= n
+}
+
+// InUse returns the currently reserved units.
+func (p *Pool) InUse() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// Capacity returns the pool's total capacity.
+func (p *Pool) Capacity() int64 { return p.capacity }
+
+// Headroom returns the units still available for reservation.
+func (p *Pool) Headroom() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity - p.used
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is a bounded LRU of certified analysis results keyed by
+// the canonical request hash. Every cached entry was independently
+// verified before it was stored, so serving it again needs no re-check;
+// the entry bound (rather than a byte bound) keeps the memory footprint
+// proportional to the configured capacity because results are small —
+// a rational, a report and a certificate summary, never a graph.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	res *ResultPayload
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns a copy of the cached result for key, marking it as served
+// from the cache.
+func (c *resultCache) get(key string) (*ResultPayload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.order.MoveToFront(el)
+	res := *el.Value.(*cacheEntry).res
+	res.Cached = true
+	return &res, true
+}
+
+// put stores a result, evicting the least recently used entry past the
+// capacity.
+func (c *resultCache) put(key string, res *ResultPayload) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flight is one in-flight computation that identical requests join
+// instead of repeating.
+type flight struct {
+	done chan struct{}
+	res  *ResultPayload
+	err  error
+}
+
+// flightGroup deduplicates concurrent identical requests: the first
+// caller for a key becomes the leader and computes; followers wait for
+// the leader's result (or their own deadline). The leader runs detached
+// from any single caller's context, so a follower-visible result is
+// never lost to the leader's client hanging up.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	deduped atomic.Int64
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join returns the existing flight for key, or registers a new one and
+// reports that the caller is its leader.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		g.deduped.Add(1)
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and releases the key.
+func (g *flightGroup) finish(key string, f *flight, res *ResultPayload, err error) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sdfio"
+)
+
+// FuzzRequest hammers the wire decoder of sdfserved with arbitrary
+// bytes. The decoder guards the admission path of a public daemon, so
+// the invariants are absolute: it must never panic, and anything it
+// accepts must be a fully validated request — a structurally valid
+// graph, a normalized method, non-negative timeout, and a canonical key
+// that is deterministic (the cache and the singleflight group both key
+// on it).
+func FuzzRequest(f *testing.F) {
+	var graphJSON, graphText bytes.Buffer
+	if err := sdfio.WriteJSON(&graphJSON, gen.Figure2()); err != nil {
+		f.Fatal(err)
+	}
+	if err := sdfio.WriteText(&graphText, gen.Figure2()); err != nil {
+		f.Fatal(err)
+	}
+	seed := func(p RequestPayload) {
+		b, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(RequestPayload{Graph: graphJSON.Bytes()})
+	seed(RequestPayload{Graph: graphJSON.Bytes(), Method: "Matrix", TimeoutMS: 250, Budget: 100000})
+	seed(RequestPayload{GraphText: graphText.String(), Method: "hedged"})
+	seed(RequestPayload{GraphText: graphText.String(), Method: "statespace",
+		Inject: []InjectPayload{{Engine: "statespace", Point: "checkpoint", Mode: "panic", N: 3, Times: -1}}})
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"graph_text":"graph g\nactor a 1\n"}`))
+	f.Add([]byte(`{"graph":{"name":"g","actors":[],"channels":[]}}`))
+	f.Add([]byte(`{"graph_text":"x","method":"oracle"}`))
+	f.Add([]byte(`{"graph_text":"x","timeout_ms":-5}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("decoder returned both a request and an error")
+			}
+			return
+		}
+		if req.Graph == nil {
+			t.Fatal("accepted request with nil graph")
+		}
+		if err := req.Graph.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		switch req.Method {
+		case "hedged", "matrix", "statespace", "hsdf":
+		default:
+			t.Fatalf("accepted unknown method %q", req.Method)
+		}
+		if req.Timeout < 0 {
+			t.Fatalf("accepted negative timeout %v", req.Timeout)
+		}
+		if cost := EstimateCost(req.Graph); cost < 1 {
+			t.Fatalf("estimated cost %d < 1", cost)
+		}
+		if k1, k2 := req.Key(), req.Key(); k1 != k2 || len(k1) != 64 {
+			t.Fatalf("unstable or malformed request key %q vs %q", k1, k2)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/analysis"
+	"repro/internal/guard"
+	"repro/internal/lint"
+	"repro/internal/sdf"
+	"repro/internal/verify"
+)
+
+// KindOf classifies an Analyze error into the stable wire string of
+// ErrorPayload.Kind. The order matters: the most specific, most
+// actionable classification wins (a budget-caused engine error reports
+// the budget, matching the sdftool exit-code policy).
+func KindOf(err error) string {
+	var pre *lint.PrecheckError
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBadRequest):
+		return "bad-request"
+	case errors.Is(err, ErrInjectionDisabled):
+		return "injection-disabled"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.As(err, &pre),
+		errors.Is(err, sdf.ErrInconsistent),
+		errors.Is(err, lint.ErrDeadlockCycle):
+		return "precondition"
+	case errors.Is(err, guard.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, guard.ErrCanceled), errors.Is(err, context.Canceled):
+		return "canceled"
+	// Breaker-open ranks below the substantive failures: a hedged error
+	// joins the gated engines' refusals with the errors of the engines
+	// that actually ran, and if one of those failed on budget, deadline
+	// or a model precondition, retrying later (what breaker-open tells
+	// the client) would not help. Only a request whose every path was
+	// shed classifies as breaker-open.
+	case errors.Is(err, guard.ErrBreakerOpen):
+		return "breaker-open"
+	case errors.Is(err, verify.ErrInvalid):
+		return "certificate"
+	case errors.Is(err, analysis.ErrEngineDisagreement):
+		return "disagreement"
+	case errors.Is(err, guard.ErrEngineFailed):
+		return "engine"
+	default:
+		return "internal"
+	}
+}
+
+// statusOf maps an error kind to its HTTP status code.
+func statusOf(kind string) int {
+	switch kind {
+	case "bad-request":
+		return http.StatusBadRequest
+	case "injection-disabled":
+		return http.StatusForbidden
+	case "overloaded":
+		return http.StatusTooManyRequests
+	case "draining", "breaker-open":
+		return http.StatusServiceUnavailable
+	case "precondition", "budget":
+		return http.StatusUnprocessableEntity
+	case "deadline", "canceled":
+		return http.StatusGatewayTimeout
+	default: // certificate, disagreement, engine, internal
+		return http.StatusInternalServerError
+	}
+}
+
+// retryable reports whether the condition clears by itself, so the
+// response should carry a Retry-After hint.
+func retryable(kind string) bool {
+	switch kind {
+	case "overloaded", "draining", "breaker-open":
+		return true
+	}
+	return false
+}
+
+// NewHandler wraps a Server in its HTTP surface:
+//
+//	POST /v1/throughput — analyse the request body (RequestPayload),
+//	     answering ResultPayload or ErrorPayload.
+//	GET  /healthz — full Health report, always 200 while the process
+//	     lives.
+//	GET  /readyz — 200 while admitting, 503 once draining, so load
+//	     balancers stop routing before SIGTERM's drain completes.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/throughput", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+		if err != nil {
+			writeError(w, errors.Join(ErrBadRequest, err))
+			return
+		}
+		req, err := DecodeRequest(body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		res, err := s.Analyze(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		type readiness struct {
+			Ready  bool   `json:"ready"`
+			Reason string `json:"reason,omitempty"`
+		}
+		if s.Draining() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, readiness{Ready: true})
+	})
+	return mux
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	kind := KindOf(err)
+	if retryable(kind) {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, statusOf(kind), ErrorPayload{Error: err.Error(), Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is out; an encode failure here can only be a
+	// broken connection, which the server cannot repair.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,500 @@
+// Package serve turns the analysis facade into a long-running service
+// that degrades instead of dying. The paper's point (§4–§6) is that
+// reduced analyses are cheap enough to answer on demand; this layer is
+// what makes "on demand" survivable when hundreds of concurrent,
+// possibly hostile, possibly explosive graphs arrive at once:
+//
+//	admission control — a bounded queue plus a global work-unit pool
+//	    (guard.Pool) fed by per-request static cost estimates; requests
+//	    that do not fit are refused instantly with ErrOverloaded.
+//	per-engine circuit breakers — guard.Breaker around each throughput
+//	    engine, tripped by failure/panic/deadline streaks; a sick engine
+//	    is shed from the hedged race (HedgeOptions.Gate) while the
+//	    remaining engines keep answering, then probed half-open until it
+//	    recovers.
+//	singleflight result cache — identical in-flight requests join one
+//	    computation; certified results are kept in a bounded LRU.
+//	graceful drain — Drain stops admission, waits for in-flight work
+//	    under the caller's deadline, then cancels stragglers through the
+//	    server's base context; the whole thing is goroutine-leak-free.
+//
+// The package contains no HTTP specifics beyond http.go's thin handler;
+// cmd/sdfserved is the daemon around it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/guard"
+	"repro/internal/lint"
+	"repro/internal/sdf"
+	"repro/internal/verify"
+)
+
+// Sentinel errors of the serving layer.
+var (
+	// ErrOverloaded marks a request refused by admission control: the
+	// queue is full or the work pool cannot fit the request's estimated
+	// cost. Clients should back off and retry (HTTP 429 + Retry-After).
+	ErrOverloaded = errors.New("serve: server overloaded")
+	// ErrDraining marks a request refused because the server is
+	// shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: server draining")
+	// ErrInjectionDisabled marks a request carrying fault-injection
+	// directives on a server that does not allow them.
+	ErrInjectionDisabled = errors.New("serve: fault injection disabled on this server")
+)
+
+// Options configures a Server. The zero value gives a small but fully
+// functional server.
+type Options struct {
+	// Workers bounds concurrently running analyses; default 4.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker on top of the
+	// running ones; default 64. Waiting requests hold their admission
+	// slot, so Workers+QueueDepth is the hard cap on requests inside
+	// the server.
+	QueueDepth int
+	// PoolCapacity is the global admission pool in abstract work units
+	// (see EstimateCost); default 1<<20.
+	PoolCapacity int64
+	// CacheEntries bounds the result LRU; default 256.
+	CacheEntries int
+	// DefaultTimeout is the per-request analysis deadline when the
+	// request names none; default 5s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines; default 30s.
+	MaxTimeout time.Duration
+	// Breaker configures every per-engine circuit breaker.
+	Breaker guard.BreakerOptions
+	// Engines lists the engines of the hedged race; default matrix,
+	// statespace, hsdf.
+	Engines []analysis.Method
+	// AllowInjection permits requests to arm per-request faults. Only
+	// ever enable it for soak tests; it is how the failure paths are
+	// exercised deterministically through the real wire format.
+	AllowInjection bool
+}
+
+func (o Options) normalized() Options {
+	if o.Workers < 1 {
+		o.Workers = 4
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 64
+	}
+	if o.PoolCapacity < 1 {
+		o.PoolCapacity = 1 << 20
+	}
+	if o.CacheEntries < 1 {
+		o.CacheEntries = 256
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 5 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 30 * time.Second
+	}
+	if len(o.Engines) == 0 {
+		o.Engines = []analysis.Method{analysis.Matrix, analysis.StateSpace, analysis.HSDF}
+	}
+	return o
+}
+
+// Server is the concurrent analysis front-end. Construct with New;
+// safe for concurrent use.
+type Server struct {
+	opts     Options
+	breakers map[analysis.Method]*guard.Breaker
+	pool     *guard.Pool
+	cache    *resultCache
+	flights  *flightGroup
+
+	// slots bounds requests inside the server (running + waiting);
+	// work bounds running analyses.
+	slots chan struct{}
+	work  chan struct{}
+
+	// baseCtx parents every analysis context; baseCancel is the drain
+	// deadline's hammer for stragglers.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	active   int
+	drained  chan struct{}
+
+	running    atomic.Int64
+	admitted   atomic.Int64
+	served     atomic.Int64
+	failed     atomic.Int64
+	overloaded atomic.Int64
+}
+
+// New returns a ready Server.
+func New(opts Options) *Server {
+	opts = opts.normalized()
+	s := &Server{
+		opts:     opts,
+		breakers: make(map[analysis.Method]*guard.Breaker, len(opts.Engines)),
+		pool:     guard.NewPool(opts.PoolCapacity),
+		cache:    newResultCache(opts.CacheEntries),
+		flights:  newFlightGroup(),
+		slots:    make(chan struct{}, opts.Workers+opts.QueueDepth),
+		work:     make(chan struct{}, opts.Workers),
+		drained:  make(chan struct{}),
+	}
+	for _, m := range opts.Engines {
+		s.breakers[m] = guard.NewBreaker(opts.Breaker)
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
+}
+
+// Analyze admits, deduplicates and executes one request. The returned
+// error classifies with errors.Is against ErrOverloaded, ErrDraining,
+// guard.ErrBudgetExceeded, guard.ErrCanceled, guard.ErrEngineFailed,
+// guard.ErrBreakerOpen and the lint precondition errors; KindOf maps
+// the classification to a stable wire string.
+//
+// ctx governs only how long this caller waits: the analysis itself
+// runs under the server's base context and the request deadline, so a
+// deduplicated computation is never killed by one impatient client.
+func (s *Server) Analyze(ctx context.Context, req *Request) (*ResultPayload, error) {
+	if len(req.Faults) > 0 && !s.opts.AllowInjection {
+		return nil, ErrInjectionDisabled
+	}
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	defer s.finish()
+
+	// Bounded queue: a server already holding Workers+QueueDepth
+	// requests refuses instantly rather than buffering unboundedly.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.overloaded.Add(1)
+		return nil, fmt.Errorf("%w: all %d request slots taken", ErrOverloaded, cap(s.slots))
+	}
+	defer func() { <-s.slots }()
+	s.admitted.Add(1)
+
+	// Cheap structural prechecks before any budget is reserved: an
+	// inconsistent or deadlocked graph costs the server almost nothing.
+	if err := lint.Precheck(req.Graph); err != nil {
+		s.failed.Add(1)
+		return nil, err
+	}
+
+	res, err := s.dispatch(ctx, req)
+	if err != nil {
+		s.failed.Add(1)
+		return nil, err
+	}
+	s.served.Add(1)
+	return res, nil
+}
+
+// dispatch routes a request through the cache and singleflight group;
+// fault-injected requests bypass both (they are deliberately sick and
+// must neither poison the cache nor adopt a healthy in-flight result).
+func (s *Server) dispatch(ctx context.Context, req *Request) (*ResultPayload, error) {
+	if len(req.Faults) > 0 {
+		return s.execute(req)
+	}
+	key := req.Key()
+	if res, ok := s.cache.get(key); ok {
+		return res, nil
+	}
+	f, leader := s.flights.join(key)
+	if !leader {
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.err
+			}
+			res := *f.res
+			res.Deduped = true
+			return &res, nil
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %w", guard.ErrCanceled, context.Cause(ctx))
+		}
+	}
+	res, err := s.execute(req)
+	if err == nil {
+		s.cache.put(key, res)
+	}
+	s.flights.finish(key, f, res, err)
+	return res, err
+}
+
+// execute reserves pool cost and a worker slot, builds the analysis
+// context and runs the engines.
+func (s *Server) execute(req *Request) (*ResultPayload, error) {
+	cost := EstimateCost(req.Graph)
+	if !s.pool.TryAcquire(cost) {
+		s.overloaded.Add(1)
+		return nil, fmt.Errorf("%w: request cost %d exceeds pool headroom %d",
+			ErrOverloaded, cost, s.pool.Headroom())
+	}
+	defer s.pool.Release(cost)
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	if timeout > s.opts.MaxTimeout {
+		timeout = s.opts.MaxTimeout
+	}
+	actx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	budget := guard.BudgetFrom(actx)
+	if req.Budget != 0 {
+		budget = guard.Uniform(req.Budget)
+	}
+	if len(req.Faults) > 0 {
+		// Injected requests poll every work unit so counter-based
+		// faults fire deterministically even on tiny graphs whose hot
+		// loops would otherwise never reach an amortised checkpoint.
+		budget.CheckEvery = 1
+		actx = guard.WithInjector(actx, guard.NewInjector(req.Faults...))
+	}
+	actx = guard.WithBudget(actx, budget)
+
+	// The queue's deadline discipline: waiting for a worker burns the
+	// request's own deadline, never more.
+	select {
+	case s.work <- struct{}{}:
+	case <-actx.Done():
+		return nil, fmt.Errorf("%w: queued past the deadline: %w", guard.ErrCanceled, context.Cause(actx))
+	}
+	defer func() { <-s.work }()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	if req.Method == "hedged" {
+		return s.runHedged(actx, req.Graph)
+	}
+	return s.runSingle(actx, req.Graph, req.Method)
+}
+
+// runHedged races the breaker-gated engines and feeds every attempt's
+// outcome back into its breaker.
+func (s *Server) runHedged(ctx context.Context, g *sdf.Graph) (*ResultPayload, error) {
+	tp, rep, err := analysis.ComputeThroughputHedgedOpts(ctx, g, analysis.HedgeOptions{
+		Engines: s.opts.Engines,
+		Gate:    s.gate,
+	})
+	if rep != nil {
+		s.recordOutcomes(rep.Attempts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := buildResult(g, rep.Winner.String(), tp, rep.Certificates[rep.Winner])
+	res.Report = reportLines(rep)
+	return res, nil
+}
+
+// runSingle runs one named engine behind its breaker.
+func (s *Server) runSingle(ctx context.Context, g *sdf.Graph, method string) (*ResultPayload, error) {
+	var m analysis.Method
+	switch method {
+	case "matrix":
+		m = analysis.Matrix
+	case "statespace":
+		m = analysis.StateSpace
+	case "hsdf":
+		m = analysis.HSDF
+	default:
+		return nil, fmt.Errorf("%w: unknown method %q", ErrBadRequest, method)
+	}
+	if err := s.gate(m); err != nil {
+		return nil, err
+	}
+	tp, cert, err := analysis.ComputeThroughputCertified(ctx, g, m)
+	s.recordOutcomes([]analysis.EngineAttempt{{Method: m, Err: err}})
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(g, m.String(), tp, cert), nil
+}
+
+// gate is the HedgeOptions.Gate of this server: it consults the
+// engine's breaker, reserving the half-open probe slot on admission.
+func (s *Server) gate(m analysis.Method) error {
+	b := s.breakers[m]
+	if b == nil {
+		return nil
+	}
+	if err := b.Allow(); err != nil {
+		return fmt.Errorf("%w: the %s engine is shed until its cooldown expires", err, m)
+	}
+	return nil
+}
+
+// recordOutcomes feeds engine attempts back into the breakers. Gated
+// attempts (skipped with the gate's error) reserved nothing; lost-race
+// cancellations and budget refusals are forgiven — they say nothing
+// about engine health; engine failures, panics and deadline hits are
+// the trip-worthy streaks.
+func (s *Server) recordOutcomes(attempts []analysis.EngineAttempt) {
+	for _, at := range attempts {
+		b := s.breakers[at.Method]
+		if b == nil {
+			continue
+		}
+		switch {
+		case at.Skipped && at.Err != nil:
+			// Shed by the gate before it ran: no reservation to settle.
+		case at.Skipped:
+			b.Forgive()
+		case at.Err == nil:
+			b.Success()
+		case tripworthy(at.Err):
+			b.Failure()
+		default:
+			b.Forgive()
+		}
+	}
+}
+
+// tripworthy reports whether an engine error indicates engine sickness
+// (internal failure, isolated panic, deadline blow-through) as opposed
+// to a property of the request (budget refusal, lost race).
+func tripworthy(err error) bool {
+	return errors.Is(err, guard.ErrEngineFailed) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// buildResult renders a throughput (plus optional certificate) into the
+// wire form.
+func buildResult(g *sdf.Graph, engine string, tp analysis.Throughput, cert *verify.ThroughputCert) *ResultPayload {
+	res := &ResultPayload{
+		Graph:     g.Name(),
+		Engine:    engine,
+		Unbounded: tp.Unbounded,
+	}
+	if !tp.Unbounded {
+		res.Period = tp.Period.String()
+		res.PeriodNum = tp.Period.Num()
+		res.PeriodDen = tp.Period.Den()
+	}
+	if cert != nil {
+		res.Verified = true
+		res.Certificate = cert.String()
+	}
+	return res
+}
+
+// reportLines renders the race one line per engine attempt. Failure
+// reasons are cut at their first newline: an isolated panic's reason
+// embeds a full stack trace, which belongs in server logs, not in every
+// wire response.
+func reportLines(rep *analysis.HedgeReport) []string {
+	lines := make([]string, 0, len(rep.Attempts))
+	for _, a := range rep.Attempts {
+		switch {
+		case rep.Answered && a.Method == rep.Winner:
+			lines = append(lines, fmt.Sprintf("%-11s answered", a.Method))
+		case a.Skipped:
+			lines = append(lines, fmt.Sprintf("%-11s skipped: %s", a.Method, firstLine(a.Reason)))
+		case a.Err == nil:
+			lines = append(lines, fmt.Sprintf("%-11s %s", a.Method, firstLine(a.Reason)))
+		default:
+			lines = append(lines, fmt.Sprintf("%-11s failed: %s", a.Method, firstLine(a.Reason)))
+		}
+	}
+	return lines
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// admit reserves one in-flight slot unless the server is draining.
+func (s *Server) admit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	s.active++
+	return nil
+}
+
+// finish releases the in-flight slot and completes a pending drain when
+// it was the last one.
+func (s *Server) finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active--
+	if s.draining && s.active == 0 {
+		s.closeDrainedLocked()
+	}
+}
+
+func (s *Server) closeDrainedLocked() {
+	select {
+	case <-s.drained:
+	default:
+		close(s.drained)
+	}
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: it stops admission
+// immediately, waits for in-flight requests to finish, and — if ctx
+// expires first — cancels the stragglers through the base context and
+// waits for them to unwind (they observe the cancellation at their next
+// guard checkpoint). The returned error is nil for a clean drain and
+// ctx's cause when the hammer was needed. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		if s.active == 0 {
+			s.closeDrainedLocked()
+		}
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-s.drained
+		return fmt.Errorf("serve: drain deadline hit, stragglers cancelled: %w", context.Cause(ctx))
+	}
+}
+
+// Close abandons the server without waiting: admission stops and every
+// in-flight analysis is cancelled. Intended for tests and fatal paths;
+// prefer Drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	if s.active == 0 {
+		s.closeDrainedLocked()
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+}

@@ -132,6 +132,32 @@ grep -E 'statespace .*trips [1-9]' "$SOAK_DIR/health.txt" >/dev/null || {
 sleep 1.2
 expect 0 "$SOAK_DIR/sdftool" query -server "http://$SOAK_ADDR" -method statespace "$SOAK_DIR/healthy.sdf"
 
+# The metrics surface must reflect the storm: served requests, cache
+# hits and the statespace breaker trip all as non-zero counters in the
+# Prometheus exposition.
+curl -s "http://$SOAK_ADDR/metrics" > "$SOAK_DIR/metrics.txt"
+for series in \
+    'sdf_requests_total\{outcome="served"\} [1-9]' \
+    'sdf_cache_events_total\{event="hit"\} [1-9]' \
+    'sdf_breaker_trips_total\{engine="statespace"\} [1-9]'; do
+    grep -E "$series" "$SOAK_DIR/metrics.txt" >/dev/null || {
+        echo "soak: /metrics missing non-zero series $series"
+        cat "$SOAK_DIR/metrics.txt"
+        exit 1
+    }
+done
+# The sdftool scrape summarises the same exposition.
+"$SOAK_DIR/sdftool" query -server "http://$SOAK_ADDR" -metrics | grep -q 'latency (count, p50, p99):' || {
+    echo 'soak: sdftool query -metrics produced no latency summary'
+    exit 1
+}
+# Profiling stays off the wire unless -pprof was given.
+pprof_code=$(curl -s -o /dev/null -w '%{http_code}' "http://$SOAK_ADDR/debug/pprof/")
+if [ "$pprof_code" != 404 ]; then
+    echo "soak: /debug/pprof/ answered $pprof_code without -pprof, want 404"
+    exit 1
+fi
+
 # SIGTERM: graceful drain, clean exit.
 kill -TERM "$SERVED_PID"
 rc=0

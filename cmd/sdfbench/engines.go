@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	sdfreduce "repro"
 	"repro/internal/benchmarks"
+	"repro/internal/obs"
 )
 
 // engineTiming is the measured outcome of one engine on one graph.
@@ -30,11 +33,24 @@ type engineCase struct {
 	Engines  []engineTiming `json:"engines"`
 }
 
+// histSummary reduces one latency histogram series to the numbers a
+// regression check wants: observation count and estimated p50/p99.
+type histSummary struct {
+	Series string `json:"series"`
+	Count  int64  `json:"count"`
+	P50NS  int64  `json:"p50_ns"`
+	P99NS  int64  `json:"p99_ns"`
+}
+
 // enginesReport is the JSON document emitted by -engines (the CI gate
 // writes it to BENCH_3.json).
 type enginesReport struct {
 	Benchmark string       `json:"benchmark"`
 	Cases     []engineCase `json:"cases"`
+	// Metrics summarises the observability registry the run fed:
+	// aggregate per-engine wall-time distributions plus the per-phase
+	// spans the engines recorded while running.
+	Metrics []histSummary `json:"metrics"`
 }
 
 // runEngines measures the throughput wall time of every engine — the
@@ -46,6 +62,11 @@ type enginesReport struct {
 // engine to fit every graph.
 func runEngines(w io.Writer, path string, deadline time.Duration) error {
 	report := enginesReport{Benchmark: "throughput-engines"}
+	// Every engine run is observed into a standalone registry: the
+	// harness records each wall time into the per-engine histogram, and
+	// the engines themselves (seeing the registry through the context)
+	// record their per-phase spans. The snapshot lands in the report.
+	reg := obs.New()
 	fmt.Fprintln(w, "Throughput engine wall times over the benchmark suite:")
 	fmt.Fprintf(w, "%-24s %-12s %12s   %s\n", "case", "engine", "wall", "result")
 	for _, c := range benchmarks.All() {
@@ -54,11 +75,11 @@ func runEngines(w io.Writer, path string, deadline time.Duration) error {
 		for _, m := range []sdfreduce.Method{
 			sdfreduce.MethodMatrix, sdfreduce.MethodStateSpace, sdfreduce.MethodHSDF,
 		} {
-			ec.Engines = append(ec.Engines, timeEngine(m.String(), deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
+			ec.Engines = append(ec.Engines, timeEngine(reg, m.String(), deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
 				return sdfreduce.ComputeThroughputCtx(ctx, g, m)
 			}))
 		}
-		ec.Engines = append(ec.Engines, timeEngine("hedged", deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
+		ec.Engines = append(ec.Engines, timeEngine(reg, "hedged", deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
 			tp, _, err := sdfreduce.ComputeThroughputHedged(ctx, g)
 			return tp, err
 		}))
@@ -75,6 +96,13 @@ func runEngines(w io.Writer, path string, deadline time.Duration) error {
 		}
 		report.Cases = append(report.Cases, ec)
 	}
+	report.Metrics = summariseHistograms(reg)
+	fmt.Fprintln(w, "Latency distributions (count, p50, p99):")
+	for _, m := range report.Metrics {
+		fmt.Fprintf(w, "%-58s %6d %12v %12v\n", m.Series, m.Count,
+			time.Duration(m.P50NS).Round(time.Microsecond),
+			time.Duration(m.P99NS).Round(time.Microsecond))
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -89,14 +117,45 @@ func runEngines(w io.Writer, path string, deadline time.Duration) error {
 	return nil
 }
 
+// summariseHistograms renders every histogram series of the registry as
+// count + estimated quantiles, deterministically ordered.
+func summariseHistograms(reg *obs.Registry) []histSummary {
+	var out []histSummary
+	for _, s := range reg.Snapshot() {
+		if s.Kind != obs.KindHistogram {
+			continue
+		}
+		series := s.Name
+		if len(s.Labels) > 0 {
+			kv := make([]string, 0, len(s.Labels)/2)
+			for i := 0; i+1 < len(s.Labels); i += 2 {
+				kv = append(kv, fmt.Sprintf("%s=%q", s.Labels[i], s.Labels[i+1]))
+			}
+			series += "{" + strings.Join(kv, ",") + "}"
+		}
+		out = append(out, histSummary{
+			Series: series,
+			Count:  s.Hist.Count,
+			P50NS:  s.Hist.Quantile(0.50).Nanoseconds(),
+			P99NS:  s.Hist.Quantile(0.99).Nanoseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Series < out[j].Series })
+	return out
+}
+
 // timeEngine runs one engine under the per-engine deadline and the
-// default budget and captures its wall time and outcome.
-func timeEngine(name string, deadline time.Duration, run func(context.Context) (sdfreduce.Throughput, error)) engineTiming {
+// default budget and captures its wall time and outcome, feeding both
+// the per-engine histogram and the context the engines' spans report to.
+func timeEngine(reg *obs.Registry, name string, deadline time.Duration, run func(context.Context) (sdfreduce.Throughput, error)) engineTiming {
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
+	ctx = obs.WithRegistry(ctx, reg)
 	t0 := time.Now()
 	tp, err := run(ctx)
-	e := engineTiming{Engine: name, WallNS: time.Since(t0).Nanoseconds()}
+	wall := time.Since(t0)
+	reg.Histogram(obs.MetricEngineSeconds, "engine", name).Observe(wall)
+	e := engineTiming{Engine: name, WallNS: wall.Nanoseconds()}
 	if err != nil {
 		e.Error = err.Error()
 		return e

@@ -22,6 +22,12 @@
 //	                     depth, pool headroom, cache and admission
 //	                     counters
 //	GET  /readyz         200 while admitting, 503 while draining
+//	GET  /metrics        Prometheus text exposition of the request,
+//	                     cache, breaker and engine metrics
+//	GET  /debug/vars     the same registry as expvar-compatible JSON
+//	GET  /debug/events   recent structured pipeline events (ring buffer;
+//	                     404 with -events=0)
+//	GET  /debug/pprof/*  net/http/pprof profiles, only with -pprof
 //
 // The process exits 0 after a clean drain and 1 when the drain deadline
 // forced straggler cancellation (or on any setup error).
@@ -34,12 +40,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -71,6 +79,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		cooldown       = fs.Duration("breaker-cooldown", 0, "how long a tripped breaker refuses before probing (0 = default)")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits before cancelling stragglers")
 		allowInjection = fs.Bool("allow-injection", false, "accept per-request fault injection (soak testing only; never in production)")
+		events         = fs.Int("events", 256, "structured event ring capacity served by /debug/events (0 disables)")
+		pprofOn        = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof (off by default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +89,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
 
+	reg := obs.New()
+	if *events > 0 {
+		reg.EnableEvents(*events)
+	}
 	s := serve.New(serve.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -88,16 +102,36 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		MaxTimeout:     *maxTimeout,
 		Breaker:        guard.BreakerOptions{Threshold: *threshold, Cooldown: *cooldown},
 		AllowInjection: *allowInjection,
+		Obs:            reg,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: serve.NewHandler(s)}
+	handler := serve.NewHandler(s)
+	if *pprofOn {
+		// The profiling surface is opt-in: it exposes goroutine stacks
+		// and heap contents, which do not belong on a production port by
+		// default. The explicit registrations (rather than importing for
+		// the DefaultServeMux side effect) keep it off this mux unless
+		// the flag says otherwise.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 	fmt.Fprintf(logw, "sdfserved: listening on %s\n", ln.Addr())
 	if *allowInjection {
 		fmt.Fprintln(logw, "sdfserved: fault injection ENABLED (soak mode)")
+	}
+	if *pprofOn {
+		fmt.Fprintln(logw, "sdfserved: pprof profiling exposed under /debug/pprof")
 	}
 	if ready != nil {
 		ready <- ln.Addr().String()

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestDaemonMetricsSurface: the daemon always carries a registry —
+// after traffic, /metrics exposes non-zero request and cache series,
+// /debug/vars parses, /debug/events carries the ring — while
+// /debug/pprof stays 404 because -pprof was not given.
+func TestDaemonMetricsSurface(t *testing.T) {
+	defer testutil.FailOnLeakedGoroutines(t, "repro/internal/serve")
+	var log bytes.Buffer
+	base, sigterm, done := startDaemon(t, &log)
+	defer func() { sigterm(); <-done }()
+
+	// Two identical requests: one computed, one cache hit.
+	for i := 0; i < 2; i++ {
+		resp, body := postGraph(t, base, "hedged")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	code, data := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	samples, err := obs.ParseText(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, data)
+	}
+	want := map[string]bool{
+		obs.MetricRequests + `{outcome="served"}`: false,
+		obs.MetricCacheEvents + `{event="hit"}`:   false,
+		obs.MetricCacheEvents + `{event="miss"}`:  false,
+		obs.MetricRequestSeconds + "_count":       false,
+	}
+	for _, s := range samples {
+		for key := range want {
+			name, rest, _ := strings.Cut(key, "{")
+			if s.Name != name {
+				continue
+			}
+			match := true
+			if rest != "" {
+				kv := strings.SplitN(strings.TrimSuffix(rest, "}"), "=", 2)
+				if s.Labels[kv[0]] != strings.Trim(kv[1], `"`) {
+					match = false
+				}
+			}
+			if match && s.Value > 0 {
+				want[key] = true
+			}
+		}
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("no non-zero sample for %s in:\n%s", key, data)
+		}
+	}
+
+	if code, data := getBody(t, base+"/debug/vars"); code != http.StatusOK || !bytes.Contains(data, []byte("memstats")) {
+		t.Errorf("/debug/vars = %d, memstats present = %v", code, bytes.Contains(data, []byte("memstats")))
+	}
+	if code, data := getBody(t, base+"/debug/events"); code != http.StatusOK || !bytes.Contains(data, []byte("ladder.attempt")) && !bytes.Contains(data, []byte("hedge.attempt")) {
+		t.Errorf("/debug/events = %d, body %s", code, data)
+	}
+	if code, _ := getBody(t, base+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ without -pprof = %d, want 404", code)
+	}
+}
+
+// TestDaemonPprofOptIn: -pprof exposes the profiling handlers; -events=0
+// disables the event ring and /debug/events 404s.
+func TestDaemonPprofOptIn(t *testing.T) {
+	defer testutil.FailOnLeakedGoroutines(t, "repro/internal/serve")
+	var log bytes.Buffer
+	base, sigterm, done := startDaemon(t, &log, "-pprof", "-events", "0")
+	defer func() { sigterm(); <-done }()
+
+	code, data := getBody(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !bytes.Contains(data, []byte("goroutine")) {
+		t.Errorf("/debug/pprof/ with -pprof = %d", code)
+	}
+	if code, _ := getBody(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+	// The analysis surface still works behind the pprof mux.
+	if resp, body := postGraph(t, base, "matrix"); resp.StatusCode != http.StatusOK {
+		t.Errorf("throughput behind pprof mux = %d %s", resp.StatusCode, body)
+	}
+	if code, _ := getBody(t, base+"/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics behind pprof mux = %d", code)
+	}
+	if code, _ := getBody(t, base+"/debug/events"); code != http.StatusNotFound {
+		t.Errorf("/debug/events with -events=0 = %d, want 404", code)
+	}
+	if !strings.Contains(log.String(), "pprof profiling exposed") {
+		t.Errorf("log missing pprof warning:\n%s", log.String())
+	}
+}

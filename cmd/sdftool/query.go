@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	sdfreduce "repro"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -58,6 +61,7 @@ func cmdQuery(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "per-request analysis deadline sent to the server (0 = server default)")
 	budget := fs.Int64("budget", 0, "uniform work cap sent to the server (0 = defaults, negative = unlimited)")
 	health := fs.Bool("health", false, "fetch the server health report instead of analysing a graph")
+	metrics := fs.Bool("metrics", false, "scrape and summarise the server's /metrics instead of analysing a graph")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,6 +70,12 @@ func cmdQuery(args []string, out io.Writer) error {
 			return fmt.Errorf("-health takes no graph argument")
 		}
 		return queryHealth(out, *server)
+	}
+	if *metrics {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-metrics takes no graph argument")
+		}
+		return queryMetrics(out, *server)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one graph file argument")
@@ -144,6 +154,95 @@ func postThroughput(server string, body []byte, timeout time.Duration) (*serve.R
 		return nil, fmt.Errorf("server: malformed result: %w", err)
 	}
 	return &res, nil
+}
+
+// queryMetrics scrapes the daemon's Prometheus exposition and prints a
+// human summary: every counter and gauge verbatim, then each latency
+// histogram reduced to count / p50 / p99 (quantiles estimated from the
+// cumulative buckets, the same way a Prometheus histogram_quantile
+// would).
+func queryMetrics(out io.Writer, server string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(server + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("server: http %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	samples, err := obs.ParseText(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return fmt.Errorf("server: malformed exposition: %w", err)
+	}
+
+	// Histogram series arrive flattened (_bucket/_sum/_count); regroup
+	// them by base name + labels-without-le so each can be summarised.
+	type hist struct {
+		le    map[float64]float64
+		count float64
+	}
+	hists := make(map[string]*hist)
+	histKey := func(base string, labels map[string]string) string {
+		kv := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				kv = append(kv, fmt.Sprintf("%s=%q", k, v))
+			}
+		}
+		sort.Strings(kv)
+		return base + "{" + strings.Join(kv, ",") + "}"
+	}
+	var scalars []string
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			key := histKey(strings.TrimSuffix(s.Name, "_bucket"), s.Labels)
+			h := hists[key]
+			if h == nil {
+				h = &hist{le: make(map[float64]float64)}
+				hists[key] = h
+			}
+			var bound float64
+			if _, err := fmt.Sscanf(s.Label("le"), "%g", &bound); err == nil {
+				h.le[bound] = s.Value
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			key := histKey(strings.TrimSuffix(s.Name, "_count"), s.Labels)
+			h := hists[key]
+			if h == nil {
+				h = &hist{le: make(map[float64]float64)}
+				hists[key] = h
+			}
+			h.count = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			// Folded into the histogram summary; not printed alone.
+		default:
+			scalars = append(scalars, fmt.Sprintf("%s %g", histKey(s.Name, s.Labels), s.Value))
+		}
+	}
+
+	fmt.Fprintf(out, "metrics:    %s (%d samples)\n", server, len(samples))
+	sort.Strings(scalars)
+	for _, line := range scalars {
+		fmt.Fprintf(out, "  %s\n", line)
+	}
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > 0 {
+		fmt.Fprintln(out, "latency (count, p50, p99):")
+	}
+	for _, k := range keys {
+		h := hists[k]
+		fmt.Fprintf(out, "  %s %g %v %v\n", k, h.count,
+			obs.BucketQuantile(h.le, 0.50).Round(time.Microsecond),
+			obs.BucketQuantile(h.le, 0.99).Round(time.Microsecond))
+	}
+	return nil
 }
 
 // queryHealth prints the daemon's health report: breaker states first

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	sdfreduce "repro"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -169,5 +170,49 @@ func TestExitCodeTable(t *testing.T) {
 				t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
 			}
 		})
+	}
+}
+
+// TestQueryMetrics scrapes a server that has seen traffic and asserts
+// the summary carries the request counters and histogram quantiles.
+func TestQueryMetrics(t *testing.T) {
+	reg := obs.New()
+	ts := startTestServer(t, serve.Options{Obs: reg})
+	path := writeSample(t, "g.sdf", sampleText)
+
+	// Two identical queries: a computed miss, then a cache hit.
+	for i := 0; i < 2; i++ {
+		if _, err := runTool(t, "query", "-server", ts.URL, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := runTool(t, "query", "-server", ts.URL, "-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`sdf_requests_total{outcome="served"} 2`,
+		`sdf_cache_events_total{event="hit"} 1`,
+		`sdf_cache_events_total{event="miss"} 1`,
+		"latency (count, p50, p99):",
+		`sdf_request_seconds{method="hedged"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "_bucket") || strings.Contains(out, "_sum") {
+		t.Errorf("raw histogram samples leaked into the summary:\n%s", out)
+	}
+
+	// A graph argument alongside -metrics is a usage error.
+	if _, err := runTool(t, "query", "-server", ts.URL, "-metrics", path); err == nil {
+		t.Error("-metrics with a graph argument accepted")
+	}
+
+	// A server without a registry: the scrape fails loudly, not silently.
+	bare := startTestServer(t, serve.Options{})
+	if _, err := runTool(t, "query", "-server", bare.URL, "-metrics"); err == nil {
+		t.Error("scrape of a registry-less server did not fail")
 	}
 }

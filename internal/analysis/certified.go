@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/guard"
 	"repro/internal/mcm"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 	"repro/internal/transform"
 	"repro/internal/verify"
@@ -46,6 +47,14 @@ func computeThroughputCertified(ctx context.Context, g *sdf.Graph, method Method
 	fail := func(err error) (Throughput, *verify.ThroughputCert, error) {
 		return Throughput{}, nil, fmt.Errorf("analysis: certified %v: %w", method, err)
 	}
+	// Per-phase spans: when the context carries a registry, every stage
+	// of the pipeline — symbolic execution, the eigenvalue / power
+	// iteration / MCM core, and certificate construction + check —
+	// lands in its own latency series, so an operator can see where an
+	// engine's time actually goes. With no registry each span is a nil
+	// check.
+	reg := obs.FromContext(ctx)
+	eng := method.String()
 	q, err := g.RepetitionVector()
 	if err != nil {
 		return fail(err)
@@ -54,58 +63,76 @@ func computeThroughputCertified(ctx context.Context, g *sdf.Graph, method Method
 	var tp Throughput
 	switch method {
 	case Matrix, StateSpace:
+		sp := reg.StartSpan("analysis.symbolic", "engine", eng)
 		r, err := core.SymbolicIterationCtx(ctx, g)
+		sp.Finish()
 		if err != nil {
 			return fail(err)
 		}
 		var unbounded bool
 		tp = Throughput{Repetition: q}
 		if method == Matrix {
+			sp := reg.StartSpan("analysis.eigenvalue", "engine", eng)
 			lam, hasCycle, err := r.Matrix.EigenvalueCtx(ctx)
+			sp.Finish()
 			if err != nil {
 				return fail(err)
 			}
 			unbounded, tp.Unbounded, tp.Period = !hasCycle, !hasCycle, lam
 		} else {
 			const maxIter = 1 << 22
+			sp := reg.StartSpan("analysis.power-iteration", "engine", eng)
 			res, ok, err := r.Matrix.PowerIterationCtx(ctx, maxIter)
+			sp.Finish()
 			if err != nil {
 				return fail(err)
 			}
 			unbounded, tp.Unbounded, tp.Period = !ok, !ok, res.CycleMean
 		}
+		sp = reg.StartSpan("analysis.certify", "engine", eng)
 		mc := &verify.MatrixCert{Matrix: r.Matrix, Schedule: r.Schedule}
 		cert, err = verify.NewMatrixThroughputCert(ctx, g, mc, q, unbounded, tp.Period)
 		if err != nil {
+			sp.Finish("outcome", "error")
 			return fail(err)
 		}
+		if err := cert.Check(ctx, g); err != nil {
+			sp.Finish("outcome", "invalid")
+			return fail(err)
+		}
+		sp.Finish("outcome", "verified")
 
 	case HSDF:
+		sp := reg.StartSpan("analysis.conversion", "engine", eng)
 		h, _, err := transform.TraditionalCtx(ctx, g)
+		sp.Finish()
 		if err != nil {
 			return fail(err)
 		}
 		if testTamperHSDF != nil {
 			h = testTamperHSDF(h)
 		}
+		sp = reg.StartSpan("analysis.mcm", "engine", eng)
 		res, err := mcm.MaxCycleRatio(h)
+		sp.Finish()
 		if err != nil {
 			return fail(err)
 		}
 		tp = Throughput{Unbounded: !res.HasCycle, Period: res.CycleMean, Repetition: q}
+		sp = reg.StartSpan("analysis.certify", "engine", eng)
 		cert, err = verify.NewHSDFThroughputCert(ctx, g, h, q, !res.HasCycle, res.CycleMean)
 		if err != nil {
+			sp.Finish("outcome", "error")
 			return fail(err)
 		}
+		if err := cert.Check(ctx, g); err != nil {
+			sp.Finish("outcome", "invalid")
+			return fail(err)
+		}
+		sp.Finish("outcome", "verified")
 
 	default:
 		return fail(fmt.Errorf("unknown method %v", method))
-	}
-	// Independent validation: the checker re-derives the reference graph
-	// from the graph (and, for the matrix anchor, replays the iteration
-	// concretely) before the answer is released.
-	if err := cert.Check(ctx, g); err != nil {
-		return fail(err)
 	}
 	return tp, cert, nil
 }

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 	"repro/internal/verify"
 )
@@ -130,6 +132,7 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 		}
 		racers = append(racers, m)
 	}
+	reg := obs.FromContext(ctx)
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -137,6 +140,7 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 		tp   Throughput
 		cert *verify.ThroughputCert
 		err  error
+		wall time.Duration
 	}
 	type finish struct {
 		method Method
@@ -151,6 +155,7 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 		go func(m Method) {
 			defer wg.Done()
 			var o outcome
+			start := reg.Now()
 			// Isolation on top of the isolation inside the certified
 			// engine: a panic anywhere in this goroutine must lose the
 			// race, not kill the process.
@@ -159,6 +164,7 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 				o.tp, o.cert, err = ComputeThroughputCertified(raceCtx, g, m)
 				return err
 			})
+			o.wall = reg.Now().Sub(start)
 			results <- finish{method: m, outcome: o}
 		}(m)
 	}
@@ -204,26 +210,28 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 		o := byMethod[m]
 		switch {
 		case o.err == nil && won && m == winner:
-			rep.Attempts = append(rep.Attempts, EngineAttempt{Method: m})
+			rep.Attempts = append(rep.Attempts, EngineAttempt{Method: m, Wall: o.wall})
 		case o.err == nil:
 			rep.Attempts = append(rep.Attempts, EngineAttempt{
-				Method: m,
+				Method: m, Wall: o.wall,
 				Reason: fmt.Sprintf("verified, cross-checked against the %s engine", winner),
 			})
 		case won && errors.Is(o.err, guard.ErrCanceled) && !opts.CrossCheck:
 			rep.Attempts = append(rep.Attempts, EngineAttempt{
-				Method: m, Skipped: true,
+				Method: m, Skipped: true, Wall: o.wall,
 				Reason: fmt.Sprintf("cancelled: the %s engine answered first", winner),
 			})
 		default:
-			rep.Attempts = append(rep.Attempts, EngineAttempt{Method: m, Reason: o.err.Error(), Err: o.err})
+			rep.Attempts = append(rep.Attempts, EngineAttempt{Method: m, Reason: o.err.Error(), Err: o.err, Wall: o.wall})
 			errs = append(errs, fmt.Errorf("%v: %w", m, o.err))
 		}
 		if o.err == nil {
 			rep.Certificates[m] = o.cert
 		}
 	}
+	countAttempts(reg, "hedge", rep.Attempts)
 	if !won {
+		reg.Counter(obs.MetricHedgeRaces, "outcome", "failed").Inc()
 		return Throughput{}, rep, fmt.Errorf("analysis: no engine produced a verified throughput: %w", errors.Join(errs...))
 	}
 	rep.Winner, rep.Answered = winner, true
@@ -238,6 +246,8 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 		}
 		if o.tp.Unbounded != win.tp.Unbounded ||
 			(!o.tp.Unbounded && !o.tp.Period.Equal(win.tp.Period)) {
+			reg.Counter(obs.MetricHedgeRaces, "outcome", "disagreement").Inc()
+			reg.Emit("hedge.disagreement", "winner", winner.String(), "peer", m.String())
 			return Throughput{}, rep, &DisagreementError{
 				MethodA: winner, MethodB: m,
 				ResultA: win.tp, ResultB: o.tp,
@@ -245,5 +255,7 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 			}
 		}
 	}
+	reg.Counter(obs.MetricHedgeRaces, "outcome", "answered").Inc()
+	reg.Counter(obs.MetricHedgeWins, "engine", winner.String()).Inc()
 	return win.tp, rep, nil
 }

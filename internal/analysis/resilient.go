@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/guard"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 )
 
@@ -26,6 +28,39 @@ type EngineAttempt struct {
 	// and for engines skipped because an earlier one answered, the
 	// gate's error for engines a HedgeOptions.Gate shed before they ran.
 	Err error
+	// Wall is how long the engine ran (zero for engines that never
+	// started; lost racers keep the time they spent before the
+	// cancellation), measured on the observability clock when the
+	// context carries a registry, the wall clock otherwise.
+	Wall time.Duration
+}
+
+// attemptOutcome classifies an attempt for the engine-attempt counter.
+func attemptOutcome(a EngineAttempt) string {
+	switch {
+	case a.Skipped && a.Err != nil:
+		return "gated"
+	case a.Skipped:
+		return "skipped"
+	case a.Err == nil:
+		return "answered"
+	case errors.Is(a.Err, guard.ErrCanceled):
+		return "cancelled"
+	default:
+		return "failed"
+	}
+}
+
+// countAttempts feeds every attempt into the registry (a no-op on nil).
+func countAttempts(reg *obs.Registry, kind string, attempts []EngineAttempt) {
+	for _, a := range attempts {
+		outcome := attemptOutcome(a)
+		reg.Counter(obs.MetricEngineAttempts, "engine", a.Method.String(), "outcome", outcome).Inc()
+		if !a.Skipped {
+			reg.Emit(kind+".attempt",
+				"engine", a.Method.String(), "outcome", outcome, "wall", a.Wall.String())
+		}
+	}
 }
 
 // ResilientReport explains a resilient throughput analysis: one attempt
@@ -71,7 +106,9 @@ func (r *ResilientReport) String() string {
 // explain which engines ran, failed or were skipped and why.
 func ComputeThroughputResilient(ctx context.Context, g *sdf.Graph) (Throughput, *ResilientReport, error) {
 	budget := guard.BudgetFrom(ctx)
+	reg := obs.FromContext(ctx)
 	rep := &ResilientReport{}
+	defer func() { countAttempts(reg, "ladder", rep.Attempts) }()
 
 	// Static size estimates via the lint engine: the iteration length
 	// decides up front whether the traditional conversion is admissible
@@ -107,16 +144,18 @@ func ComputeThroughputResilient(ctx context.Context, g *sdf.Graph) (Throughput, 
 			rep.Attempts = append(rep.Attempts, EngineAttempt{Method: m, Skipped: true, Reason: hsdfSkip})
 			continue
 		}
+		start := reg.Now()
 		tp, err := ComputeThroughputCtx(ctx, g, m)
+		wall := reg.Now().Sub(start)
 		if err == nil {
-			rep.Attempts = append(rep.Attempts, EngineAttempt{Method: m})
+			rep.Attempts = append(rep.Attempts, EngineAttempt{Method: m, Wall: wall})
 			rep.Winner = m
 			rep.Answered = true
 			// Keep looping so the remaining rungs are recorded as skipped.
 			result = tp
 			continue
 		}
-		rep.Attempts = append(rep.Attempts, EngineAttempt{Method: m, Reason: err.Error(), Err: err})
+		rep.Attempts = append(rep.Attempts, EngineAttempt{Method: m, Reason: err.Error(), Err: err, Wall: wall})
 		errs = append(errs, fmt.Errorf("%v: %w", m, err))
 	}
 	if rep.Answered {

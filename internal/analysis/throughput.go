@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/guard"
 	"repro/internal/mcm"
+	"repro/internal/obs"
 	"repro/internal/rat"
 	"repro/internal/sdf"
 	"repro/internal/transform"
@@ -117,17 +118,26 @@ func ComputeThroughputCtx(ctx context.Context, g *sdf.Graph, method Method) (Thr
 }
 
 func computeThroughput(ctx context.Context, g *sdf.Graph, method Method) (Throughput, error) {
+	// Per-phase spans: each pipeline stage lands in its own latency
+	// series when the context carries a registry; with none each span
+	// is a nil check.
+	reg := obs.FromContext(ctx)
+	eng := method.String()
 	q, err := g.RepetitionVector()
 	if err != nil {
 		return Throughput{}, fmt.Errorf("analysis: %w", err)
 	}
 	switch method {
 	case Matrix:
+		sp := reg.StartSpan("analysis.symbolic", "engine", eng)
 		r, err := core.SymbolicIterationCtx(ctx, g)
+		sp.Finish()
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}
+		sp = reg.StartSpan("analysis.eigenvalue", "engine", eng)
 		lam, hasCycle, err := r.Matrix.EigenvalueCtx(ctx)
+		sp.Finish()
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}
@@ -137,12 +147,16 @@ func computeThroughput(ctx context.Context, g *sdf.Graph, method Method) (Throug
 		return Throughput{Period: lam, Repetition: q}, nil
 
 	case StateSpace:
+		sp := reg.StartSpan("analysis.symbolic", "engine", eng)
 		r, err := core.SymbolicIterationCtx(ctx, g)
+		sp.Finish()
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}
 		const maxIter = 1 << 22
+		sp = reg.StartSpan("analysis.power-iteration", "engine", eng)
 		res, ok, err := r.Matrix.PowerIterationCtx(ctx, maxIter)
+		sp.Finish()
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}
@@ -152,11 +166,15 @@ func computeThroughput(ctx context.Context, g *sdf.Graph, method Method) (Throug
 		return Throughput{Period: res.CycleMean, Repetition: q}, nil
 
 	case HSDF:
+		sp := reg.StartSpan("analysis.conversion", "engine", eng)
 		h, _, err := transform.TraditionalCtx(ctx, g)
+		sp.Finish()
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}
+		sp = reg.StartSpan("analysis.mcm", "engine", eng)
 		res, err := mcm.MaxCycleRatio(h)
+		sp.Finish()
 		if err != nil {
 			return Throughput{}, fmt.Errorf("analysis: %w", err)
 		}

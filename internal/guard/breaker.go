@@ -65,6 +65,11 @@ type BreakerOptions struct {
 	// Now supplies the clock; nil means time.Now. Tests inject a fake
 	// clock so open->half-open transitions happen without sleeping.
 	Now func() time.Time
+	// OnTransition, when non-nil, is called after every state change
+	// with the old and new state. It runs synchronously under the
+	// breaker's lock, so it must be fast and must not call back into
+	// the breaker; the serving layer points it at metric counters.
+	OnTransition func(from, to BreakerState)
 }
 
 func (o BreakerOptions) normalized() BreakerOptions {
@@ -113,7 +118,7 @@ func (b *Breaker) Allow() error {
 		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
 			return ErrBreakerOpen
 		}
-		b.state = BreakerHalfOpen
+		b.transition(BreakerHalfOpen)
 		b.probing = true
 		return nil
 	default: // BreakerHalfOpen
@@ -132,7 +137,7 @@ func (b *Breaker) Success() {
 	defer b.mu.Unlock()
 	b.streak = 0
 	if b.state == BreakerHalfOpen {
-		b.state = BreakerClosed
+		b.transition(BreakerClosed)
 		b.probing = false
 	}
 }
@@ -156,11 +161,21 @@ func (b *Breaker) Failure() {
 
 // open transitions to the open state; callers hold b.mu.
 func (b *Breaker) open() {
-	b.state = BreakerOpen
+	b.transition(BreakerOpen)
 	b.openedAt = b.opts.Now()
 	b.streak = 0
 	b.probing = false
 	b.trips++
+}
+
+// transition moves to the new state and notifies OnTransition; callers
+// hold b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.opts.OnTransition != nil && from != to {
+		b.opts.OnTransition(from, to)
+	}
 }
 
 // Forgive records a neutral outcome — the request was cancelled because
@@ -182,7 +197,7 @@ func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == BreakerOpen && b.opts.Now().Sub(b.openedAt) >= b.opts.Cooldown {
-		b.state = BreakerHalfOpen
+		b.transition(BreakerHalfOpen)
 		b.probing = false
 	}
 	return b.state

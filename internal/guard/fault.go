@@ -13,6 +13,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // FaultPoint identifies a class of instrumentation points inside a
@@ -208,6 +210,9 @@ func (m *Meter) injected(p FaultPoint) error {
 	if !ok {
 		return nil
 	}
+	m.reg.Counter(obs.MetricFaultsFired, "engine", m.engine, "mode", f.Mode.String()).Inc()
+	m.reg.Emit("guard.fault-fired",
+		"engine", m.engine, "phase", m.phase, "point", p.String(), "mode", f.Mode.String())
 	switch f.Mode {
 	case ModePanic:
 		panic(fmt.Sprintf("guard: injected panic in engine %s, phase %s, at %s #%d",

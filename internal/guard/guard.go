@@ -18,8 +18,12 @@
 //     broken".
 //
 // The package deliberately imports nothing from the rest of the
-// repository so that every layer — maxplus, schedule, core, transform,
-// sim, buffersizing, analysis — can depend on it.
+// repository — except internal/obs, which is itself dependency-free —
+// so that every layer — maxplus, schedule, core, transform, sim,
+// buffersizing, analysis — can depend on it. When the context carries
+// an obs.Registry (the serving layer injects one), meters count budget
+// refusals and fired fault injections into it; with no registry every
+// instrumentation site is a nil-check no-op.
 package guard
 
 import (
@@ -27,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+
+	"repro/internal/obs"
 )
 
 // Sentinel errors of the taxonomy. Errors produced by this package wrap
@@ -180,14 +186,16 @@ type Meter struct {
 	firings   int64
 	sincePoll int
 	inj       *Injector
+	reg       *obs.Registry
 }
 
-// NewMeter returns a meter for the named engine, reading the budget
-// (and any armed fault injector) from ctx.
+// NewMeter returns a meter for the named engine, reading the budget,
+// any armed fault injector and any observability registry from ctx.
 func NewMeter(ctx context.Context, engine string) *Meter {
 	return &Meter{
 		engine: engine, phase: "start", ctx: ctx,
 		budget: BudgetFrom(ctx), inj: InjectorFrom(ctx),
+		reg: obs.FromContext(ctx),
 	}
 }
 
@@ -199,6 +207,14 @@ func (m *Meter) Budget() Budget { return m.budget }
 func (m *Meter) Phase(name string) { m.phase = name }
 
 func (m *Meter) fail(cause error) *EngineError {
+	// Budget exhaustion is the one meter outcome the metrics plane
+	// cares about per se: deadlines and cancellations are properties of
+	// the request, but a budget refusal says the workload outgrew the
+	// configured caps. Cold path — the analysis is over.
+	if errors.Is(cause, ErrBudgetExceeded) {
+		m.reg.Counter(obs.MetricBudgetExhausted, "engine", m.engine).Inc()
+		m.reg.Emit("guard.budget-exhausted", "engine", m.engine, "phase", m.phase)
+	}
 	return &EngineError{
 		Engine: m.engine, Phase: m.phase,
 		States: m.states, Firings: m.firings, Err: cause,

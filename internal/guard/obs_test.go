@@ -1,0 +1,106 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMeterCountsBudgetExhaustion: a meter whose context carries a
+// registry counts every budget refusal against the engine's series.
+func TestMeterCountsBudgetExhaustion(t *testing.T) {
+	reg := obs.New()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	ctx = WithBudget(ctx, Budget{MaxFirings: 2, CheckEvery: 1})
+
+	m := NewMeter(ctx, "matrix")
+	if err := m.Firings(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Firings(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	// The up-front estimate refusal counts too.
+	m2 := NewMeter(ctx, "matrix")
+	if err := m2.NeedFirings(100); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := reg.Counter(obs.MetricBudgetExhausted, "engine", "matrix").Value(); got != 2 {
+		t.Errorf("budget-exhausted counter = %d, want 2", got)
+	}
+}
+
+// TestMeterWithoutRegistry: the acceptance contract — an analysis with
+// no registry attached runs exactly as before.
+func TestMeterWithoutRegistry(t *testing.T) {
+	ctx := WithBudget(context.Background(), Budget{MaxStates: 1, CheckEvery: 1})
+	m := NewMeter(ctx, "statespace")
+	if err := m.States(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.States(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestInjectorCountsFaultsFired: fired faults are visible as counters
+// and the breaker hook reports every transition.
+func TestInjectorCountsFaultsFired(t *testing.T) {
+	reg := obs.New()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	ctx = WithInjector(ctx, NewInjector(
+		Fault{Engine: "hsdf", Point: PointPrecheck, Mode: ModeRefuse},
+		Fault{Engine: "hsdf", Point: PointCheckpoint, Mode: ModeError},
+	))
+
+	m := NewMeter(ctx, "hsdf")
+	if err := m.NeedActors(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("precheck fault = %v", err)
+	}
+	if err := m.Canceled(); !errors.Is(err, ErrEngineFailed) {
+		t.Fatalf("checkpoint fault = %v", err)
+	}
+	if got := reg.Counter(obs.MetricFaultsFired, "engine", "hsdf", "mode", "refuse").Value(); got != 1 {
+		t.Errorf("refuse firings = %d", got)
+	}
+	if got := reg.Counter(obs.MetricFaultsFired, "engine", "hsdf", "mode", "error").Value(); got != 1 {
+		t.Errorf("error firings = %d", got)
+	}
+}
+
+// TestBreakerOnTransition records the full trip/probe/heal cycle
+// through the callback.
+func TestBreakerOnTransition(t *testing.T) {
+	now := time.Unix(0, 0)
+	var seen []string
+	b := NewBreaker(BreakerOptions{
+		Threshold: 2,
+		Cooldown:  time.Second,
+		Now:       func() time.Time { return now },
+		OnTransition: func(from, to BreakerState) {
+			seen = append(seen, from.String()+">"+to.String())
+		},
+	})
+	b.Failure()
+	b.Failure() // trips: closed -> open
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed: %v", err)
+	}
+	now = now.Add(2 * time.Second)
+	if err := b.Allow(); err != nil { // open -> half-open, probe granted
+		t.Fatal(err)
+	}
+	b.Success() // half-open -> closed
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seen, want)
+		}
+	}
+}

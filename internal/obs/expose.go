@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// promLabels renders flattened key/value pairs in the Prometheus label
+// syntax, with extra pairs appended (histogram le labels). Returns ""
+// for no labels at all.
+func promLabels(flat []string, extra ...string) string {
+	if len(flat) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	write := func(kv []string) {
+		for i := 0; i+1 < len(kv); i += 2 {
+			if n > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+			n++
+		}
+	}
+	write(flat)
+	write(extra)
+	b.WriteByte('}')
+	return b.String()
+}
+
+// seconds renders a duration as a Prometheus-style float of seconds.
+func seconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry contents in the Prometheus text
+// exposition format (version 0.0.4): one # TYPE line per family,
+// counter and gauge series as plain samples, histograms as cumulative
+// _bucket series plus _sum (seconds) and _count. Families and series
+// come out sorted, so scrapes diff cleanly. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var last string
+	for _, s := range snap {
+		if s.Name != last {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			last = s.Name
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, promLabels(s.Labels), s.Value); err != nil {
+				return err
+			}
+		case KindHistogram:
+			h := s.Hist
+			var cum int64
+			for i, c := range h.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = seconds(h.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					s.Name, promLabels(s.Labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels), seconds(h.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteVars writes the registry in the expvar JSON shape — one object,
+// each series a member keyed by its full name (labels included),
+// counters and gauges as numbers, histograms as {count, sum_ns, p50_ns,
+// p99_ns} objects — plus a "memstats" member mirroring what the stdlib
+// expvar handler publishes. A nil registry writes an object with
+// memstats only.
+func (r *Registry) WriteVars(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "{\n"); err != nil {
+		return err
+	}
+	for _, s := range r.Snapshot() {
+		key := s.Name + promLabels(s.Labels)
+		var val any
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			val = s.Value
+		case KindHistogram:
+			val = map[string]int64{
+				"count":  s.Hist.Count,
+				"sum_ns": int64(s.Hist.Sum),
+				"p50_ns": int64(s.Hist.Quantile(0.50)),
+				"p99_ns": int64(s.Hist.Quantile(0.99)),
+			}
+		}
+		kb, err := json.Marshal(key)
+		if err != nil {
+			return err
+		}
+		vb, err := json.Marshal(val)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s: %s,\n", kb, vb); err != nil {
+			return err
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mb, err := json.Marshal(ms)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\"memstats\": %s\n}\n", mb); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the histogram bounds used when a histogram
+// is registered without explicit buckets: 20 exponential buckets from
+// 50µs doubling to ~26s, wide enough to hold both a microsecond matrix
+// analysis and an engine grinding against its deadline.
+var DefaultLatencyBuckets = func() []time.Duration {
+	b := make([]time.Duration, 20)
+	d := 50 * time.Microsecond
+	for i := range b {
+		b[i] = d
+		d *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency distribution. Observe is the
+// allocation-free hot path: one linear scan over the (small, fixed)
+// bucket bounds and three atomic adds. The nil Histogram is a no-op.
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64  // len(bounds)+1, the last is the overflow bucket
+	sum    atomic.Int64    // nanoseconds
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration. Negative durations are clamped to zero
+// (a backwards clock must not corrupt the distribution).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations; 0 on a nil Histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts[i]
+// holds the observations with value <= Bounds[i]; the final element of
+// Counts is the overflow (+Inf) bucket.
+type HistogramSnapshot struct {
+	Bounds []time.Duration
+	Counts []int64
+	Sum    time.Duration
+	Count  int64
+}
+
+// Snapshot copies the histogram state. Nil histogram: returns an empty
+// snapshot, never nil, so callers can chain Quantile without checking.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	if h == nil {
+		return &HistogramSnapshot{}
+	}
+	s := &HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    time.Duration(h.sum.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (s *HistogramSnapshot) Mean() time.Duration {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket that crosses it, the standard
+// fixed-bucket estimate. Observations in the overflow bucket are
+// attributed to the largest finite bound — the histogram cannot know
+// more. Returns 0 with no observations.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s == nil || s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(s.Bounds) {
+				// Overflow bucket: the largest finite bound is the best
+				// (conservative-from-below) answer available.
+				if len(s.Bounds) == 0 {
+					return 0
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + time.Duration(math.Round(frac*float64(hi-lo)))
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

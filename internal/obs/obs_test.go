@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable time source of the span/event tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter(MetricRequests, "outcome", "served")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // counters never go down
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	// Same name+labels resolves to the same instrument, regardless of
+	// pair order.
+	if c2 := r.Counter(MetricRequests, "outcome", "served"); c2 != c {
+		t.Error("re-lookup returned a different counter")
+	}
+	g := r.Gauge("sdf_inflight", "kind", "running")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabelCanonicalisation(t *testing.T) {
+	r := New()
+	a := r.Counter("sdf_x_total", "b", "2", "a", "1")
+	b := r.Counter("sdf_x_total", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order created distinct series")
+	}
+	a.Inc()
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d series, want 1", len(snap))
+	}
+	if got := snap[0].Label("a"); got != "1" {
+		t.Errorf("label a = %q", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("sdf_conflict")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("sdf_conflict")
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := New()
+	bounds := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	h := r.HistogramBuckets("sdf_h_seconds", bounds, "engine", "matrix")
+	for i := 0; i < 50; i++ {
+		h.Observe(500 * time.Microsecond) // bucket 0
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(1500 * time.Microsecond) // bucket 1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond) // overflow
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := []int64{s.Counts[0], s.Counts[1], s.Counts[2], s.Counts[3]}; got[0] != 50 || got[1] != 40 || got[2] != 0 || got[3] != 10 {
+		t.Fatalf("bucket counts = %v", got)
+	}
+	// p50 falls exactly on the end of bucket 0.
+	if p50 := s.Quantile(0.50); p50 != time.Millisecond {
+		t.Errorf("p50 = %v, want 1ms", p50)
+	}
+	// p99 lands in the overflow bucket: clamped to the largest bound.
+	if p99 := s.Quantile(0.99); p99 != 4*time.Millisecond {
+		t.Errorf("p99 = %v, want 4ms (largest finite bound)", p99)
+	}
+	if m := s.Mean(); m <= 0 {
+		t.Errorf("mean = %v", m)
+	}
+	// Negative observations clamp to zero instead of corrupting state.
+	h.Observe(-time.Second)
+	if h.Count() != 101 {
+		t.Errorf("count after negative observe = %d", h.Count())
+	}
+}
+
+func TestEmptyHistogramQuantile(t *testing.T) {
+	var h *Histogram
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Errorf("nil histogram quantile = %v", q)
+	}
+	r := New()
+	if q := r.Histogram("sdf_e_seconds").Snapshot().Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram quantile = %v", q)
+	}
+}
+
+// TestNilSafety is the contract every instrumented layer relies on: a
+// nil registry and every instrument it hands out are complete no-ops.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.SetClock(nil)
+	r.EnableEvents(16)
+	r.Emit("anything", "k", "v")
+	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(9)
+	r.Gauge("g").Add(-1)
+	r.Histogram("h").Observe(time.Second)
+	if r.Histogram("h").Count() != 0 {
+		t.Error("nil histogram counted")
+	}
+	sp := r.StartSpan("s", "k", "v")
+	if d := sp.Finish("outcome", "ok"); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Errorf("nil snapshot = %v", snap)
+	}
+	if ev, total := r.Events(); ev != nil || total != 0 {
+		t.Errorf("nil events = %v/%d", ev, total)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("nil exposition wrote %q", sb.String())
+	}
+	if !r.Now().IsZero() == false {
+		t.Error("nil Now returned zero time")
+	}
+}
+
+func TestSpanClockAndRing(t *testing.T) {
+	clk := newFakeClock()
+	r := New()
+	r.SetClock(clk.Now)
+	r.EnableEvents(4)
+
+	sp := r.StartSpan("analysis.symbolic", "engine", "matrix")
+	clk.Advance(3 * time.Millisecond)
+	if d := sp.Finish("outcome", "ok"); d != 3*time.Millisecond {
+		t.Fatalf("span duration = %v, want 3ms", d)
+	}
+	// The span observed the span-latency histogram...
+	h := r.Histogram(MetricSpanSeconds, "span", "analysis.symbolic", "engine", "matrix")
+	if h.Count() != 1 {
+		t.Fatalf("span histogram count = %d", h.Count())
+	}
+	// ...and recorded a structured event with merged attributes.
+	ev, total := r.Events()
+	if total != 1 || len(ev) != 1 {
+		t.Fatalf("events = %d/%d", len(ev), total)
+	}
+	if ev[0].Name != "analysis.symbolic" || ev[0].DurNS != int64(3*time.Millisecond) {
+		t.Errorf("event = %+v", ev[0])
+	}
+	if ev[0].Attrs["engine"] != "matrix" || ev[0].Attrs["outcome"] != "ok" {
+		t.Errorf("event attrs = %v", ev[0].Attrs)
+	}
+	// Events marshal to JSON (the /debug/events wire format).
+	if _, err := json.Marshal(ev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	r := New()
+	r.SetClock(newFakeClock().Now)
+	r.EnableEvents(3)
+	for i := 0; i < 10; i++ {
+		r.Emit("e", "i", string(rune('0'+i)))
+	}
+	ev, total := r.Events()
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	if len(ev) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(ev))
+	}
+	// Oldest-first, newest events win.
+	for i, want := range []string{"7", "8", "9"} {
+		if ev[i].Attrs["i"] != want {
+			t.Errorf("ev[%d] = %v, want i=%s", i, ev[i].Attrs, want)
+		}
+	}
+	// Disarming stops recording.
+	r.EnableEvents(0)
+	r.Emit("late")
+	if ev, _ := r.Events(); ev != nil {
+		t.Errorf("events after disarm = %v", ev)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter(MetricRequests, "outcome", "served").Add(42)
+	r.Counter(MetricRequests, "outcome", "failed").Add(3)
+	r.Gauge("sdf_pool_in_use").Set(17)
+	h := r.HistogramBuckets("sdf_req_seconds", []time.Duration{time.Millisecond, time.Second}, "method", "hedged")
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Second)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE sdf_requests_total counter",
+		`sdf_requests_total{outcome="served"} 42`,
+		`sdf_requests_total{outcome="failed"} 3`,
+		"# TYPE sdf_pool_in_use gauge",
+		"sdf_pool_in_use 17",
+		"# TYPE sdf_req_seconds histogram",
+		`sdf_req_seconds_bucket{method="hedged",le="0.001"} 1`,
+		`sdf_req_seconds_bucket{method="hedged",le="1"} 1`,
+		`sdf_req_seconds_bucket{method="hedged",le="+Inf"} 2`,
+		`sdf_req_seconds_sum{method="hedged"} 2.0005`,
+		`sdf_req_seconds_count{method="hedged"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One TYPE line per family, not per series.
+	if n := strings.Count(text, "# TYPE sdf_requests_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times", n)
+	}
+}
+
+func TestWriteVars(t *testing.T) {
+	r := New()
+	r.Counter("sdf_served_total").Add(5)
+	r.Histogram("sdf_lat_seconds", "engine", "matrix").Observe(time.Millisecond)
+	var sb strings.Builder
+	if err := r.WriteVars(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("vars output not JSON: %v\n%s", err, sb.String())
+	}
+	if _, ok := doc["sdf_served_total"]; !ok {
+		t.Errorf("vars missing counter: %v", sb.String())
+	}
+	if _, ok := doc["memstats"]; !ok {
+		t.Error("vars missing memstats")
+	}
+	var hv struct {
+		Count int64 `json:"count"`
+		P50NS int64 `json:"p50_ns"`
+	}
+	if err := json.Unmarshal(doc[`sdf_lat_seconds{engine="matrix"}`], &hv); err != nil {
+		t.Fatalf("histogram member: %v", err)
+	}
+	if hv.Count != 1 || hv.P50NS <= 0 {
+		t.Errorf("histogram vars = %+v", hv)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter(MetricRequests, "outcome", "served").Add(9)
+	r.Gauge("sdf_g").Set(2)
+	h := r.HistogramBuckets("sdf_lat_seconds", []time.Duration{time.Millisecond, time.Second}, "engine", "hsdf")
+	for i := 0; i < 10; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if got := byName[MetricRequests]; len(got) != 1 || got[0].Value != 9 || got[0].Label("outcome") != "served" {
+		t.Errorf("requests samples = %+v", got)
+	}
+	if got := byName["sdf_g"]; len(got) != 1 || got[0].Value != 2 {
+		t.Errorf("gauge samples = %+v", got)
+	}
+	// Reconstruct the histogram quantile from the parsed buckets.
+	le := map[float64]float64{}
+	for _, s := range byName["sdf_lat_seconds_bucket"] {
+		bound := math.Inf(1)
+		if l := s.Label("le"); l != "+Inf" {
+			var err error
+			bound, err = strconv.ParseFloat(l, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		le[bound] = s.Value
+	}
+	p50 := BucketQuantile(le, 0.50)
+	if p50 <= 0 || p50 > time.Millisecond {
+		t.Errorf("parsed p50 = %v", p50)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for name, text := range map[string]string{
+		"no value":       "sdf_x\n",
+		"bad value":      "sdf_x twelve\n",
+		"unterminated":   `sdf_x{a="1 2` + "\n",
+		"unquoted label": `sdf_x{a=1} 2` + "\n",
+		"no brace":       `sdf_x{a="1"` + "\n",
+	} {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	// Comments, blanks and timestamps are fine.
+	samples, err := ParseText(strings.NewReader("# HELP x y\n\nsdf_x 1 1700000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Value != 1 {
+		t.Errorf("samples = %+v", samples)
+	}
+}
+
+func TestBucketQuantileEmpty(t *testing.T) {
+	if q := BucketQuantile(nil, 0.5); q != 0 {
+		t.Errorf("empty = %v", q)
+	}
+	if q := BucketQuantile(map[float64]float64{1: 0, math.Inf(1): 0}, 0.5); q != 0 {
+		t.Errorf("zero-count = %v", q)
+	}
+}

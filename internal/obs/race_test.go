@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrencyHammer drives every registry surface from many
+// goroutines at once — registration, the atomic hot paths, spans,
+// events, snapshots and exposition — and relies on the race detector
+// (ci runs the suite under -race) to certify the locking discipline.
+func TestConcurrencyHammer(t *testing.T) {
+	r := New()
+	r.EnableEvents(64)
+	const (
+		workers = 8
+		rounds  = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			engine := fmt.Sprintf("engine-%d", w%3)
+			c := r.Counter(MetricRequests, "outcome", "served")
+			h := r.Histogram(MetricEngineSeconds, "engine", engine)
+			g := r.Gauge("sdf_hammer_inflight")
+			for i := 0; i < rounds; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+				// Dynamic lookups race registration against readers.
+				r.Counter("sdf_hammer_total", "worker", engine).Inc()
+				sp := r.StartSpan("hammer.span", "engine", engine)
+				sp.Finish("i", "x")
+				r.Emit("hammer.event", "engine", engine)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots and both exposition formats.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = r.Snapshot()
+				_ = r.WritePrometheus(io.Discard)
+				_ = r.WriteVars(io.Discard)
+				_, _ = r.Events()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Counter(MetricRequests, "outcome", "served").Value(); got != workers*rounds {
+		t.Fatalf("served = %d, want %d", got, workers*rounds)
+	}
+	var histTotal int64
+	for _, s := range r.Snapshot() {
+		if s.Name == MetricEngineSeconds {
+			histTotal += s.Hist.Count
+		}
+	}
+	if histTotal != workers*rounds {
+		t.Fatalf("histogram observations = %d, want %d", histTotal, workers*rounds)
+	}
+	if r.Histogram(MetricSpanSeconds, "span", "hammer.span", "engine", "engine-0").Count() == 0 {
+		t.Error("span histogram empty")
+	}
+	ev, total := r.Events()
+	if total != workers*rounds*2 { // one span event + one point event per round
+		t.Fatalf("event total = %d, want %d", total, workers*rounds*2)
+	}
+	if len(ev) != 64 {
+		t.Fatalf("ring holds %d, want 64", len(ev))
+	}
+	if r.Gauge("sdf_hammer_inflight").Value() != 0 {
+		t.Error("gauge did not return to zero")
+	}
+}

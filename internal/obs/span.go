@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Event is one structured observability event: a point occurrence
+// (cache eviction, breaker trip, admission refusal) or a finished span
+// (Dur > 0). Events marshal to JSON for the /debug/events API.
+type Event struct {
+	// Time is the event (or span-finish) instant on the registry clock.
+	Time time.Time `json:"time"`
+	// Name identifies the event class ("serve.request",
+	// "analysis.symbolic", "breaker.transition", ...).
+	Name string `json:"name"`
+	// DurNS is the span duration in nanoseconds; 0 for point events.
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Attrs carries the event's key/value attributes.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// ring is a bounded event buffer: the newest capacity events win, the
+// oldest are overwritten.
+type ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int64
+}
+
+// EnableEvents arms the registry's event ring with the given capacity
+// (values below 1 disable it again). Until enabled — the default —
+// Emit and Span.Finish record no events, so the ring costs nothing.
+func (r *Registry) EnableEvents(capacity int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if capacity < 1 {
+		r.ring = nil
+		return
+	}
+	r.ring = &ring{buf: make([]Event, 0, capacity)}
+}
+
+// EventsEnabled reports whether an event ring is armed.
+func (r *Registry) EventsEnabled() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring != nil
+}
+
+// Events returns the buffered events, oldest first, plus the total
+// number of events ever emitted (so a reader can tell how many were
+// overwritten). Nil or ring-less registry: nil, 0.
+func (r *Registry) Events() ([]Event, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.RLock()
+	rg := r.ring
+	r.mu.RUnlock()
+	if rg == nil {
+		return nil, 0
+	}
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	out := make([]Event, 0, len(rg.buf))
+	if len(rg.buf) == cap(rg.buf) {
+		out = append(out, rg.buf[rg.next:]...)
+		out = append(out, rg.buf[:rg.next]...)
+	} else {
+		out = append(out, rg.buf...)
+	}
+	return out, rg.total
+}
+
+// record appends one event to the ring (if armed).
+func (r *Registry) record(ev Event) {
+	r.mu.RLock()
+	rg := r.ring
+	r.mu.RUnlock()
+	if rg == nil {
+		return
+	}
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	rg.total++
+	if len(rg.buf) < cap(rg.buf) {
+		rg.buf = append(rg.buf, ev)
+		return
+	}
+	rg.buf[rg.next] = ev
+	rg.next = (rg.next + 1) % cap(rg.buf)
+}
+
+// attrMap folds flattened key/value pairs into a map; nil for none.
+func attrMap(kv []string) map[string]string {
+	if len(kv) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+// Emit records one point event with the given attribute pairs. It is a
+// no-op on a nil registry or when no event ring is armed, so emitting
+// from hot paths costs one nil check and one read lock.
+func (r *Registry) Emit(name string, attrs ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	armed := r.ring != nil
+	r.mu.RUnlock()
+	if !armed {
+		return
+	}
+	r.record(Event{Time: r.Now(), Name: name, Attrs: attrMap(attrs)})
+}
+
+// Span is one timed pipeline section: StartSpan stamps the start on the
+// registry clock, Finish computes the duration, feeds the span-latency
+// histogram and (when a ring is armed) records a structured event. The
+// zero Span — what StartSpan on a nil registry returns — is a no-op
+// whose Finish reports 0.
+type Span struct {
+	r     *Registry
+	name  string
+	attrs []string
+	start time.Time
+}
+
+// StartSpan opens a span. The attribute pairs label both the span's
+// latency histogram series and its finish event.
+func (r *Registry) StartSpan(name string, attrs ...string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, attrs: attrs, start: r.Now()}
+}
+
+// Finish closes the span and returns its duration. The extra attribute
+// pairs (an outcome, an error kind) are attached to the finish event
+// only — not the histogram series, whose identity stays bounded by the
+// start attributes.
+func (s Span) Finish(extra ...string) time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := s.r.Now().Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	labels := make([]string, 0, 2+len(s.attrs))
+	labels = append(labels, "span", s.name)
+	labels = append(labels, s.attrs...)
+	s.r.Histogram(MetricSpanSeconds, labels...).Observe(d)
+	s.r.mu.RLock()
+	armed := s.r.ring != nil
+	s.r.mu.RUnlock()
+	if armed {
+		kv := make([]string, 0, len(s.attrs)+len(extra))
+		kv = append(kv, s.attrs...)
+		kv = append(kv, extra...)
+		s.r.record(Event{Time: s.start.Add(d), Name: s.name, DurNS: int64(d), Attrs: attrMap(kv)})
+	}
+	return d
+}
+
+type registryKey struct{}
+
+// WithRegistry returns a context carrying r, the channel through which
+// the serving layer hands its registry to the analysis engines and the
+// guard runtime. A nil registry returns ctx unchanged.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// FromContext returns the registry carried by ctx, or nil — and nil is
+// a fully functional no-op registry, so callers instrument
+// unconditionally.
+func FromContext(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey{}).(*Registry)
+	return r
+}

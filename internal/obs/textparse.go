@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sample is one parsed exposition line: a metric name, its labels and
+// its value. It is the read-side twin of the registry's write-side
+// Series, used by sdftool to pretty-print a remote daemon's /metrics.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the named label, or "".
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParseText parses the Prometheus text exposition format produced by
+// WritePrometheus (and by any conforming exporter): comments and blank
+// lines are skipped, each remaining line is name{labels} value.
+// Timestamps (a third field) are accepted and ignored.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at text[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(text string, into map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(text) && (text[i] == ',' || text[i] == ' ') {
+			i++
+		}
+		if i < len(text) && text[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("unterminated label block in %q", text)
+		}
+		key := strings.TrimSpace(text[i : i+eq])
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", text)
+		}
+		i++
+		var b strings.Builder
+		for i < len(text) && text[i] != '"' {
+			if text[i] == '\\' && i+1 < len(text) {
+				i++
+				switch text[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteByte(text[i])
+				}
+			} else {
+				b.WriteByte(text[i])
+			}
+			i++
+		}
+		if i >= len(text) {
+			return 0, fmt.Errorf("unterminated label value in %q", text)
+		}
+		i++ // past closing quote
+		into[key] = b.String()
+	}
+}
+
+// BucketQuantile estimates a quantile from parsed cumulative histogram
+// buckets: le maps each upper bound in seconds (math.Inf(1) for +Inf)
+// to its cumulative count. It mirrors HistogramSnapshot.Quantile on the
+// read side of the wire. Returns 0 with no observations.
+func BucketQuantile(le map[float64]float64, q float64) time.Duration {
+	if len(le) == 0 {
+		return 0
+	}
+	bounds := make([]float64, 0, len(le))
+	for b := range le {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	total := le[bounds[len(bounds)-1]]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	prevBound, prevCum := 0.0, 0.0
+	for _, b := range bounds {
+		cum := le[b]
+		if cum >= rank && cum > prevCum {
+			if math.IsInf(b, 1) {
+				return time.Duration(prevBound * float64(time.Second))
+			}
+			frac := (rank - prevCum) / (cum - prevCum)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			sec := prevBound + frac*(b-prevBound)
+			return time.Duration(sec * float64(time.Second))
+		}
+		if !math.IsInf(b, 1) {
+			prevBound = b
+		}
+		prevCum = cum
+	}
+	return time.Duration(prevBound * float64(time.Second))
+}

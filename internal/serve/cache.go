@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // resultCache is a bounded LRU of certified analysis results keyed by
@@ -17,8 +19,9 @@ type resultCache struct {
 	cap     int
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
+	reg     *obs.Registry // nil = uninstrumented
 
-	hits, misses atomic.Int64
+	hits, misses, evictions atomic.Int64
 }
 
 type cacheEntry struct {
@@ -26,7 +29,7 @@ type cacheEntry struct {
 	res *ResultPayload
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, reg *obs.Registry) *resultCache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -34,6 +37,7 @@ func newResultCache(capacity int) *resultCache {
 		cap:     capacity,
 		order:   list.New(),
 		entries: make(map[string]*list.Element, capacity),
+		reg:     reg,
 	}
 }
 
@@ -45,9 +49,11 @@ func (c *resultCache) get(key string) (*ResultPayload, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses.Add(1)
+		c.reg.Counter(obs.MetricCacheEvents, "event", "miss").Inc()
 		return nil, false
 	}
 	c.hits.Add(1)
+	c.reg.Counter(obs.MetricCacheEvents, "event", "hit").Inc()
 	c.order.MoveToFront(el)
 	res := *el.Value.(*cacheEntry).res
 	res.Cached = true
@@ -69,6 +75,8 @@ func (c *resultCache) put(key string, res *ResultPayload) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+		c.reg.Counter(obs.MetricCacheEvents, "event", "evict").Inc()
 	}
 }
 
@@ -95,12 +103,13 @@ type flight struct {
 type flightGroup struct {
 	mu      sync.Mutex
 	flights map[string]*flight
+	reg     *obs.Registry // nil = uninstrumented
 
 	deduped atomic.Int64
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{flights: make(map[string]*flight)}
+func newFlightGroup(reg *obs.Registry) *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight), reg: reg}
 }
 
 // join returns the existing flight for key, or registers a new one and
@@ -110,6 +119,7 @@ func (g *flightGroup) join(key string) (f *flight, leader bool) {
 	defer g.mu.Unlock()
 	if f, ok := g.flights[key]; ok {
 		g.deduped.Add(1)
+		g.reg.Counter(obs.MetricCacheEvents, "event", "dedup").Inc()
 		return f, false
 	}
 	f = &flight{done: make(chan struct{})}

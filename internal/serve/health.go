@@ -25,11 +25,12 @@ type Health struct {
 	PoolCapacity int64 `json:"pool_capacity"`
 	PoolHeadroom int64 `json:"pool_headroom"`
 
-	CacheEntries  int   `json:"cache_entries"`
-	CacheCapacity int   `json:"cache_capacity"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	Deduped       int64 `json:"deduped"`
+	CacheEntries   int   `json:"cache_entries"`
+	CacheCapacity  int   `json:"cache_capacity"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	Deduped        int64 `json:"deduped"`
 
 	Admitted   int64 `json:"admitted"`
 	Served     int64 `json:"served"`
@@ -47,23 +48,24 @@ func (s *Server) Health() Health {
 	draining, active := s.draining, s.active
 	s.mu.Unlock()
 	h := Health{
-		Draining:      draining,
-		InFlight:      active,
-		Running:       s.running.Load(),
-		Workers:       s.opts.Workers,
-		QueueCapacity: cap(s.slots),
-		PoolInUse:     s.pool.InUse(),
-		PoolCapacity:  s.pool.Capacity(),
-		PoolHeadroom:  s.pool.Headroom(),
-		CacheEntries:  s.cache.len(),
-		CacheCapacity: s.opts.CacheEntries,
-		CacheHits:     s.cache.hits.Load(),
-		CacheMisses:   s.cache.misses.Load(),
-		Deduped:       s.flights.deduped.Load(),
-		Admitted:      s.admitted.Load(),
-		Served:        s.served.Load(),
-		Failed:        s.failed.Load(),
-		Overloaded:    s.overloaded.Load(),
+		Draining:       draining,
+		InFlight:       active,
+		Running:        s.running.Load(),
+		Workers:        s.opts.Workers,
+		QueueCapacity:  cap(s.slots),
+		PoolInUse:      s.pool.InUse(),
+		PoolCapacity:   s.pool.Capacity(),
+		PoolHeadroom:   s.pool.Headroom(),
+		CacheEntries:   s.cache.len(),
+		CacheCapacity:  s.opts.CacheEntries,
+		CacheHits:      s.cache.hits.Load(),
+		CacheMisses:    s.cache.misses.Load(),
+		CacheEvictions: s.cache.evictions.Load(),
+		Deduped:        s.flights.deduped.Load(),
+		Admitted:       s.admitted.Load(),
+		Served:         s.served.Load(),
+		Failed:         s.failed.Load(),
+		Overloaded:     s.overloaded.Load(),
 	}
 	for _, m := range s.opts.Engines {
 		b := s.breakers[m]

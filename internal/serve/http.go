@@ -6,10 +6,13 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/guard"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 	"repro/internal/verify"
 )
@@ -90,6 +93,41 @@ func retryable(kind string) bool {
 	return false
 }
 
+// drainRetryAfter is the Retry-After for a draining server: the client
+// should wait for its replacement to take over, not hammer a process on
+// its way out.
+const drainRetryAfter = 5
+
+// retryAfter derives the Retry-After hint (in whole seconds) from the
+// server's actual state instead of a hardcoded constant: a draining
+// server tells clients to stay away until a replacement takes over, a
+// tripped breaker quotes its own cooldown, and an overloaded server
+// scales the hint with how full its queue is, so a deep backlog spreads
+// the retry storm instead of synchronising it one second later.
+func (s *Server) retryAfter(kind string) int {
+	switch kind {
+	case "draining":
+		return drainRetryAfter
+	case "breaker-open":
+		cd := s.opts.Breaker.Cooldown
+		if cd <= 0 {
+			cd = time.Second
+		}
+		secs := int((cd + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs
+	default: // overloaded
+		backlog := len(s.slots)
+		hint := 1 + backlog/s.opts.Workers
+		if hint > 8 {
+			hint = 8
+		}
+		return hint
+	}
+}
+
 // NewHandler wraps a Server in its HTTP surface:
 //
 //	POST /v1/throughput — analyse the request body (RequestPayload),
@@ -97,23 +135,29 @@ func retryable(kind string) bool {
 //	GET  /healthz — full Health report, always 200 while the process
 //	     lives.
 //	GET  /readyz — 200 while admitting, 503 once draining, so load
-//	     balancers stop routing before SIGTERM's drain completes.
+//	     balancers stop routing before SIGTERM's drain completes. The
+//	     body carries the cache traffic detail for quick inspection.
+//	GET  /metrics — Prometheus text exposition of the server's
+//	     registry; 404 when the server was built without one.
+//	GET  /debug/vars — the same registry in expvar-compatible JSON.
+//	GET  /debug/events — the registry's recent structured events; 404
+//	     unless the event ring was enabled.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/throughput", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 		if err != nil {
-			writeError(w, errors.Join(ErrBadRequest, err))
+			s.writeError(w, errors.Join(ErrBadRequest, err))
 			return
 		}
 		req, err := DecodeRequest(body)
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		res, err := s.Analyze(r.Context(), req)
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -122,24 +166,68 @@ func NewHandler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, s.Health())
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		type cacheDetail struct {
+			Entries   int   `json:"entries"`
+			Capacity  int   `json:"capacity"`
+			Hits      int64 `json:"hits"`
+			Misses    int64 `json:"misses"`
+			Evictions int64 `json:"evictions"`
+			Deduped   int64 `json:"deduped"`
+		}
 		type readiness struct {
-			Ready  bool   `json:"ready"`
-			Reason string `json:"reason,omitempty"`
+			Ready  bool        `json:"ready"`
+			Reason string      `json:"reason,omitempty"`
+			Cache  cacheDetail `json:"cache"`
+		}
+		detail := cacheDetail{
+			Entries:   s.cache.len(),
+			Capacity:  s.opts.CacheEntries,
+			Hits:      s.cache.hits.Load(),
+			Misses:    s.cache.misses.Load(),
+			Evictions: s.cache.evictions.Load(),
+			Deduped:   s.flights.deduped.Load(),
 		}
 		if s.Draining() {
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "draining"})
+			w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfter))
+			writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "draining", Cache: detail})
 			return
 		}
-		writeJSON(w, http.StatusOK, readiness{Ready: true})
+		writeJSON(w, http.StatusOK, readiness{Ready: true, Cache: detail})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s.reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		if s.reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.WriteVars(w)
+	})
+	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if !s.reg.EventsEnabled() {
+			http.NotFound(w, r)
+			return
+		}
+		events, total := s.reg.Events()
+		writeJSON(w, http.StatusOK, struct {
+			Total  int64       `json:"total"`
+			Events []obs.Event `json:"events"`
+		}{Total: total, Events: events})
 	})
 	return mux
 }
 
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	kind := KindOf(err)
 	if retryable(kind) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(kind)))
 	}
 	writeJSON(w, statusOf(kind), ErrorPayload{Error: err.Error(), Kind: kind})
 }

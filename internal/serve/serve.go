@@ -34,6 +34,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/guard"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 	"repro/internal/verify"
 )
@@ -81,6 +82,13 @@ type Options struct {
 	// ever enable it for soak tests; it is how the failure paths are
 	// exercised deterministically through the real wire format.
 	AllowInjection bool
+	// Obs, when non-nil, receives every metric and event the server
+	// produces: request outcomes and latencies, per-engine wall times,
+	// cache traffic, breaker transitions. The registry is also injected
+	// into every analysis context, so the engines' attempt counters and
+	// per-phase spans land in the same place. A nil registry costs one
+	// nil check per instrumentation point.
+	Obs *obs.Registry
 }
 
 func (o Options) normalized() Options {
@@ -112,6 +120,7 @@ func (o Options) normalized() Options {
 // safe for concurrent use.
 type Server struct {
 	opts     Options
+	reg      *obs.Registry
 	breakers map[analysis.Method]*guard.Breaker
 	pool     *guard.Pool
 	cache    *resultCache
@@ -144,19 +153,56 @@ func New(opts Options) *Server {
 	opts = opts.normalized()
 	s := &Server{
 		opts:     opts,
+		reg:      opts.Obs,
 		breakers: make(map[analysis.Method]*guard.Breaker, len(opts.Engines)),
 		pool:     guard.NewPool(opts.PoolCapacity),
-		cache:    newResultCache(opts.CacheEntries),
-		flights:  newFlightGroup(),
+		cache:    newResultCache(opts.CacheEntries, opts.Obs),
+		flights:  newFlightGroup(opts.Obs),
 		slots:    make(chan struct{}, opts.Workers+opts.QueueDepth),
 		work:     make(chan struct{}, opts.Workers),
 		drained:  make(chan struct{}),
 	}
 	for _, m := range opts.Engines {
-		s.breakers[m] = guard.NewBreaker(opts.Breaker)
+		bo := opts.Breaker
+		eng := m.String()
+		user := bo.OnTransition
+		// Every breaker transition lands in the registry; opens — the
+		// trip the operator pages on — also count separately and leave
+		// an event in the ring.
+		bo.OnTransition = func(from, to guard.BreakerState) {
+			s.reg.Counter(obs.MetricBreakerTransitions, "engine", eng, "to", to.String()).Inc()
+			if to == guard.BreakerOpen {
+				s.reg.Counter(obs.MetricBreakerTrips, "engine", eng).Inc()
+				s.reg.Emit("breaker.open", "engine", eng, "from", from.String())
+			}
+			if user != nil {
+				user(from, to)
+			}
+		}
+		s.breakers[m] = guard.NewBreaker(bo)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	return s
+}
+
+// Registry returns the observability registry the server was built with
+// (nil when observability is off). The HTTP layer serves it.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// outcomeOf classifies an Analyze error for the request counter.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "served"
+	case errors.Is(err, ErrDraining):
+		return "refused-draining"
+	case errors.Is(err, ErrOverloaded):
+		return "refused-overloaded"
+	case errors.Is(err, ErrInjectionDisabled):
+		return "refused-injection"
+	default:
+		return "failed"
+	}
 }
 
 // Analyze admits, deduplicates and executes one request. The returned
@@ -169,6 +215,15 @@ func New(opts Options) *Server {
 // runs under the server's base context and the request deadline, so a
 // deduplicated computation is never killed by one impatient client.
 func (s *Server) Analyze(ctx context.Context, req *Request) (*ResultPayload, error) {
+	start := s.reg.Now()
+	res, err := s.analyze(ctx, req)
+	s.reg.Histogram(obs.MetricRequestSeconds, "method", req.Method).
+		Observe(s.reg.Now().Sub(start))
+	s.reg.Counter(obs.MetricRequests, "outcome", outcomeOf(err)).Inc()
+	return res, err
+}
+
+func (s *Server) analyze(ctx context.Context, req *Request) (*ResultPayload, error) {
 	if len(req.Faults) > 0 && !s.opts.AllowInjection {
 		return nil, ErrInjectionDisabled
 	}
@@ -190,7 +245,10 @@ func (s *Server) Analyze(ctx context.Context, req *Request) (*ResultPayload, err
 
 	// Cheap structural prechecks before any budget is reserved: an
 	// inconsistent or deadlocked graph costs the server almost nothing.
-	if err := lint.Precheck(req.Graph); err != nil {
+	sp := s.reg.StartSpan("analysis.precheck")
+	err := lint.Precheck(req.Graph)
+	sp.Finish()
+	if err != nil {
 		s.failed.Add(1)
 		return nil, err
 	}
@@ -269,6 +327,9 @@ func (s *Server) execute(req *Request) (*ResultPayload, error) {
 		actx = guard.WithInjector(actx, guard.NewInjector(req.Faults...))
 	}
 	actx = guard.WithBudget(actx, budget)
+	// The engines, meters and injectors below all read the registry
+	// from the context; a nil registry drops out here as a no-op.
+	actx = obs.WithRegistry(actx, s.reg)
 
 	// The queue's deadline discipline: waiting for a worker burns the
 	// request's own deadline, never more.
@@ -321,8 +382,9 @@ func (s *Server) runSingle(ctx context.Context, g *sdf.Graph, method string) (*R
 	if err := s.gate(m); err != nil {
 		return nil, err
 	}
+	start := s.reg.Now()
 	tp, cert, err := analysis.ComputeThroughputCertified(ctx, g, m)
-	s.recordOutcomes([]analysis.EngineAttempt{{Method: m, Err: err}})
+	s.recordOutcomes([]analysis.EngineAttempt{{Method: m, Err: err, Wall: s.reg.Now().Sub(start)}})
 	if err != nil {
 		return nil, err
 	}
@@ -349,6 +411,9 @@ func (s *Server) gate(m analysis.Method) error {
 // the trip-worthy streaks.
 func (s *Server) recordOutcomes(attempts []analysis.EngineAttempt) {
 	for _, at := range attempts {
+		if !at.Skipped && at.Wall > 0 {
+			s.reg.Histogram(obs.MetricEngineSeconds, "engine", at.Method.String()).Observe(at.Wall)
+		}
 		b := s.breakers[at.Method]
 		if b == nil {
 			continue

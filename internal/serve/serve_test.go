@@ -446,7 +446,7 @@ func TestRequestKeyDistinguishes(t *testing.T) {
 }
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	r := func(p string) *ResultPayload { return &ResultPayload{Period: p} }
 	c.put("a", r("1"))
 	c.put("b", r("2"))

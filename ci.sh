@@ -25,6 +25,12 @@ echo '== fuzz smoke: FuzzPerturb (10s)'
 # and hangs in the analysis engines without slowing the gate much.
 timeout 120 go test -run='^$' -fuzz='^FuzzPerturb$' -fuzztime=10s .
 
+echo '== fuzz smoke: FuzzReduce (10s)'
+# Equivalence smoke of the reduction pass manager: perturbed corpus
+# graphs are fixpoint-reduced and the lifted throughput must equal the
+# direct engine's answer in exact rational arithmetic.
+timeout 120 go test -run='^$' -fuzz='^FuzzReduce$' -fuzztime=10s .
+
 echo '== fuzz smoke: FuzzParse (10s)'
 timeout 120 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=10s ./internal/sdfio
 
@@ -32,6 +38,14 @@ echo '== fuzz smoke: FuzzRequest (10s)'
 # The sdfserved wire decoder guards the daemon's admission path, so it
 # gets its own coverage-guided smoke run on top of its seed corpus.
 timeout 120 go test -run='^$' -fuzz='^FuzzRequest$' -fuzztime=10s ./internal/serve
+
+echo '== sdftool reduce -verify over the reduction corpus'
+# Every corpus graph must reduce (or reach the trivial fixpoint), and
+# the lifted certificate chain must re-check against the original.
+for g in testdata/graphs/*.sdf; do
+    echo "   $g"
+    go run ./cmd/sdftool reduce -verify "$g" >/dev/null
+done
 
 echo '== sdfbench engine timings -> BENCH_3.json'
 # Per-engine throughput wall times over the seed benchmark graphs. The

@@ -42,11 +42,40 @@ type histSummary struct {
 	P99NS  int64  `json:"p99_ns"`
 }
 
+// reducedTiming is one engine's direct-vs-reduced comparison on one
+// reducible graph: the same engine run on the original graph and on
+// the pass-manager output (reduction and lift cost included in the
+// reduced number).
+type reducedTiming struct {
+	Engine    string  `json:"engine"`
+	DirectNS  int64   `json:"direct_ns"`
+	ReducedNS int64   `json:"reduced_ns"`
+	Speedup   float64 `json:"speedup"`
+	Period    string  `json:"period,omitempty"`
+	Match     bool    `json:"match"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// reducedCase is one reducible benchmark graph with its fixpoint shape
+// and per-engine comparisons.
+type reducedCase struct {
+	Name            string          `json:"name"`
+	Actors          int             `json:"actors"`
+	Channels        int             `json:"channels"`
+	ReducedActors   int             `json:"reduced_actors"`
+	ReducedChannels int             `json:"reduced_channels"`
+	Steps           int             `json:"steps"`
+	Engines         []reducedTiming `json:"engines"`
+}
+
 // enginesReport is the JSON document emitted by -engines (the CI gate
 // writes it to BENCH_3.json).
 type enginesReport struct {
 	Benchmark string       `json:"benchmark"`
 	Cases     []engineCase `json:"cases"`
+	// ReducedVsDirect compares each engine on reducible graphs with and
+	// without the reduction pass manager in front.
+	ReducedVsDirect []reducedCase `json:"reduced_vs_direct"`
 	// Metrics summarises the observability registry the run fed:
 	// aggregate per-engine wall-time distributions plus the per-phase
 	// spans the engines recorded while running.
@@ -75,8 +104,11 @@ func runEngines(w io.Writer, path string, deadline time.Duration) error {
 		for _, m := range []sdfreduce.Method{
 			sdfreduce.MethodMatrix, sdfreduce.MethodStateSpace, sdfreduce.MethodHSDF,
 		} {
+			// The per-engine table times the raw engines: the reduction
+			// pass manager is benchmarked separately below, against these
+			// direct numbers.
 			ec.Engines = append(ec.Engines, timeEngine(reg, m.String(), deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
-				return sdfreduce.ComputeThroughputCtx(ctx, g, m)
+				return sdfreduce.ComputeThroughputDirectCtx(ctx, g, m)
 			}))
 		}
 		ec.Engines = append(ec.Engines, timeEngine(reg, "hedged", deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
@@ -96,6 +128,7 @@ func runEngines(w io.Writer, path string, deadline time.Duration) error {
 		}
 		report.Cases = append(report.Cases, ec)
 	}
+	report.ReducedVsDirect = runReducedVsDirect(w, reg, deadline)
 	report.Metrics = summariseHistograms(reg)
 	fmt.Fprintln(w, "Latency distributions (count, p50, p99):")
 	for _, m := range report.Metrics {
@@ -115,6 +148,78 @@ func runEngines(w io.Writer, path string, deadline time.Duration) error {
 	}
 	fmt.Fprintf(w, "wrote %s\n\n", path)
 	return nil
+}
+
+// runReducedVsDirect times every engine on the reducible benchmark
+// suite twice: once directly on the original graph and once through
+// the reduction pass manager (ComputeThroughputCtx — fixpoint
+// reduction, analysis of the reduced graph, lift of the answer; the
+// reduced wall time charges all three). Both paths produce the same
+// exact answer, which the comparison checks, so the only difference is
+// where the work happens.
+func runReducedVsDirect(w io.Writer, reg *obs.Registry, deadline time.Duration) []reducedCase {
+	fmt.Fprintln(w, "Reduced-vs-direct wall times on reducible graphs (reduction + lift cost included):")
+	fmt.Fprintf(w, "%-24s %-12s %12s %12s %9s   %s\n",
+		"case", "engine", "direct", "reduced", "speedup", "result")
+	var out []reducedCase
+	for _, c := range benchmarks.Reducible() {
+		g := c.Graph()
+		rc := reducedCase{Name: c.Name, Actors: g.NumActors(), Channels: g.NumChannels()}
+		red, err := sdfreduce.ReduceGraph(context.Background(), g, sdfreduce.ReduceOptions{})
+		if err == nil {
+			rc.ReducedActors = red.Final.NumActors()
+			rc.ReducedChannels = red.Final.NumChannels()
+			rc.Steps = len(red.Steps)
+		}
+		for _, m := range []sdfreduce.Method{
+			sdfreduce.MethodMatrix, sdfreduce.MethodStateSpace, sdfreduce.MethodHSDF,
+		} {
+			direct := timeEngine(reg, m.String(), deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
+				return sdfreduce.ComputeThroughputDirectCtx(ctx, g, m)
+			})
+			reduced := timeEngine(reg, m.String()+"+reduce", deadline, func(ctx context.Context) (sdfreduce.Throughput, error) {
+				return sdfreduce.ComputeThroughputCtx(ctx, g, m)
+			})
+			rt := reducedTiming{
+				Engine:    m.String(),
+				DirectNS:  direct.WallNS,
+				ReducedNS: reduced.WallNS,
+			}
+			if reduced.WallNS > 0 {
+				rt.Speedup = float64(direct.WallNS) / float64(reduced.WallNS)
+			}
+			result := ""
+			switch {
+			case !direct.OK:
+				rt.Error = "direct: " + direct.Error
+				result = "error: " + rt.Error
+			case !reduced.OK:
+				rt.Error = "reduced: " + reduced.Error
+				result = "error: " + rt.Error
+			default:
+				rt.Period = reduced.Period
+				rt.Match = direct.Period == reduced.Period && direct.Unbounded == reduced.Unbounded
+				result = reduced.Period
+				if reduced.Unbounded {
+					result = "unbounded"
+				}
+				if !rt.Match {
+					result += "  MISMATCH vs direct " + direct.Period
+				}
+			}
+			fmt.Fprintf(w, "%-24s %-12s %12v %12v %8.1fx   %s\n",
+				c.Name, rt.Engine,
+				time.Duration(rt.DirectNS).Round(time.Microsecond),
+				time.Duration(rt.ReducedNS).Round(time.Microsecond),
+				rt.Speedup, result)
+			rc.Engines = append(rc.Engines, rt)
+		}
+		fmt.Fprintf(w, "%-24s %-12s (%d actors, %d channels -> %d actors, %d channels in %d steps)\n",
+			c.Name, "", rc.Actors, rc.Channels, rc.ReducedActors, rc.ReducedChannels, rc.Steps)
+		out = append(out, rc)
+	}
+	fmt.Fprintln(w)
+	return out
 }
 
 // summariseHistograms renders every histogram series of the registry as

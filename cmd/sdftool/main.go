@@ -20,6 +20,11 @@
 //	simulate    self-timed simulation (-iterations)
 //	matrix      symbolic max-plus iteration matrix, eigenvalue, eigenvector
 //	lint        model-level diagnostics (-json, -passes pass1,pass2)
+//	reduce      drive the reduction rules to fixpoint (-rules r1,r2 picks
+//	            and orders the rules; -emit prints the reduced graph;
+//	            -json emits the trace as JSON; -verify analyses the
+//	            reduced graph, lifts the answer and re-checks the full
+//	            certificate chain against the original)
 //	report      self-contained Markdown analysis report
 //	bottleneck  channels on the critical cycle (where tokens buy speed)
 //	buffers     throughput/buffer-size Pareto exploration (-maxsteps)
@@ -177,6 +182,15 @@ func run(args []string, out io.Writer) error {
 		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
 			return cmdLint(w, g, *asJSON, *passes)
 		}, fs)
+	case "reduce":
+		fs := flag.NewFlagSet("reduce", flag.ContinueOnError)
+		rules := fs.String("rules", "", "comma-separated rule names in application order (default: the exact rules)")
+		emit := fs.Bool("emit", false, "print the reduced graph instead of the summary")
+		asJSON := fs.Bool("json", false, "emit the reduction trace as JSON")
+		verifyF := fs.Bool("verify", false, "analyse the reduced graph, lift the answer and re-check the certificate chain against the original")
+		return withGraph(rest, out, func(ctx context.Context, w io.Writer, g *sdfreduce.Graph) error {
+			return cmdReduce(ctx, w, g, *rules, *emit, *asJSON, *verifyF)
+		}, fs)
 	case "matrix":
 		return withGraph(rest, out, cmdMatrix, nil)
 	case "report":
@@ -205,7 +219,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|lint|matrix|report|bottleneck|buffers|fmt|query> [flags] <graph file>")
+	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|lint|reduce|matrix|report|bottleneck|buffers|fmt|query> [flags] <graph file>")
 }
 
 // withGraph parses flags (when fs is non-nil), loads the graph named by

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	sdfreduce "repro"
+)
+
+// reduceJSON is the -json wire form of one reduce run.
+type reduceJSON struct {
+	Graph    string `json:"graph"`
+	Actors   int    `json:"actors"`
+	Channels int    `json:"channels"`
+	Reduced  struct {
+		Actors   int `json:"actors"`
+		Channels int `json:"channels"`
+	} `json:"reduced"`
+	Steps []string `json:"steps"`
+	Scale int64    `json:"scale"`
+	Exact bool     `json:"exact"`
+	// Verification fields, present with -verify.
+	Verified    bool   `json:"verified,omitempty"`
+	Unbounded   bool   `json:"unbounded,omitempty"`
+	Period      string `json:"period,omitempty"`
+	Certificate string `json:"certificate,omitempty"`
+}
+
+func cmdReduce(ctx context.Context, w io.Writer, g *sdfreduce.Graph, ruleNames string, emit, asJSON, verified bool) error {
+	var opts sdfreduce.ReduceOptions
+	if ruleNames != "" {
+		rules, err := sdfreduce.ReductionRulesByName(strings.Split(ruleNames, ","))
+		if err != nil {
+			return err
+		}
+		opts.Rules = rules
+	}
+
+	if verified {
+		tp, red, cert, err := sdfreduce.CertifyReduction(ctx, g, opts)
+		if err != nil {
+			return err
+		}
+		if emit {
+			return sdfreduce.WriteText(w, red.Final)
+		}
+		if asJSON {
+			return writeReduceJSON(w, g, red, &tp, cert)
+		}
+		printReduce(w, g, red)
+		if tp.Unbounded {
+			fmt.Fprintln(w, "lifted answer: unbounded throughput")
+		} else if red.Exact {
+			fmt.Fprintf(w, "lifted iteration period: %v (exact)\n", tp.Period)
+		} else {
+			fmt.Fprintf(w, "lifted iteration period: <= %v (conservative bound)\n", tp.Period)
+		}
+		fmt.Fprintf(w, "verified: %s\n", cert)
+		return nil
+	}
+
+	red, err := sdfreduce.ReduceGraph(ctx, g, opts)
+	if err != nil {
+		return err
+	}
+	if emit {
+		return sdfreduce.WriteText(w, red.Final)
+	}
+	if asJSON {
+		return writeReduceJSON(w, g, red, nil, nil)
+	}
+	printReduce(w, g, red)
+	return nil
+}
+
+func printReduce(w io.Writer, g *sdfreduce.Graph, red *sdfreduce.Reduction) {
+	fmt.Fprintf(w, "reduce %s: %d actors, %d channels -> %d actors, %d channels (%d steps, scale %d, exact %v)\n",
+		g.Name(), g.NumActors(), g.NumChannels(),
+		red.Final.NumActors(), red.Final.NumChannels(),
+		len(red.Steps), red.Scale(), red.Exact)
+	for _, line := range red.Trace() {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	if len(red.Steps) == 0 {
+		fmt.Fprintln(w, "  (fixpoint already: no rule applies)")
+	}
+}
+
+func writeReduceJSON(w io.Writer, g *sdfreduce.Graph, red *sdfreduce.Reduction, tp *sdfreduce.Throughput, cert *sdfreduce.ReductionCert) error {
+	out := reduceJSON{
+		Graph:    g.Name(),
+		Actors:   g.NumActors(),
+		Channels: g.NumChannels(),
+		Steps:    red.Trace(),
+		Scale:    red.Scale(),
+		Exact:    red.Exact,
+	}
+	if out.Steps == nil {
+		out.Steps = []string{}
+	}
+	out.Reduced.Actors = red.Final.NumActors()
+	out.Reduced.Channels = red.Final.NumChannels()
+	if tp != nil {
+		out.Verified = true
+		out.Unbounded = tp.Unbounded
+		if !tp.Unbounded {
+			out.Period = tp.Period.String()
+		}
+		out.Certificate = cert.String()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

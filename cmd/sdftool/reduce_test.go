@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const reducibleText = `sdf mixed
+actor A 2
+actor B 3
+actor C 1
+actor D 7
+chan A B 2 2 0
+chan B C 2 4 0
+chan C A 2 1 2
+chan C A 2 1 8
+chan C D 1 1 0
+`
+
+func TestReduceCommand(t *testing.T) {
+	path := writeSample(t, "g.sdf", reducibleText)
+	out, err := runTool(t, "reduce", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"reduce mixed:", "prune-redundant", "dead-actor", "chain-fusion",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reduce output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReduceVerify(t *testing.T) {
+	path := writeSample(t, "g.sdf", reducibleText)
+	out, err := runTool(t, "reduce", "-verify", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lifted iteration period:") || !strings.Contains(out, "verified: reduction(") {
+		t.Errorf("reduce -verify output missing lifted/verified lines:\n%s", out)
+	}
+	// The lifted answer must equal the direct engine's.
+	direct, err := runTool(t, "throughput", "-method", "matrix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPeriod := ""
+	for _, line := range strings.Split(direct, "\n") {
+		if strings.HasPrefix(line, "iteration period: ") {
+			wantPeriod = strings.Fields(line)[2]
+		}
+	}
+	if wantPeriod == "" {
+		t.Fatalf("no direct period in:\n%s", direct)
+	}
+	if !strings.Contains(out, "lifted iteration period: "+wantPeriod+" ") {
+		t.Errorf("lifted period differs from direct %s:\n%s", wantPeriod, out)
+	}
+}
+
+func TestReduceJSON(t *testing.T) {
+	path := writeSample(t, "g.sdf", reducibleText)
+	out, err := runTool(t, "reduce", "-json", "-verify", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Graph   string   `json:"graph"`
+		Steps   []string `json:"steps"`
+		Exact   bool     `json:"exact"`
+		Reduced struct {
+			Actors int `json:"actors"`
+		} `json:"reduced"`
+		Verified bool   `json:"verified"`
+		Period   string `json:"period"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if got.Graph != "mixed" || len(got.Steps) == 0 || !got.Exact || !got.Verified || got.Period == "" {
+		t.Errorf("unexpected JSON: %+v", got)
+	}
+	if got.Reduced.Actors >= 4 {
+		t.Errorf("graph did not shrink: %+v", got)
+	}
+}
+
+func TestReduceRuleSelection(t *testing.T) {
+	path := writeSample(t, "g.sdf", reducibleText)
+	out, err := runTool(t, "reduce", "-rules", "prune-redundant", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "prune-redundant") || strings.Contains(out, "dead-actor") {
+		t.Errorf("rule selection not honoured:\n%s", out)
+	}
+	if _, err := runTool(t, "reduce", "-rules", "no-such-rule", path); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}
+
+func TestReduceEmit(t *testing.T) {
+	path := writeSample(t, "g.sdf", reducibleText)
+	out, err := runTool(t, "reduce", "-emit", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "sdf ") {
+		t.Errorf("-emit did not print a graph:\n%s", out)
+	}
+	if strings.Contains(out, "actor D") {
+		t.Errorf("dead actor survived in emitted graph:\n%s", out)
+	}
+}

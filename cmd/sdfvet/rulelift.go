@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// passesImport is the import path of the reduction pass manager whose
+// Rule registrations the rulelift check audits.
+const passesImport = "repro/internal/passes"
+
+// parsedFile is one file of a directory, grouped so directory-level
+// checks can correlate code files with their tests.
+type parsedFile struct {
+	file    *ast.File
+	logical string
+	test    bool
+}
+
+// ruleLiftFields are the members of passes.Rule that every registered
+// reduction rule must populate: a rule without a reduce cannot fire,
+// one without a restore breaks the reduction stack's pop, and one
+// without a lift strands answers on the reduced graph.
+var ruleLiftFields = []string{"Name", "Reduce", "Restore", "Lift"}
+
+// analyzeRuleLift is the directory-level rulelift check: every
+// passes.Rule composite literal in a non-test file must populate
+// Name, Reduce, Restore and Lift with non-nil values, and the Lift
+// function must be a named function that some _test.go file of the
+// same directory references — an unexercised lift is exactly the kind
+// of code only a production incident would run for the first time.
+func analyzeRuleLift(fset *token.FileSet, files []parsedFile) []finding {
+	// Identifiers mentioned anywhere in the directory's test files.
+	testIdents := make(map[string]bool)
+	for _, pf := range files {
+		if !pf.test {
+			continue
+		}
+		ast.Inspect(pf.file, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				testIdents[id.Name] = true
+			}
+			return true
+		})
+	}
+
+	var out []finding
+	for _, pf := range files {
+		if pf.test {
+			continue
+		}
+		pkgName := pf.file.Name.Name
+		passesPkg := localImportNames(pf.file)[passesImport]
+		isRuleType := func(e ast.Expr) bool {
+			if id, ok := e.(*ast.Ident); ok {
+				return pkgName == "passes" && id.Name == "Rule"
+			}
+			return isPkgSel(e, passesPkg, "Rule")
+		}
+		report := func(pos token.Pos, format string, args ...any) {
+			out = append(out, finding{pos: fset.Position(pos), check: "rulelift",
+				msg: fmt.Sprintf(format, args...)})
+		}
+		ast.Inspect(pf.file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || lit.Type == nil {
+				return true
+			}
+			switch t := lit.Type.(type) {
+			case *ast.ArrayType:
+				if !isRuleType(t.Elt) {
+					return true
+				}
+				for _, el := range lit.Elts {
+					if rl, ok := el.(*ast.CompositeLit); ok && rl.Type == nil {
+						checkRuleLit(rl, testIdents, report)
+					}
+				}
+			default:
+				if isRuleType(lit.Type) {
+					checkRuleLit(lit, testIdents, report)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkRuleLit audits one Rule composite literal.
+func checkRuleLit(lit *ast.CompositeLit, testIdents map[string]bool, report func(token.Pos, string, ...any)) {
+	fields := make(map[string]ast.Expr, len(lit.Elts))
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional Rule literals hide which member is which; the
+			// field checks below would silently pass, so refuse them.
+			report(lit.Lbrace, "passes.Rule literal with positional fields; use keyed fields so reduce/restore/lift stay auditable")
+			return
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			fields[key.Name] = kv.Value
+		}
+	}
+	name := ruleLitName(fields["Name"])
+	for _, f := range ruleLiftFields {
+		v, ok := fields[f]
+		if !ok {
+			report(lit.Lbrace, "rule %s missing %s; every registered rule needs a reduce/restore/lift triple", name, f)
+			continue
+		}
+		if id, ok := v.(*ast.Ident); ok && id.Name == "nil" {
+			report(lit.Lbrace, "rule %s has nil %s; every registered rule needs a reduce/restore/lift triple", name, f)
+		}
+	}
+	lift, ok := fields["Lift"]
+	if !ok {
+		return
+	}
+	switch l := lift.(type) {
+	case *ast.Ident:
+		if l.Name != "nil" && !testIdents[l.Name] {
+			report(lit.Lbrace, "rule %s lift %s is not referenced by any _test.go file in this package; lifts must be exercised by tests", name, l.Name)
+		}
+	case *ast.FuncLit:
+		report(lit.Lbrace, "rule %s lift is an anonymous function; name it so tests can exercise it directly", name)
+	}
+}
+
+// ruleLitName renders the Name field of a Rule literal for messages: a
+// string literal's text, a selector's dotted path, or <unnamed>.
+func ruleLitName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return strings.Trim(e.Value, `"`)
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name + "." + e.Sel.Name
+		}
+	case *ast.Ident:
+		return e.Name
+	}
+	return "<unnamed>"
+}

@@ -1,0 +1,19 @@
+package example
+
+import "repro/internal/passes"
+
+// A consumer package registering a rule through the public alias: the
+// rulelift check recognises the selector form too.
+var customRule = passes.Rule{ // want rulelift
+	Name:    "custom",
+	Reduce:  nil,
+	Restore: restoreCustom,
+	Lift:    liftCustom,
+}
+
+var okRule = passes.Rule{
+	Name:    "ok",
+	Reduce:  reduceCustom,
+	Restore: restoreCustom,
+	Lift:    liftCustom,
+}

@@ -1,0 +1,4 @@
+// Exercises liftCustom so only the nil-Reduce registration fires.
+package example
+
+var _ = liftCustom

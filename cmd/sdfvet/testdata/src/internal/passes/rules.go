@@ -1,0 +1,70 @@
+// Package passes mirrors the reduction pass manager for the rulelift
+// fixture: Rule registrations that violate the reduce/restore/lift
+// discipline are marked with want-comments; the good registration and
+// the test-exercised lifts stay silent.
+package passes
+
+type Facts struct{}
+type Application struct{}
+type Value struct{}
+type Graph struct{}
+
+type Rule struct {
+	Name    string
+	Doc     string
+	Exact   bool
+	Reduce  func(*Facts) (*Application, error)
+	Restore func(*Application) *Graph
+	Lift    func(*Application, Value) (Value, error)
+}
+
+func reduceGood(*Facts) (*Application, error)         { return nil, nil }
+func restoreGood(*Application) *Graph                 { return nil }
+func liftGood(*Application, Value) (Value, error)     { return Value{}, nil }
+func liftUntested(*Application, Value) (Value, error) { return Value{}, nil }
+
+func goodRules() []Rule {
+	return []Rule{
+		{
+			Name:    "good",
+			Reduce:  reduceGood,
+			Restore: restoreGood,
+			Lift:    liftGood,
+		},
+	}
+}
+
+func badRules() []Rule {
+	return []Rule{
+		{ // want rulelift
+			Name:    "nil-lift",
+			Reduce:  reduceGood,
+			Restore: restoreGood,
+			Lift:    nil,
+		},
+		{ // want rulelift
+			Name:   "no-restore",
+			Reduce: reduceGood,
+			Lift:   liftGood,
+		},
+		{ // want rulelift
+			Name:    "unexercised",
+			Reduce:  reduceGood,
+			Restore: restoreGood,
+			Lift:    liftUntested,
+		},
+		{ // want rulelift
+			Name:    "anonymous-lift",
+			Reduce:  reduceGood,
+			Restore: restoreGood,
+			Lift:    func(*Application, Value) (Value, error) { return Value{}, nil },
+		},
+	}
+}
+
+var singleGood = Rule{
+	Name:    "single",
+	Reduce:  reduceGood,
+	Restore: restoreGood,
+	Lift:    liftGood,
+}

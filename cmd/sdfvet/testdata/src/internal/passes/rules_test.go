@@ -1,0 +1,8 @@
+// Exercises liftGood by name; liftUntested is deliberately absent so
+// the unexercised-lift fixture fires.
+package passes
+
+var _ = liftGood
+var _ = goodRules
+var _ = badRules
+var _ = singleGood

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/passes"
 	"repro/internal/sdf"
 	"repro/internal/verify"
 )
@@ -68,6 +69,13 @@ type HedgeOptions struct {
 	// half-open breaker's probe slot) see exactly one engine run per
 	// nil return.
 	Gate func(m Method) error
+	// Reduce runs the exact reduction fixpoint of internal/passes before
+	// the race: every engine analyses the reduced graph and the winning
+	// answer is lifted back to the original, with the lifted certificate
+	// chain re-checked against the original graph and published in the
+	// report. Off by default; the serving layer reduces before dispatch
+	// and races the already-reduced graph instead.
+	Reduce bool
 }
 
 // HedgeReport extends the resilient ladder's report with the
@@ -76,12 +84,25 @@ type HedgeReport struct {
 	ResilientReport
 	// Certificates holds the verified certificate of every engine that
 	// finished with an answer (the winner and any cross-checked peers).
+	// With HedgeOptions.Reduce these certify the reduced graph; the
+	// lifted chain for the original graph is ReducedCert.
 	Certificates map[Method]*verify.ThroughputCert
+	// Reduction is the fixpoint trace when HedgeOptions.Reduce shrank
+	// the graph before the race; empty otherwise.
+	Reduction []string
+	// ReducedCert is the winner's certificate lifted through the
+	// reduction chain and re-verified against the original graph. Nil
+	// unless HedgeOptions.Reduce applied at least one rewrite.
+	ReducedCert *verify.ReductionCert
 }
 
-// String renders the race for humans, one line per engine.
+// String renders the race for humans, one line per engine (plus one per
+// reduction step when the race ran on a reduced graph).
 func (r *HedgeReport) String() string {
 	var b strings.Builder
+	for _, line := range r.Reduction {
+		fmt.Fprintf(&b, "%-11s %s\n", "reduce", line)
+	}
 	for _, a := range r.Attempts {
 		switch {
 		case r.Answered && a.Method == r.Winner:
@@ -117,6 +138,20 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 	engines := opts.Engines
 	if len(engines) == 0 {
 		engines = []Method{Matrix, StateSpace, HSDF}
+	}
+	// Optional pre-stage: shrink once, race every engine on the reduced
+	// graph, lift the winner. A reducer failure (budget, cancellation)
+	// is the race's failure — the engines would hit the same wall.
+	target := g
+	var red *passes.Reduction
+	if opts.Reduce {
+		r, err := passes.Reduce(ctx, g, passes.Options{})
+		if err != nil {
+			return Throughput{}, nil, err
+		}
+		if len(r.Steps) > 0 {
+			target, red = r.Final, r
+		}
 	}
 	// The gate sheds engines before anything is spent on them: a gated
 	// engine gets no goroutine, no meter and no budget charge, only a
@@ -161,7 +196,7 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 			// race, not kill the process.
 			o.err = guard.Protect(m.String(), "hedged", func() error {
 				var err error
-				o.tp, o.cert, err = ComputeThroughputCertified(raceCtx, g, m)
+				o.tp, o.cert, err = ComputeThroughputCertified(raceCtx, target, m)
 				return err
 			})
 			o.wall = reg.Now().Sub(start)
@@ -257,5 +292,21 @@ func ComputeThroughputHedgedOpts(ctx context.Context, g *sdf.Graph, opts HedgeOp
 	}
 	reg.Counter(obs.MetricHedgeRaces, "outcome", "answered").Inc()
 	reg.Counter(obs.MetricHedgeWins, "engine", winner.String()).Inc()
+	if red != nil {
+		rep.Reduction = red.Trace()
+		lifted, err := red.LiftCert(win.cert)
+		if err != nil {
+			return Throughput{}, rep, fmt.Errorf("analysis: hedged lift: %w", err)
+		}
+		if err := lifted.Check(ctx, g); err != nil {
+			return Throughput{}, rep, fmt.Errorf("analysis: hedged lifted certificate rejected: %w", err)
+		}
+		rep.ReducedCert = lifted
+		return Throughput{
+			Unbounded:  lifted.Unbounded,
+			Period:     lifted.Period,
+			Repetition: red.OriginalRepetition(),
+		}, rep, nil
+	}
 	return win.tp, rep, nil
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/mcm"
 	"repro/internal/obs"
+	"repro/internal/passes"
 	"repro/internal/rat"
 	"repro/internal/sdf"
 	"repro/internal/transform"
@@ -104,7 +105,43 @@ func ComputeThroughput(g *sdf.Graph, method Method) (Throughput, error) {
 // carried by ctx (guard.WithBudget; the default budget when absent) and
 // runs behind panic isolation, so a broken or bombed engine yields a
 // structured *guard.EngineError instead of hanging or crashing.
+//
+// Before the engine runs, the exact reduction rules of internal/passes
+// shrink the graph to fixpoint and the engine analyses the reduced
+// graph; the answer is lifted back through the chain, so the result is
+// identical to a direct analysis (the rules are exact) at a fraction of
+// the engine cost on reducible graphs. Use ComputeThroughputDirectCtx
+// to bypass the reducer.
 func ComputeThroughputCtx(ctx context.Context, g *sdf.Graph, method Method) (Throughput, error) {
+	red, rerr := passes.Reduce(ctx, g, passes.Options{})
+	if rerr != nil || len(red.Steps) == 0 {
+		// No reduction applied (or the reducer itself hit the budget, in
+		// which case the direct engine fails with the same structured
+		// error): run the engine on the original graph, byte-identical to
+		// the pre-reducer behaviour.
+		return ComputeThroughputDirectCtx(ctx, g, method)
+	}
+	var tp Throughput
+	err := guard.Protect(method.String(), "throughput", func() error {
+		var err error
+		tp, err = computeThroughput(ctx, red.Final, method)
+		return err
+	})
+	if err != nil {
+		return Throughput{}, err
+	}
+	v, err := red.Lift(passes.Value{Period: tp.Period, Unbounded: tp.Unbounded})
+	if err != nil {
+		return Throughput{}, fmt.Errorf("analysis: lift: %w", err)
+	}
+	return Throughput{Unbounded: v.Unbounded, Period: v.Period, Repetition: red.OriginalRepetition()}, nil
+}
+
+// ComputeThroughputDirectCtx runs the chosen engine on g as-is, with no
+// reduction pre-stage. The benchmark suite uses it as the baseline the
+// reduced pipeline is measured against, and the equivalence fuzzer as
+// the oracle the lifted answers must match.
+func ComputeThroughputDirectCtx(ctx context.Context, g *sdf.Graph, method Method) (Throughput, error) {
 	var tp Throughput
 	err := guard.Protect(method.String(), "throughput", func() error {
 		var err error

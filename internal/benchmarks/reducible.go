@@ -1,0 +1,134 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"repro/internal/sdf"
+)
+
+// Reducible returns benchmark graphs built so the reduction pass
+// manager has real work to do: each one shrinks under the exact rule
+// set, and each is large enough that analysing the reduced graph —
+// reduction cost included — beats analysing the original directly. The
+// Table-1 graphs are already minimal (self-loops on every actor, no
+// fusible chains, no dead periphery), so the reduced-vs-direct
+// comparison needs its own suite. Paper counts are zero: these cases
+// are ours, not Table 1's.
+func Reducible() []Case {
+	return []Case{
+		{Name: "fusible-ring-128", Graph: func() *sdf.Graph { return FusibleRing(128) }},
+		{Name: "dead-periphery-4^7", Graph: func() *sdf.Graph { return DeadPeriphery(7) }},
+		{Name: "gcd-token-cycle", Graph: func() *sdf.Graph { return GCDTokenCycle(32, 5, 3) }},
+		{Name: "wide-redundant", Graph: func() *sdf.Graph { return WideRedundant(40) }},
+		{Name: "ring+dead-mixed", Graph: func() *sdf.Graph { return RingWithDeadTail(96, 6) }},
+	}
+}
+
+// FusibleRing builds a single-rate ring of n actors: every channel is
+// (1, 1, 0) except the closing feedback, which carries two tokens.
+// Chain fusion collapses the whole ring into one actor with a
+// two-token self-loop, so the reduced period is Σexec/2 and direct
+// engines pay for n actors where the reduced path pays for one.
+func FusibleRing(n int) *sdf.Graph {
+	if n < 2 {
+		panic("benchmarks: FusibleRing needs n >= 2")
+	}
+	g := sdf.NewGraph(fmt.Sprintf("fusible-ring-%d", n))
+	ids := make([]sdf.ActorID, n)
+	for i := range ids {
+		ids[i] = g.MustAddActor(fmt.Sprintf("a%d", i), int64(i%7)+1)
+	}
+	for i := 0; i < n-1; i++ {
+		g.MustAddChannel(ids[i], ids[i+1], 1, 1, 0)
+	}
+	g.MustAddChannel(ids[n-1], ids[0], 1, 1, 2)
+	return g
+}
+
+// DeadPeriphery builds a tiny two-actor core cycle feeding a multirate
+// expansion chain with no path back: each dead stage multiplies its
+// repetition count by four, so depth levels push the iteration length
+// Σq towards 4^depth firings. Firing-granular engines pay for all of
+// them; the dead-actor rule deletes the whole periphery in one step
+// and leaves the two-actor core.
+func DeadPeriphery(depth int) *sdf.Graph {
+	if depth < 1 {
+		panic("benchmarks: DeadPeriphery needs depth >= 1")
+	}
+	g := sdf.NewGraph(fmt.Sprintf("dead-periphery-4^%d", depth))
+	c1 := g.MustAddActor("c1", 4)
+	c2 := g.MustAddActor("c2", 3)
+	g.MustAddChannel(c1, c2, 1, 1, 1)
+	g.MustAddChannel(c2, c1, 1, 1, 1)
+	prev := c2
+	for i := 1; i <= depth; i++ {
+		d := g.MustAddActor(fmt.Sprintf("d%d", i), 1)
+		g.MustAddChannel(prev, d, 4, 1, 0)
+		prev = d
+	}
+	return g
+}
+
+// GCDTokenCycle builds a two-actor cycle whose rates and initial
+// tokens all share the common factor scale: channel (scale, scale,
+// scale·t) behaves exactly like (1, 1, t), but the matrix engines'
+// token-indexed tables are quadratic in the raw initial-token count,
+// so the direct path pays for scale·(t1+t2) tokens where the rate-gcd
+// rule leaves t1+t2.
+func GCDTokenCycle(scale, t1, t2 int) *sdf.Graph {
+	if scale < 2 || t1 < 1 || t2 < 1 {
+		panic("benchmarks: GCDTokenCycle needs scale >= 2 and positive tokens")
+	}
+	g := sdf.NewGraph(fmt.Sprintf("gcd-token-cycle-%dx", scale))
+	a := g.MustAddActor("a", 4)
+	b := g.MustAddActor("b", 3)
+	g.MustAddChannel(a, b, scale, scale, scale*t1)
+	g.MustAddChannel(b, a, scale, scale, scale*t2)
+	return g
+}
+
+// WideRedundant builds a two-actor cycle with m parallel same-rate
+// forward channels differing only in their initial tokens. Only the
+// zero-token channel constrains execution (§4.2); the other m-1 carry
+// dead weight the prune rule removes in one step, collapsing the
+// token-indexed matrix tables from Σ tokens down to the feedback's.
+func WideRedundant(m int) *sdf.Graph {
+	if m < 2 {
+		panic("benchmarks: WideRedundant needs m >= 2")
+	}
+	g := sdf.NewGraph(fmt.Sprintf("wide-redundant-%d", m))
+	a := g.MustAddActor("a", 2)
+	b := g.MustAddActor("b", 3)
+	for i := 0; i < m; i++ {
+		g.MustAddChannel(a, b, 2, 3, 2*i)
+	}
+	g.MustAddChannel(b, a, 3, 2, 6)
+	return g
+}
+
+// RingWithDeadTail composes the two shapes: a fusible single-rate ring
+// of n actors with a multirate dead chain of the given depth hanging
+// off it. Both the dead-actor and the chain-fusion rule must fire to
+// reach the fixpoint, so the case exercises rule interleaving, not one
+// rule in isolation.
+func RingWithDeadTail(n, depth int) *sdf.Graph {
+	if n < 2 || depth < 1 {
+		panic("benchmarks: RingWithDeadTail needs n >= 2 and depth >= 1")
+	}
+	g := sdf.NewGraph(fmt.Sprintf("ring%d+dead-4^%d", n, depth))
+	ids := make([]sdf.ActorID, n)
+	for i := range ids {
+		ids[i] = g.MustAddActor(fmt.Sprintf("a%d", i), int64(i%7)+1)
+	}
+	for i := 0; i < n-1; i++ {
+		g.MustAddChannel(ids[i], ids[i+1], 1, 1, 0)
+	}
+	g.MustAddChannel(ids[n-1], ids[0], 1, 1, 2)
+	prev := ids[0]
+	for i := 1; i <= depth; i++ {
+		d := g.MustAddActor(fmt.Sprintf("d%d", i), 1)
+		g.MustAddChannel(prev, d, 4, 1, 0)
+		prev = d
+	}
+	return g
+}

@@ -209,6 +209,11 @@ func PruneRedundantChannels(g *sdf.Graph) (*sdf.Graph, int) {
 			best[k] = c.Initial
 		}
 	}
+	if len(order) == g.NumChannels() {
+		// Nothing is redundant; skip the copy. The fixpoint driver calls
+		// this every round, so the no-op case must not cost a graph build.
+		return g, 0
+	}
 	h := sdf.NewGraph(g.Name())
 	for _, a := range g.Actors() {
 		h.MustAddActor(a.Name, a.Exec)

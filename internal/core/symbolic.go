@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/guard"
 	"repro/internal/maxplus"
+	"repro/internal/rat"
 	"repro/internal/schedule"
 	"repro/internal/sdf"
 )
@@ -85,6 +86,9 @@ func SymbolicIterationCtx(ctx context.Context, g *sdf.Graph) (*SymbolicResult, e
 	}
 	sched, err := schedule.SequentialCtx(ctx, g)
 	if err != nil {
+		return nil, fmt.Errorf("core: symbolic iteration: %w", err)
+	}
+	if err := checkTimeHeadroom(g, len(sched)); err != nil {
 		return nil, fmt.Errorf("core: symbolic iteration: %w", err)
 	}
 	meter.Phase("execute")
@@ -170,6 +174,36 @@ func SymbolicIterationCtx(ctx context.Context, g *sdf.Graph) (*SymbolicResult, e
 		Completion:      completion,
 		ActorCompletion: actorCompletion,
 	}, nil
+}
+
+// checkTimeHeadroom refuses graphs whose execution times are so large
+// that exact max-plus analysis could overflow int64. Every iteration-
+// matrix entry is a sum of at most one execution time per schedule
+// slot, and the eigenvalue DP (Karp) later walks at most one entry per
+// initial token; the worst-case magnitude is therefore bounded by
+// firings × tokens × maxExec. That product must stay well below the
+// −∞ sentinels (MinInt64 here, −2⁶² in Karp) or the unchecked max-plus
+// sums would wrap and return a silently wrong period.
+func checkTimeHeadroom(g *sdf.Graph, firings int) error {
+	var maxExec int64
+	for _, a := range g.Actors() {
+		if a.Exec > maxExec {
+			maxExec = a.Exec
+		}
+	}
+	if maxExec == 0 {
+		return nil
+	}
+	const headroom = int64(1) << 61
+	bound, ok := rat.MulChecked(maxExec, int64(firings))
+	if ok {
+		bound, ok = rat.MulChecked(bound, int64(g.TotalInitialTokens())+1)
+	}
+	if !ok || bound >= headroom {
+		return fmt.Errorf("%w: worst-case time stamp firings*tokens*maxExec (%d*%d*%d) exceeds the exact int64 range",
+			guard.ErrBudgetExceeded, firings, g.TotalInitialTokens(), maxExec)
+	}
+	return nil
 }
 
 // G returns the paper's coefficient g_{j,k}: the minimum distance that the

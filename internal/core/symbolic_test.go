@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/guard"
 	"repro/internal/maxplus"
 	"repro/internal/sdf"
 )
@@ -195,5 +197,26 @@ func TestSymbolicScheduleIndependence(t *testing.T) {
 	}
 	if !r1.Matrix.Equal(r2.Matrix) {
 		t.Errorf("matrices differ:\n%v\nvs\n%v", r1.Matrix, r2.Matrix)
+	}
+}
+
+func TestSymbolicTimeHeadroomRefusal(t *testing.T) {
+	// Execution times near 2^61 would make the unchecked max-plus sums
+	// wrap (FuzzReduce found the matrix engine answering period 0 on
+	// such a graph); the admission guard must refuse instead. The same
+	// cycle with small times analyses fine.
+	build := func(exec int64) *sdf.Graph {
+		g := sdf.NewGraph("huge")
+		a := g.MustAddActor("A", exec)
+		b := g.MustAddActor("B", 57)
+		g.MustAddChannel(a, b, 1, 1, 1)
+		g.MustAddChannel(b, a, 1, 1, 1)
+		return g
+	}
+	if _, err := SymbolicIteration(build(int64(1) << 61)); !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("near-overflow exec: err = %v, want guard.ErrBudgetExceeded", err)
+	}
+	if _, err := SymbolicIteration(build(3)); err != nil {
+		t.Fatalf("small exec refused: %v", err)
 	}
 }

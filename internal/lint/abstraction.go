@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/passes"
 	"repro/internal/rat"
 	"repro/internal/sdf"
 )
@@ -40,7 +41,13 @@ type EligibilityReport struct {
 // graph: the maximal actor groups with identical repetition counts, and
 // the traditional-versus-novel HSDF size comparison (Σq against N(N+2)).
 func Eligibility(g *sdf.Graph) (*EligibilityReport, error) {
-	q, err := g.RepetitionVector()
+	return EligibilityWith(passes.NewFacts(g))
+}
+
+// EligibilityWith is Eligibility against a pre-computed fact table.
+func EligibilityWith(f *passes.Facts) (*EligibilityReport, error) {
+	g := f.Graph()
+	q, err := f.Repetition()
 	if err != nil {
 		return nil, fmt.Errorf("lint: eligibility: %w", err)
 	}
@@ -62,16 +69,11 @@ func Eligibility(g *sdf.Graph) (*EligibilityReport, error) {
 		}
 		return rep.Groups[i].Repetition < rep.Groups[j].Repetition
 	})
-	var sum int64
-	for _, v := range q {
-		s, ok := rat.AddChecked(sum, v)
-		if !ok {
-			sum = 0
-			break
-		}
-		sum = s
+	// Σq comes from the shared fact layer; 0 keeps meaning "overflowed"
+	// for non-empty graphs.
+	if il, ok := f.IterationLength(); ok {
+		rep.IterationLength = il
 	}
-	rep.IterationLength = sum
 	n := int64(rep.Tokens)
 	if b, ok := rat.MulChecked(n, n+2); ok {
 		rep.NovelBound = b
@@ -88,7 +90,7 @@ func runAbstraction(cx *context) []Diagnostic {
 	if cx.qErr != nil {
 		return nil
 	}
-	rep, err := Eligibility(cx.g)
+	rep, err := EligibilityWith(cx.facts)
 	if err != nil {
 		return nil
 	}

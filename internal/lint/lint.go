@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/passes"
 	"repro/internal/sdf"
 )
 
@@ -177,13 +178,16 @@ type Pass struct {
 	run   func(*context) []Diagnostic
 }
 
-// context carries the graph and the analyses shared between passes. The
-// repetition vector is computed once, lazily mirrored by qErr when the
-// graph is inconsistent.
+// context carries the graph and the shared fact layer. All common
+// analyses — the repetition vector, connectivity, cycle membership —
+// come from one internal/passes fact table, computed once per Analyze
+// or Precheck call (or shared with the reduction driver when the caller
+// provides the facts).
 type context struct {
-	g    *sdf.Graph
-	q    []int64
-	qErr error
+	g     *sdf.Graph
+	facts *passes.Facts
+	q     []int64
+	qErr  error
 }
 
 // Passes returns the registered passes in their canonical run order.
@@ -214,6 +218,14 @@ type Options struct {
 // report. It fails only on unknown pass names; findings are reported, not
 // returned as errors.
 func Analyze(g *sdf.Graph, opts Options) (*Report, error) {
+	return AnalyzeWith(passes.NewFacts(g), opts)
+}
+
+// AnalyzeWith is Analyze against a pre-computed fact table, so callers
+// that already paid for the facts (the reduction driver, the serving
+// layer) share them with the lint passes instead of recomputing.
+func AnalyzeWith(f *passes.Facts, opts Options) (*Report, error) {
+	g := f.Graph()
 	all := Passes()
 	selected := all
 	if len(opts.Passes) > 0 {
@@ -230,7 +242,7 @@ func Analyze(g *sdf.Graph, opts Options) (*Report, error) {
 			selected = append(selected, p)
 		}
 	}
-	cx := newContext(g)
+	cx := newContext(f)
 	rep := &Report{Graph: g.Name(), Diagnostics: []Diagnostic{}}
 	for _, p := range selected {
 		rep.Diagnostics = append(rep.Diagnostics, p.run(cx)...)
@@ -247,9 +259,9 @@ func passNames(ps []Pass) string {
 	return strings.Join(names, ", ")
 }
 
-func newContext(g *sdf.Graph) *context {
-	cx := &context{g: g}
-	cx.q, cx.qErr = g.RepetitionVector()
+func newContext(f *passes.Facts) *context {
+	cx := &context{g: f.Graph(), facts: f}
+	cx.q, cx.qErr = f.Repetition()
 	return cx
 }
 
@@ -298,8 +310,13 @@ func (e *PrecheckError) Unwrap() []error { return e.causes }
 // front of throughput analysis and the HSDF conversions, so bad inputs
 // fail fast with precise diagnostics instead of deep inside an algorithm.
 func Precheck(g *sdf.Graph) error {
-	cx := newContext(g)
-	rep := &Report{Graph: g.Name(), Diagnostics: []Diagnostic{}}
+	return PrecheckWith(passes.NewFacts(g))
+}
+
+// PrecheckWith is Precheck against a pre-computed fact table.
+func PrecheckWith(f *passes.Facts) error {
+	cx := newContext(f)
+	rep := &Report{Graph: cx.g.Name(), Diagnostics: []Diagnostic{}}
 	for _, p := range Passes() {
 		if !p.Cheap {
 			continue

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/csdf"
+	"repro/internal/passes"
 	"repro/internal/schedule"
 	"repro/internal/sdf"
 )
@@ -93,7 +94,7 @@ func TestTopologyRankMatchesSolver(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s: rank computation overflowed", g.Name())
 		}
-		comps := len(weakComponents(g))
+		comps := len(passes.NewFacts(g).Components())
 		_, err := g.RepetitionVector()
 		if consistent := err == nil; consistent != (rank == g.NumActors()-comps) {
 			t.Errorf("%s: rank %d (n=%d, c=%d) disagrees with solver (consistent=%v)",

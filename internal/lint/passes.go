@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/passes"
 	"repro/internal/rat"
 	"repro/internal/sdf"
 )
@@ -42,7 +43,7 @@ func runConsistency(cx *context) []Diagnostic {
 		return nil
 	}
 	rank, rankOK := topologyRank(g)
-	comps := weakComponents(g)
+	comps := cx.facts.Components()
 	nComps := 0
 	for _, c := range comps {
 		if len(c) > 0 {
@@ -217,7 +218,9 @@ func runDeadlock(cx *context) []Diagnostic {
 			adj[c.Src] = append(adj[c.Src], c.Dst)
 		}
 	}
-	comp := sccKosaraju(n, adj)
+	// The SCCs of the token-insufficient subgraph, not of the graph
+	// itself, so this cannot come from the shared cycle fact.
+	comp := passes.SCC(n, adj)
 	var out []Diagnostic
 	// Self-loops first: an actor whose self-loop cannot enable its first
 	// firing is permanently blocked, the smallest deadlock cycle.
@@ -267,54 +270,6 @@ func runDeadlock(cx *context) []Diagnostic {
 	return out
 }
 
-// sccKosaraju returns a component id per vertex.
-func sccKosaraju(n int, adj [][]sdf.ActorID) []int {
-	rev := make([][]sdf.ActorID, n)
-	for u := 0; u < n; u++ {
-		for _, v := range adj[u] {
-			rev[v] = append(rev[v], sdf.ActorID(u))
-		}
-	}
-	order := make([]sdf.ActorID, 0, n)
-	seen := make([]bool, n)
-	var dfs1 func(u sdf.ActorID)
-	dfs1 = func(u sdf.ActorID) {
-		seen[u] = true
-		for _, v := range adj[u] {
-			if !seen[v] {
-				dfs1(v)
-			}
-		}
-		order = append(order, u)
-	}
-	for u := 0; u < n; u++ {
-		if !seen[u] {
-			dfs1(sdf.ActorID(u))
-		}
-	}
-	comp := make([]int, n)
-	for i := range comp {
-		comp[i] = -1
-	}
-	id := 0
-	var dfs2 func(u sdf.ActorID)
-	dfs2 = func(u sdf.ActorID) {
-		comp[u] = id
-		for _, v := range rev[u] {
-			if comp[v] < 0 {
-				dfs2(v)
-			}
-		}
-	}
-	for i := len(order) - 1; i >= 0; i-- {
-		if comp[order[i]] < 0 {
-			dfs2(order[i])
-			id++
-		}
-	}
-	return comp
-}
-
 // --- overflow --------------------------------------------------------------
 
 // Bounds for the overflow pass. The traditional conversion materialises
@@ -348,18 +303,9 @@ func runOverflow(cx *context) []Diagnostic {
 	g := cx.g
 	q := cx.q
 	var out []Diagnostic
-	var iterLen int64
-	overflowed := false
-	for _, v := range q {
-		s, ok := rat.AddChecked(iterLen, v)
-		if !ok {
-			overflowed = true
-			break
-		}
-		iterLen = s
-	}
+	iterLen, iterOK := cx.facts.IterationLength()
 	switch {
-	case overflowed:
+	case !iterOK:
 		out = append(out, Diagnostic{
 			Pass: "overflow", Severity: Error,
 			Msg: "iteration length Σq overflows int64: no iteration-based analysis (scheduling, traditional conversion, simulation) can run",
@@ -416,37 +362,6 @@ func runOverflow(cx *context) []Diagnostic {
 
 // --- connectivity ----------------------------------------------------------
 
-// weakComponents returns the weakly connected components of g as actor
-// lists, largest first (ties broken by smallest member id).
-func weakComponents(g *sdf.Graph) [][]sdf.ActorID {
-	n := g.NumActors()
-	adj := make([][]sdf.ActorID, n)
-	for _, c := range g.Channels() {
-		adj[c.Src] = append(adj[c.Src], c.Dst)
-		adj[c.Dst] = append(adj[c.Dst], c.Src)
-	}
-	seen := make([]bool, n)
-	var comps [][]sdf.ActorID
-	for s := 0; s < n; s++ {
-		if seen[s] {
-			continue
-		}
-		comp := []sdf.ActorID{sdf.ActorID(s)}
-		seen[s] = true
-		for head := 0; head < len(comp); head++ {
-			for _, v := range adj[comp[head]] {
-				if !seen[v] {
-					seen[v] = true
-					comp = append(comp, v)
-				}
-			}
-		}
-		comps = append(comps, comp)
-	}
-	sort.SliceStable(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
-	return comps
-}
-
 // runConnectivity reports disconnected structure: isolated actors (no
 // channels at all) and secondary weakly connected components. Both are
 // legal SDF but almost always modelling accidents, and the reduction
@@ -475,7 +390,7 @@ func runConnectivity(cx *context) []Diagnostic {
 			})
 		}
 	}
-	comps := weakComponents(g)
+	comps := cx.facts.Components()
 	for _, comp := range comps[1:] {
 		if len(comp) == 1 && degree[comp[0]] == 0 {
 			continue // already reported as isolated

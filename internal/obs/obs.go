@@ -71,6 +71,9 @@ const (
 	// MetricSpanSeconds is the histogram every finished Span observes
 	// (label span = span name, plus the span's own start attributes).
 	MetricSpanSeconds = "sdf_span_seconds"
+	// MetricReduceSteps counts applied reduction-rule rewrites (label
+	// rule).
+	MetricReduceSteps = "sdf_reduce_steps_total"
 )
 
 // Kind distinguishes the instrument families of a Registry.

@@ -1,0 +1,112 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/sdf"
+)
+
+func factsGraph(t *testing.T) *sdf.Graph {
+	t.Helper()
+	g := sdf.NewGraph("facts")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 2)
+	c := g.MustAddActor("C", 3)
+	g.MustAddChannel(a, b, 2, 3, 0)
+	g.MustAddChannel(b, a, 3, 2, 6)
+	g.MustAddChannel(b, c, 4, 2, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFactsMemoization(t *testing.T) {
+	f := NewFacts(factsGraph(t))
+	if f.Have() != 0 {
+		t.Fatalf("fresh facts claim %b", f.Have())
+	}
+	q, err := f.Repetition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q(A)=3, q(B)=2, q(C)=4.
+	if q[0] != 3 || q[1] != 2 || q[2] != 4 {
+		t.Fatalf("q = %v", q)
+	}
+	if f.Have()&FactRepetition == 0 {
+		t.Fatal("repetition fact not recorded")
+	}
+	q2, _ := f.Repetition()
+	if &q[0] != &q2[0] {
+		t.Fatal("repetition vector recomputed instead of memoized")
+	}
+	if il, ok := f.IterationLength(); !ok || il != 9 {
+		t.Fatalf("iteration length = %d, %v", il, ok)
+	}
+	if comps := f.Components(); len(comps) != 1 || len(comps[0]) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if !f.OnCycle(0) || !f.OnCycle(1) || f.OnCycle(2) {
+		t.Fatalf("cycle membership wrong: sizes %v", f.SCCSizes())
+	}
+	gcds := f.RateGCDs()
+	if gcds[0] != 1 || gcds[1] != 1 || gcds[2] != 2 {
+		t.Fatalf("rate gcds = %v", gcds)
+	}
+	// cost = 1 + 3 actors + 3 channels + 8 tokens + 9 Σq = 24.
+	if c := f.Cost(); c != 24 {
+		t.Fatalf("cost = %d, want 24", c)
+	}
+}
+
+func TestFactsInconsistentGraph(t *testing.T) {
+	g := sdf.NewGraph("bad")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 2, 1, 0)
+	g.MustAddChannel(b, a, 1, 1, 0)
+	f := NewFacts(g)
+	if f.Consistent() {
+		t.Fatal("inconsistent graph reported consistent")
+	}
+	if _, ok := f.IterationLength(); ok {
+		t.Fatal("iteration length of an inconsistent graph")
+	}
+	// Structural cost only: 1 + 2 + 2 + 0.
+	if c := f.Cost(); c != 5 {
+		t.Fatalf("cost = %d, want 5", c)
+	}
+}
+
+func TestFactsRebind(t *testing.T) {
+	g := factsGraph(t)
+	f := NewFacts(g)
+	f.Repetition()
+	f.Components()
+	f.SCCSizes()
+	f.RateGCDs()
+	f.Cost()
+
+	// A structure-preserving rewrite (same actors, same channels here —
+	// the identity, standing in for prune/rate-gcd) keeps the declared
+	// facts and drops the rest.
+	nf := f.Rebind(g, FactRepetition|FactCycles)
+	if nf.Have() != FactRepetition|FactCycles {
+		t.Fatalf("rebind kept %b", nf.Have())
+	}
+	q, _ := f.Repetition()
+	nq, err := nf.Repetition()
+	if err != nil || &q[0] != &nq[0] {
+		t.Fatal("rebind did not transfer the repetition vector")
+	}
+
+	// Facts that do not match the new graph's shape are dropped even
+	// when declared preserved.
+	small := sdf.NewGraph("small")
+	small.MustAddActor("X", 1)
+	nf2 := f.Rebind(small, FactRepetition|FactCycles|FactRates)
+	if nf2.Have() != 0 {
+		t.Fatalf("rebind transferred mismatched facts: %b", nf2.Have())
+	}
+}

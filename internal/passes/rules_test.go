@@ -1,0 +1,303 @@
+package passes
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// pruneGraph has two parallel A->B channels with equal rates; the one
+// with more initial tokens is redundant (§4.2).
+func pruneGraph(t *testing.T) *sdf.Graph {
+	t.Helper()
+	g := sdf.NewGraph("prune")
+	a := g.MustAddActor("A", 2)
+	b := g.MustAddActor("B", 3)
+	g.MustAddChannel(a, b, 2, 3, 0)
+	g.MustAddChannel(a, b, 2, 3, 5)
+	g.MustAddChannel(b, a, 3, 2, 6)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPruneRedundantRule(t *testing.T) {
+	g := pruneGraph(t)
+	app, err := reducePruneRedundant(NewFacts(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app == nil {
+		t.Fatal("prune rule did not apply")
+	}
+	rules := DefaultRules()
+	app.Rule = &rules[0]
+	if app.After.NumChannels() != 2 {
+		t.Fatalf("got %d channels, want 2", app.After.NumChannels())
+	}
+	if got := restoreBefore(app); got != g {
+		t.Fatal("restore did not recover the pre-step graph")
+	}
+	step := app.LiftStep()
+	if err := step.Check(context.Background(), g); err != nil {
+		t.Fatalf("lift step rejected: %v", err)
+	}
+	v, err := liftPruneRedundant(app, Value{Period: rat.MustNew(7, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Period.Equal(rat.MustNew(7, 2)) || v.Bound {
+		t.Fatalf("prune lift changed the value: %+v", v)
+	}
+}
+
+func TestRateGCDRule(t *testing.T) {
+	g := sdf.NewGraph("gcd")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 2, 4, 2)
+	g.MustAddChannel(b, a, 4, 2, 4)
+	app, err := reduceRateGCD(NewFacts(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app == nil {
+		t.Fatal("rate-gcd rule did not apply")
+	}
+	rules := DefaultRules()
+	app.Rule = &rules[1]
+	c0 := app.After.Channel(0)
+	if c0.Prod != 1 || c0.Cons != 2 || c0.Initial != 1 {
+		t.Fatalf("channel not normalised: %+v", c0)
+	}
+	if got := restoreBefore(app); got != g {
+		t.Fatal("restore did not recover the pre-step graph")
+	}
+	step := app.LiftStep()
+	if err := step.Check(context.Background(), g); err != nil {
+		t.Fatalf("lift step rejected: %v", err)
+	}
+	v, err := liftRateGCD(app, Value{Period: rat.FromInt(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Period.Equal(rat.FromInt(5)) {
+		t.Fatalf("rate-gcd lift changed the period: %v", v.Period)
+	}
+}
+
+// deadGraph is a token-bearing two-actor cycle feeding a cycle-free
+// tail; the tail actors C and D never constrain the cycle mean.
+func deadGraph(t *testing.T) *sdf.Graph {
+	t.Helper()
+	g := sdf.NewGraph("dead")
+	a := g.MustAddActor("A", 4)
+	b := g.MustAddActor("B", 1)
+	c := g.MustAddActor("C", 9)
+	d := g.MustAddActor("D", 2)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(b, a, 1, 1, 1)
+	g.MustAddChannel(b, c, 2, 1, 0)
+	g.MustAddChannel(c, d, 1, 3, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDeadActorRule(t *testing.T) {
+	g := deadGraph(t)
+	app, err := reduceDeadActor(NewFacts(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app == nil {
+		t.Fatal("dead-actor rule did not apply")
+	}
+	rules := DefaultRules()
+	app.Rule = &rules[2]
+	if app.After.NumActors() != 2 {
+		t.Fatalf("got %d actors, want 2", app.After.NumActors())
+	}
+	// q = (3,3,6,2) shrinks to (1,1): uniform scale 3.
+	if app.Scale != 3 {
+		t.Fatalf("got scale %d, want 3", app.Scale)
+	}
+	if got := restoreBefore(app); got != g {
+		t.Fatal("restore did not recover the pre-step graph")
+	}
+	step := app.LiftStep()
+	if err := step.Check(context.Background(), g); err != nil {
+		t.Fatalf("lift step rejected: %v", err)
+	}
+	v, err := liftDeadActor(app, Value{Period: rat.FromInt(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Period.Equal(rat.FromInt(15)) {
+		t.Fatalf("dead-actor lift: got %v, want 15", v.Period)
+	}
+}
+
+func TestDeadActorRuleDeclinesNonUniformScale(t *testing.T) {
+	// Two disjoint cycles joined by a dead path with a rate change: the
+	// kept repetition counts shrink by different factors, so the rule
+	// must decline.
+	g := sdf.NewGraph("nonuniform")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	c := g.MustAddActor("C", 1)
+	d := g.MustAddActor("D", 1)
+	e := g.MustAddActor("E", 1)
+	g.MustAddChannel(a, b, 1, 1, 1)
+	g.MustAddChannel(b, a, 1, 1, 0)
+	g.MustAddChannel(d, e, 1, 1, 1)
+	g.MustAddChannel(e, d, 1, 1, 0)
+	g.MustAddChannel(a, c, 3, 2, 0) // dead actor C, q: A,B=2  C=3  D,E=9
+	g.MustAddChannel(c, d, 3, 1, 0)
+	app, err := reduceDeadActor(NewFacts(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != nil {
+		t.Fatalf("rule applied with non-uniform scale: %+v", app)
+	}
+}
+
+func TestChainFusionRule(t *testing.T) {
+	g := sdf.NewGraph("chain")
+	a := g.MustAddActor("A", 2)
+	b := g.MustAddActor("B", 5)
+	g.MustAddChannel(a, b, 2, 2, 0)
+	g.MustAddChannel(b, a, 1, 1, 2)
+	app, err := reduceChainFusion(NewFacts(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app == nil {
+		t.Fatal("chain-fusion rule did not apply")
+	}
+	rules := DefaultRules()
+	app.Rule = &rules[3]
+	if app.After.NumActors() != 1 {
+		t.Fatalf("got %d actors, want 1", app.After.NumActors())
+	}
+	if got := app.After.Actor(0).Exec; got != 7 {
+		t.Fatalf("fused exec %d, want 7", got)
+	}
+	if got := restoreBefore(app); got != g {
+		t.Fatal("restore did not recover the pre-step graph")
+	}
+	step := app.LiftStep()
+	if err := step.Check(context.Background(), g); err != nil {
+		t.Fatalf("lift step rejected: %v", err)
+	}
+	v, err := liftChainFusion(app, Value{Period: rat.FromInt(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Period.Equal(rat.FromInt(7)) {
+		t.Fatalf("chain-fusion lift: got %v, want 7", v.Period)
+	}
+}
+
+func TestChainFusionDeclinesSelfLoops(t *testing.T) {
+	// A self-loop on either chain actor sequentialises its firings, and
+	// fusing would change the pipeline's overlap; the side conditions
+	// must reject the pair.
+	g := sdf.NewGraph("chain-self")
+	a := g.MustAddActor("A", 2)
+	b := g.MustAddActor("B", 5)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(b, a, 1, 1, 2)
+	g.MustAddChannel(a, a, 1, 1, 1)
+	app, err := reduceChainFusion(NewFacts(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != nil {
+		t.Fatal("fusion applied despite a self-loop on the chain head")
+	}
+}
+
+func TestAbstractionRule(t *testing.T) {
+	g := sdf.NewGraph("hsdf")
+	a := g.MustAddActor("A", 3)
+	b := g.MustAddActor("B", 4)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(b, a, 1, 1, 1)
+	app, err := reduceAbstraction(NewFacts(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app == nil {
+		t.Fatal("abstraction rule did not apply")
+	}
+	all := AllRules()
+	app.Rule = &all[len(all)-1]
+	if app.After.NumActors() != 1 {
+		t.Fatalf("got %d abstract actors, want 1", app.After.NumActors())
+	}
+	if app.Scale != 2 {
+		t.Fatalf("got round length %d, want 2", app.Scale)
+	}
+	if got := restoreBefore(app); got != g {
+		t.Fatal("restore did not recover the pre-step graph")
+	}
+	step := app.LiftStep()
+	if err := step.Check(context.Background(), g); err != nil {
+		t.Fatalf("lift step rejected: %v", err)
+	}
+	v, err := liftAbstraction(app, Value{Period: rat.FromInt(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bound {
+		t.Fatal("abstraction lift did not mark the value as a bound")
+	}
+	if !v.Period.Equal(rat.FromInt(8)) {
+		t.Fatalf("abstraction lift: got %v, want 8", v.Period)
+	}
+}
+
+func TestAbstractionRuleSkipsMultirate(t *testing.T) {
+	g := sdf.NewGraph("multirate")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 1)
+	g.MustAddChannel(a, b, 2, 1, 0)
+	g.MustAddChannel(b, a, 1, 2, 4)
+	app, err := reduceAbstraction(NewFacts(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != nil {
+		t.Fatal("abstraction applied to a multirate graph")
+	}
+}
+
+func TestRulesByName(t *testing.T) {
+	rules, err := RulesByName([]string{"rate-gcd", "prune-redundant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Name != "rate-gcd" || rules[1].Name != "prune-redundant" {
+		t.Fatalf("wrong rules: %+v", rules)
+	}
+	if _, err := RulesByName([]string{"nope"}); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+func TestEveryRegisteredRuleIsComplete(t *testing.T) {
+	for _, r := range AllRules() {
+		if r.Name == "" || r.Doc == "" {
+			t.Errorf("rule %+v lacks name or doc", r)
+		}
+		if r.Reduce == nil || r.Restore == nil || r.Lift == nil {
+			t.Errorf("rule %s has a nil reduce/restore/lift entry", r.Name)
+		}
+	}
+}

@@ -8,12 +8,13 @@ import (
 	"repro/internal/obs"
 )
 
-// resultCache is a bounded LRU of certified analysis results keyed by
+// resultCache is a bounded LRU of certified analysis answers keyed by
 // the canonical request hash. Every cached entry was independently
-// verified before it was stored, so serving it again needs no re-check;
-// the entry bound (rather than a byte bound) keeps the memory footprint
-// proportional to the configured capacity because results are small —
-// a rational, a report and a certificate summary, never a graph.
+// verified before it was stored; the entry holds the engine-layer
+// answer (throughput plus certificate object) rather than a rendered
+// payload, because the serving layer lifts answers through each
+// request's own reduction chain before rendering — two originals that
+// reduce to the same graph share the entry but not the lift.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -26,7 +27,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	res *ResultPayload
+	res *answer
 }
 
 func newResultCache(capacity int, reg *obs.Registry) *resultCache {
@@ -41,9 +42,9 @@ func newResultCache(capacity int, reg *obs.Registry) *resultCache {
 	}
 }
 
-// get returns a copy of the cached result for key, marking it as served
+// get returns a copy of the cached answer for key, marking it as served
 // from the cache.
-func (c *resultCache) get(key string) (*ResultPayload, bool) {
+func (c *resultCache) get(key string) (*answer, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -56,13 +57,13 @@ func (c *resultCache) get(key string) (*ResultPayload, bool) {
 	c.reg.Counter(obs.MetricCacheEvents, "event", "hit").Inc()
 	c.order.MoveToFront(el)
 	res := *el.Value.(*cacheEntry).res
-	res.Cached = true
+	res.cached = true
 	return &res, true
 }
 
-// put stores a result, evicting the least recently used entry past the
+// put stores an answer, evicting the least recently used entry past the
 // capacity.
-func (c *resultCache) put(key string, res *ResultPayload) {
+func (c *resultCache) put(key string, res *answer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -91,7 +92,7 @@ func (c *resultCache) len() int {
 // instead of repeating.
 type flight struct {
 	done chan struct{}
-	res  *ResultPayload
+	res  *answer
 	err  error
 }
 
@@ -128,7 +129,7 @@ func (g *flightGroup) join(key string) (f *flight, leader bool) {
 }
 
 // finish publishes the leader's outcome and releases the key.
-func (g *flightGroup) finish(key string, f *flight, res *ResultPayload, err error) {
+func (g *flightGroup) finish(key string, f *flight, res *answer, err error) {
 	g.mu.Lock()
 	delete(g.flights, key)
 	g.mu.Unlock()

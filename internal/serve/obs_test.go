@@ -229,8 +229,8 @@ func TestReadyzCacheDetail(t *testing.T) {
 	defer s.Close()
 	h := NewHandler(s)
 
-	s.cache.put("a", &ResultPayload{Period: "1"})
-	s.cache.put("b", &ResultPayload{Period: "2"}) // evicts a
+	s.cache.put("a", &answer{engine: "matrix"})
+	s.cache.put("b", &answer{engine: "matrix"}) // evicts a
 	s.cache.get("b")
 	s.cache.get("a")
 
@@ -264,7 +264,7 @@ func TestReadyzCacheDetail(t *testing.T) {
 func TestCacheEvictionOrderAndCounts(t *testing.T) {
 	reg := obs.New()
 	c := newResultCache(2, reg)
-	r := func(p string) *ResultPayload { return &ResultPayload{Period: p} }
+	r := func(p string) *answer { return &answer{engine: p} }
 
 	c.put("a", r("1"))
 	c.put("b", r("2"))

@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"repro/internal/guard"
-	"repro/internal/lint"
+	"repro/internal/passes"
 	"repro/internal/sdf"
 	"repro/internal/sdfio"
 )
@@ -79,6 +79,11 @@ type ResultPayload struct {
 	Certificate string `json:"certificate,omitempty"`
 	// Report is the per-engine race report, one line per engine.
 	Report []string `json:"report,omitempty"`
+	// Reduction is the fixpoint trace of the reduction pass manager when
+	// it shrank the graph before the engines ran, one line per rewrite.
+	// The answer above was computed on the reduced graph and lifted back
+	// through this chain; Certificate then summarises the lifted chain.
+	Reduction []string `json:"reduction,omitempty"`
 	// Cached and Deduped report how the answer was produced: from the
 	// result cache, or by joining an identical in-flight request.
 	Cached  bool `json:"cached,omitempty"`
@@ -224,28 +229,17 @@ func (r *Request) Key() string {
 }
 
 // costClamp bounds the per-request contribution of the iteration
-// length to the admission cost: an explosive graph costs this much, not
-// its (possibly astronomic) Σq, so a handful of them saturate the pool
-// without a single one overflowing it.
-const costClamp = 1 << 16
+// length to the admission cost; it aliases the fact layer's clamp so
+// the wire-facing name survives the delegation below.
+const costClamp = passes.CostClamp
 
 // EstimateCost is the admission-control work estimate of analysing g,
 // in abstract pool units: the structural size plus the iteration length
-// Σq (clamped), which is the dominant term of the state-space and HSDF
-// engines. Inconsistent graphs get the structural cost only — the lint
-// precheck refuses them long before an engine runs.
+// Σq (clamped at costClamp), which is the dominant term of the
+// state-space and HSDF engines. The arithmetic lives in the fact layer
+// (passes.Facts.Cost) so the server prices the same graph the reducer
+// and lint passes see; the server calls it on the *reduced* graph, so
+// admission charges what will actually run.
 func EstimateCost(g *sdf.Graph) int64 {
-	cost := int64(1) + int64(g.NumActors()) + int64(g.NumChannels()) + int64(g.TotalInitialTokens())
-	if elig, err := lint.Eligibility(g); err == nil {
-		switch il := elig.IterationLength; {
-		case il == 0 && g.NumActors() > 0:
-			// Σq overflowed int64: as explosive as it gets.
-			cost += costClamp
-		case il > costClamp:
-			cost += costClamp
-		default:
-			cost += il
-		}
-	}
-	return cost
+	return passes.NewFacts(g).Cost()
 }

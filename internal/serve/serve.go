@@ -35,6 +35,8 @@ import (
 	"repro/internal/guard"
 	"repro/internal/lint"
 	"repro/internal/obs"
+	"repro/internal/passes"
+	"repro/internal/rat"
 	"repro/internal/sdf"
 	"repro/internal/verify"
 )
@@ -245,15 +247,39 @@ func (s *Server) analyze(ctx context.Context, req *Request) (*ResultPayload, err
 
 	// Cheap structural prechecks before any budget is reserved: an
 	// inconsistent or deadlocked graph costs the server almost nothing.
+	// The fact table is shared with the reducer below.
+	facts := passes.NewFacts(req.Graph)
 	sp := s.reg.StartSpan("analysis.precheck")
-	err := lint.Precheck(req.Graph)
+	err := lint.PrecheckWith(facts)
 	sp.Finish()
 	if err != nil {
 		s.failed.Add(1)
 		return nil, err
 	}
 
-	res, err := s.dispatch(ctx, req)
+	// The reduction fixpoint runs before the cost estimate and cache
+	// key: the engines, the pool and the LRU all see the reduced graph,
+	// and the answer is lifted back per request. Fault-injected requests
+	// skip it — they are deliberately sick and their faults must fire in
+	// the engine they name, on the graph the test wrote.
+	dispReq := req
+	var red *passes.Reduction
+	if len(req.Faults) == 0 {
+		rctx := obs.WithRegistry(s.baseCtx, s.reg)
+		if r, rerr := passes.Reduce(rctx, req.Graph, passes.Options{}); rerr == nil && len(r.Steps) > 0 {
+			red = r
+			dr := *req
+			dr.Graph = r.Final
+			dispReq = &dr
+		}
+	}
+
+	ans, err := s.dispatch(ctx, dispReq)
+	if err != nil {
+		s.failed.Add(1)
+		return nil, err
+	}
+	res, err := s.render(req.Graph, red, ans)
 	if err != nil {
 		s.failed.Add(1)
 		return nil, err
@@ -262,10 +288,74 @@ func (s *Server) analyze(ctx context.Context, req *Request) (*ResultPayload, err
 	return res, nil
 }
 
+// render turns an engine-layer answer into the wire payload, lifting it
+// through the request's reduction chain when one applied. The lifted
+// certificate is re-checked against the original graph before the
+// payload claims Verified — the chain, not the server, is the proof.
+func (s *Server) render(orig *sdf.Graph, red *passes.Reduction, ans *answer) (*ResultPayload, error) {
+	if red == nil || len(red.Steps) == 0 {
+		res := buildResult(orig, ans.engine, ans.tp, ans.cert)
+		res.Report = ans.report
+		res.Cached, res.Deduped = ans.cached, ans.deduped
+		return res, nil
+	}
+	res := &ResultPayload{
+		Graph:     orig.Name(),
+		Engine:    ans.engine,
+		Report:    ans.report,
+		Reduction: red.Trace(),
+		Cached:    ans.cached,
+		Deduped:   ans.deduped,
+	}
+	setPeriod := func(unbounded bool, p rat.Rat) {
+		res.Unbounded = unbounded
+		if !unbounded {
+			res.Period = p.String()
+			res.PeriodNum = p.Num()
+			res.PeriodDen = p.Den()
+		}
+	}
+	if ans.cert == nil {
+		v, err := red.Lift(passes.Value{Period: ans.tp.Period, Unbounded: ans.tp.Unbounded})
+		if err != nil {
+			return nil, fmt.Errorf("serve: lift: %w", err)
+		}
+		setPeriod(v.Unbounded, v.Period)
+		return res, nil
+	}
+	lifted, err := red.LiftCert(ans.cert)
+	if err != nil {
+		return nil, fmt.Errorf("serve: lift: %w", err)
+	}
+	// The check is pure bounded CPU on a graph that already passed
+	// admission; it deliberately runs outside the request deadline so a
+	// last-millisecond expiry cannot turn a correct answer into an error.
+	if err := lifted.Check(context.Background(), orig); err != nil {
+		return nil, fmt.Errorf("serve: lifted certificate rejected: %w", err)
+	}
+	setPeriod(lifted.Unbounded, lifted.Period)
+	res.Verified = true
+	res.Certificate = lifted.String()
+	return res, nil
+}
+
+// answer is the engine-layer result before rendering: the throughput
+// of the analysed (possibly reduced) graph plus its certificate object.
+// Keeping the certificate as an object — not a rendered string — is
+// what lets render lift it through each request's own reduction chain.
+type answer struct {
+	engine  string
+	tp      analysis.Throughput
+	cert    *verify.ThroughputCert
+	report  []string
+	cached  bool
+	deduped bool
+}
+
 // dispatch routes a request through the cache and singleflight group;
 // fault-injected requests bypass both (they are deliberately sick and
 // must neither poison the cache nor adopt a healthy in-flight result).
-func (s *Server) dispatch(ctx context.Context, req *Request) (*ResultPayload, error) {
+func (s *Server) dispatch(ctx context.Context, req *Request) (*answer, error) {
 	if len(req.Faults) > 0 {
 		return s.execute(req)
 	}
@@ -281,7 +371,7 @@ func (s *Server) dispatch(ctx context.Context, req *Request) (*ResultPayload, er
 				return nil, f.err
 			}
 			res := *f.res
-			res.Deduped = true
+			res.deduped = true
 			return &res, nil
 		case <-ctx.Done():
 			return nil, fmt.Errorf("%w: %w", guard.ErrCanceled, context.Cause(ctx))
@@ -297,7 +387,7 @@ func (s *Server) dispatch(ctx context.Context, req *Request) (*ResultPayload, er
 
 // execute reserves pool cost and a worker slot, builds the analysis
 // context and runs the engines.
-func (s *Server) execute(req *Request) (*ResultPayload, error) {
+func (s *Server) execute(req *Request) (*answer, error) {
 	cost := EstimateCost(req.Graph)
 	if !s.pool.TryAcquire(cost) {
 		s.overloaded.Add(1)
@@ -350,7 +440,7 @@ func (s *Server) execute(req *Request) (*ResultPayload, error) {
 
 // runHedged races the breaker-gated engines and feeds every attempt's
 // outcome back into its breaker.
-func (s *Server) runHedged(ctx context.Context, g *sdf.Graph) (*ResultPayload, error) {
+func (s *Server) runHedged(ctx context.Context, g *sdf.Graph) (*answer, error) {
 	tp, rep, err := analysis.ComputeThroughputHedgedOpts(ctx, g, analysis.HedgeOptions{
 		Engines: s.opts.Engines,
 		Gate:    s.gate,
@@ -361,13 +451,16 @@ func (s *Server) runHedged(ctx context.Context, g *sdf.Graph) (*ResultPayload, e
 	if err != nil {
 		return nil, err
 	}
-	res := buildResult(g, rep.Winner.String(), tp, rep.Certificates[rep.Winner])
-	res.Report = reportLines(rep)
-	return res, nil
+	return &answer{
+		engine: rep.Winner.String(),
+		tp:     tp,
+		cert:   rep.Certificates[rep.Winner],
+		report: reportLines(rep),
+	}, nil
 }
 
 // runSingle runs one named engine behind its breaker.
-func (s *Server) runSingle(ctx context.Context, g *sdf.Graph, method string) (*ResultPayload, error) {
+func (s *Server) runSingle(ctx context.Context, g *sdf.Graph, method string) (*answer, error) {
 	var m analysis.Method
 	switch method {
 	case "matrix":
@@ -388,7 +481,7 @@ func (s *Server) runSingle(ctx context.Context, g *sdf.Graph, method string) (*R
 	if err != nil {
 		return nil, err
 	}
-	return buildResult(g, m.String(), tp, cert), nil
+	return &answer{engine: m.String(), tp: tp, cert: cert}, nil
 }
 
 // gate is the HedgeOptions.Gate of this server: it consults the

@@ -12,6 +12,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/guard"
 	"repro/internal/lint"
+	"repro/internal/rat"
 	"repro/internal/sdf"
 	"repro/internal/testutil"
 )
@@ -153,7 +154,7 @@ func TestSingleflightDedup(t *testing.T) {
 	for s.flights.deduped.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	want := &ResultPayload{Graph: "figure2", Engine: "matrix", Period: "7/1", Verified: true}
+	want := &answer{engine: "matrix", tp: analysis.Throughput{Period: rat.FromInt(7)}}
 	s.flights.finish(key, f, want, nil)
 
 	o := <-got
@@ -163,8 +164,8 @@ func TestSingleflightDedup(t *testing.T) {
 	if !o.res.Deduped {
 		t.Error("follower result not marked deduped")
 	}
-	if o.res.Period != want.Period {
-		t.Errorf("follower period %q, want the leader's %q", o.res.Period, want.Period)
+	if o.res.Period != rat.FromInt(7).String() {
+		t.Errorf("follower period %q, want the leader's 7", o.res.Period)
 	}
 	if s.flights.deduped.Load() != 1 {
 		t.Errorf("deduped counter = %d, want 1", s.flights.deduped.Load())
@@ -447,7 +448,7 @@ func TestRequestKeyDistinguishes(t *testing.T) {
 
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2, nil)
-	r := func(p string) *ResultPayload { return &ResultPayload{Period: p} }
+	r := func(p string) *answer { return &answer{engine: p} }
 	c.put("a", r("1"))
 	c.put("b", r("2"))
 	if _, ok := c.get("a"); !ok {
@@ -460,8 +461,8 @@ func TestResultCacheLRU(t *testing.T) {
 	if _, ok := c.get("a"); !ok {
 		t.Error("recently used a evicted")
 	}
-	if got, _ := c.get("c"); got == nil || !got.Cached {
-		t.Error("cache copy not marked Cached")
+	if got, _ := c.get("c"); got == nil || !got.cached {
+		t.Error("cache copy not marked cached")
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())

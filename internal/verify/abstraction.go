@@ -83,4 +83,5 @@ var (
 	_ Certificate = (*ThroughputCert)(nil)
 	_ Certificate = (*TraceCert)(nil)
 	_ Certificate = (*AbstractionCert)(nil)
+	_ Certificate = (*ReductionCert)(nil)
 )

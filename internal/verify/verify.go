@@ -70,6 +70,9 @@ const (
 	KindTrace
 	// KindAbstraction certifies a Theorem 1 conservative bound.
 	KindAbstraction
+	// KindReduction certifies a throughput answer lifted through a
+	// chain of reduction steps back to the original graph.
+	KindReduction
 )
 
 // String names the kind.
@@ -87,6 +90,8 @@ func (k Kind) String() string {
 		return "trace"
 	case KindAbstraction:
 		return "abstraction"
+	case KindReduction:
+		return "reduction"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -1,0 +1,136 @@
+package sdfreduce
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusGraphTexts loads the reduction corpus under testdata/graphs —
+// the same graphs ci.sh drives `sdftool reduce -verify` over — as seed
+// inputs for the equivalence fuzzer.
+func corpusGraphTexts(tb testing.TB) []string {
+	tb.Helper()
+	dir := filepath.Join("testdata", "graphs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".sdf") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, string(b))
+	}
+	if len(out) == 0 {
+		tb.Fatal("no .sdf seeds in testdata/graphs")
+	}
+	return out
+}
+
+// assertReduceEquivalence is the property FuzzReduce drives: on any
+// graph that passes the precheck, analysing the fixpoint-reduced graph
+// and lifting the answer must reproduce the direct engine's answer in
+// exact rational arithmetic. Guard refusals (budget, deadline) on
+// either path skip the comparison — they are legitimate outcomes for
+// perturbed graphs — but a successful analysis whose lift fails or
+// disagrees is a soundness bug.
+func assertReduceEquivalence(ctx context.Context, t *testing.T, g *Graph) {
+	t.Helper()
+	if err := Precheck(g); err != nil {
+		return
+	}
+	direct, derr := ComputeThroughputDirectCtx(ctx, g, MethodMatrix)
+	red, rerr := ReduceGraph(ctx, g, ReduceOptions{})
+	if rerr != nil {
+		return
+	}
+	tpRed, aerr := ComputeThroughputDirectCtx(ctx, red.Final, MethodMatrix)
+	if derr != nil || aerr != nil {
+		return
+	}
+	v, err := red.Lift(ReductionValue{Period: tpRed.Period, Unbounded: tpRed.Unbounded})
+	if err != nil {
+		t.Fatalf("lift failed after both engines succeeded on %s: %v\ntrace: %v",
+			g.Name(), err, red.Trace())
+	}
+	if v.Unbounded != direct.Unbounded {
+		t.Fatalf("unbounded mismatch on %s: lifted %v, direct %v\ntrace: %v",
+			g.Name(), v.Unbounded, direct.Unbounded, red.Trace())
+	}
+	if !v.Unbounded && !v.Period.Equal(direct.Period) {
+		t.Fatalf("period mismatch on %s: lifted %v, direct %v\ntrace: %v",
+			g.Name(), v.Period, direct.Period, red.Trace())
+	}
+	// The certificate chain must be independently checkable against the
+	// original whenever the certified engine answers.
+	if !direct.Unbounded && len(red.Steps) > 0 {
+		_, inner, cerr := ComputeThroughputCertified(ctx, red.Final, MethodMatrix)
+		if cerr != nil {
+			return
+		}
+		cert, err := red.LiftCert(inner)
+		if err != nil {
+			t.Fatalf("LiftCert failed on %s: %v", g.Name(), err)
+		}
+		if err := cert.Check(ctx, g); err != nil {
+			t.Fatalf("lifted certificate rejected on %s: %v\n%s", g.Name(), err, cert)
+		}
+	}
+}
+
+// FuzzReduce fuzzes the reduction pass manager for equivalence: corpus
+// graphs (and arbitrary mutations of their text) are perturbed in
+// rates, delays and execution times, fixpoint-reduced, and the lifted
+// throughput is compared against the direct engine's in exact
+// arithmetic (satellite of the reduction pass manager).
+func FuzzReduce(f *testing.F) {
+	for _, text := range corpusGraphTexts(f) {
+		f.Add(text, []byte{})
+		f.Add(text, []byte{3, 1, 4, 1, 5, 9, 2, 6})
+		f.Add(text, []byte{255, 0, 128, 7, 7, 7})
+	}
+	f.Fuzz(func(t *testing.T, text string, data []byte) {
+		g, err := ParseText(text)
+		if err != nil {
+			return
+		}
+		if len(data) > 0 {
+			g = perturbGraph(g, data)
+		}
+		ctx, cancel := analysisBudgetCtx(t)
+		defer cancel()
+		assertReduceEquivalence(ctx, t, g)
+	})
+}
+
+// TestReduceEquivalenceCorpus is the deterministic companion of
+// FuzzReduce: every corpus graph, unperturbed and under 40 seeded
+// perturbations each, must satisfy the reduce-lift-compare property.
+func TestReduceEquivalenceCorpus(t *testing.T) {
+	for i, text := range corpusGraphTexts(t) {
+		g, err := ParseText(text)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		t.Run(g.Name(), func(t *testing.T) {
+			ctx, cancel := analysisBudgetCtx(t)
+			defer cancel()
+			assertReduceEquivalence(ctx, t, g)
+			data := make([]byte, 16)
+			for round := 0; round < 40; round++ {
+				for j := range data {
+					data[j] = byte(37*round + 11*j + i)
+				}
+				assertReduceEquivalence(ctx, t, perturbGraph(g, data))
+			}
+		})
+	}
+}

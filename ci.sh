@@ -190,4 +190,161 @@ grep -q 'drained cleanly' "$SOAK_DIR/served.log" || {
 cleanup_soak
 trap - EXIT
 
+echo '== fleet soak: kill-a-replica storm through sdfrouter'
+# Chaos soak of the fleet layer: three sdfserved replicas behind a
+# race-instrumented sdfrouter take a 200-request storm; one replica is
+# SIGKILLed mid-storm and restarted before the storm ends. The router
+# must hide the kill completely (zero client-visible failures), eject
+# the dead replica, win hedges, and re-admit the restarted replica. The
+# in-process twin, TestChaosKillReplicaMidStorm, asserts the same under
+# -race with a goroutine-leak check.
+FLEET_DIR=$(mktemp -d)
+FLEET_PIDS=
+cleanup_fleet() {
+    for pid in $FLEET_PIDS; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$FLEET_DIR"
+}
+trap cleanup_fleet EXIT
+
+go build -o "$FLEET_DIR/sdfserved" ./cmd/sdfserved
+go build -race -o "$FLEET_DIR/sdfrouter" ./cmd/sdfrouter
+go build -o "$FLEET_DIR/sdftool" ./cmd/sdftool
+
+cat > "$FLEET_DIR/healthy.sdf" <<'EOF'
+sdf demo
+actor A 2
+actor B 3
+chan A B 2 1 0
+chan B A 1 2 4
+EOF
+
+R1="127.0.0.1:$((21000 + $$ % 10000))"
+R2="127.0.0.1:$((31100 + $$ % 10000))"
+R3="127.0.0.1:$((41200 + $$ % 10000))"
+RADDR="127.0.0.1:$((51300 + $$ % 10000))"
+
+"$FLEET_DIR/sdfserved" -addr "$R1" > "$FLEET_DIR/r1.log" 2>&1 &
+R1_PID=$!
+"$FLEET_DIR/sdfserved" -addr "$R2" > "$FLEET_DIR/r2.log" 2>&1 &
+R2_PID=$!
+"$FLEET_DIR/sdfserved" -addr "$R3" > "$FLEET_DIR/r3.log" 2>&1 &
+R3_PID=$!
+FLEET_PIDS="$R1_PID $R2_PID $R3_PID"
+
+for addr in "$R1" "$R2" "$R3"; do
+    ready=0
+    for _ in $(seq 1 100); do
+        if "$FLEET_DIR/sdftool" query -server "http://$addr" -health >/dev/null 2>&1; then
+            ready=1
+            break
+        fi
+        sleep 0.1
+    done
+    [ "$ready" = 1 ] || { echo "fleet: replica $addr never became ready"; exit 1; }
+done
+
+# Immediate hedging (-hedge-delay 0) makes hedge traffic deterministic:
+# every request races two replicas, so requests whose primary is the
+# SIGKILLed replica are guaranteed hedge wins.
+"$FLEET_DIR/sdfrouter" -addr "$RADDR" \
+    -replicas "http://$R1,http://$R2,http://$R3" \
+    -probe-interval 100ms -probe-fail 2 -probe-readmit 2 \
+    -hedge-delay 0 > "$FLEET_DIR/router.log" 2>&1 &
+ROUTER_PID=$!
+FLEET_PIDS="$FLEET_PIDS $ROUTER_PID"
+
+ready=0
+for _ in $(seq 1 100); do
+    if curl -sf "http://$RADDR/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { echo 'fleet: sdfrouter never became ready'; cat "$FLEET_DIR/router.log"; exit 1; }
+
+# The 200-request storm. Distinct -budget values give distinct canonical
+# keys, spreading primaries across the whole ring (the values are far
+# above any real work cost — they only vary the key). The one replica is
+# SIGKILLed at the halfway mark and restarted 40 requests later; every
+# single request must still exit 0.
+i=0
+while [ $i -lt 200 ]; do
+    if [ $i -eq 100 ]; then
+        kill -9 "$R2_PID" 2>/dev/null || true
+    fi
+    if [ $i -eq 140 ]; then
+        "$FLEET_DIR/sdfserved" -addr "$R2" > "$FLEET_DIR/r2b.log" 2>&1 &
+        R2_PID=$!
+        FLEET_PIDS="$FLEET_PIDS $R2_PID"
+    fi
+    rc=0
+    "$FLEET_DIR/sdftool" query -server "http://$RADDR" \
+        -budget $((100000 + i % 16)) "$FLEET_DIR/healthy.sdf" >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "fleet: storm request $i exited $rc, want 0 (kill must be invisible)"
+        cat "$FLEET_DIR/router.log"
+        exit 1
+    fi
+    i=$((i + 1))
+done
+
+# The storm (plus the probes) must have ejected the killed replica and
+# hedging must have won at least once.
+curl -s "http://$RADDR/metrics" > "$FLEET_DIR/fleet-metrics.txt"
+for series in \
+    'sdf_fleet_ejections_total\{replica="http://'"$R2"'"\} [1-9]' \
+    'sdf_fleet_hedge_wins_total\{[^}]*\} [1-9]'; do
+    grep -E "$series" "$FLEET_DIR/fleet-metrics.txt" >/dev/null || {
+        echo "fleet: /metrics missing non-zero series $series"
+        cat "$FLEET_DIR/fleet-metrics.txt"
+        exit 1
+    }
+done
+
+# The restarted replica must be re-admitted by the probation probes.
+readmitted=0
+for _ in $(seq 1 100); do
+    curl -s "http://$RADDR/metrics" > "$FLEET_DIR/fleet-metrics.txt"
+    if grep -E 'sdf_fleet_readmissions_total\{replica="http://'"$R2"'"\} [1-9]' \
+        "$FLEET_DIR/fleet-metrics.txt" >/dev/null; then
+        readmitted=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$readmitted" = 1 ] || {
+    echo 'fleet: restarted replica never re-admitted'
+    cat "$FLEET_DIR/fleet-metrics.txt"
+    exit 1
+}
+
+# Client-side fallthrough: a dead replica first in the -addr list is
+# skipped (exit 0); a list with no live replica at all exits 6.
+rc=0
+"$FLEET_DIR/sdftool" query -addr "http://127.0.0.1:1,http://$R1" \
+    "$FLEET_DIR/healthy.sdf" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 0 ] || { echo "fleet: -addr fallthrough exited $rc, want 0"; exit 1; }
+rc=0
+"$FLEET_DIR/sdftool" query -addr "http://127.0.0.1:1,http://127.0.0.1:2" \
+    "$FLEET_DIR/healthy.sdf" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 6 ] || { echo "fleet: exhausted -addr list exited $rc, want 6"; exit 1; }
+
+# SIGTERM: the router drains cleanly.
+kill -TERM "$ROUTER_PID"
+rc=0
+wait "$ROUTER_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "fleet: sdfrouter exited $rc after SIGTERM, want 0"
+    cat "$FLEET_DIR/router.log"
+    exit 1
+fi
+grep -q 'drained cleanly' "$FLEET_DIR/router.log" || {
+    echo 'fleet: no clean-drain line in the router log'
+    cat "$FLEET_DIR/router.log"
+    exit 1
+}
+cleanup_fleet
+trap - EXIT
+
 echo 'ci: all checks passed'

@@ -1,0 +1,144 @@
+// Command sdfrouter fronts a fleet of sdfserved replicas with one
+// fault-tolerant analysis endpoint. Requests are consistent-hashed by
+// their canonical key onto the replica whose result cache is already
+// warm for them; a probe loop health-gates membership (consecutive
+// /readyz failures eject a replica, a probation streak re-admits it);
+// transport failures, 429s and 5xx answers fail over to ring successors
+// under exponential backoff; and a hedged second attempt races the next
+// replica when the primary is slow. SIGTERM drains: admission stops,
+// /readyz turns 503, in-flight proxied requests finish.
+//
+// Usage:
+//
+//	sdfrouter -replicas http://host1:8080,http://host2:8080 [flags]
+//
+// Endpoints:
+//
+//	POST /v1/throughput  the replicas' own wire contract, relayed
+//	                     verbatim from the winning replica (plus an
+//	                     X-SDF-Replica header naming it)
+//	GET  /healthz        router health: per-replica membership state
+//	GET  /readyz         200 while admitting with >= 1 alive replica
+//	GET  /metrics        Prometheus text exposition of the fleet
+//	                     metrics (attempts, retries, hedges, ejections)
+//
+// The process exits 0 after a clean drain and 1 on setup errors or a
+// drain that timed out with requests still in flight.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/guard"
+	"repro/internal/obs"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sdfrouter:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the router and blocks until ctx is cancelled (the signal)
+// and the subsequent drain finishes. When ready is non-nil the bound
+// listen address is sent on it once the router accepts connections.
+func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("sdfrouter", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8090", "listen address")
+		replicas      = fs.String("replicas", "", "comma-separated sdfserved base URLs (required)")
+		probeInterval = fs.Duration("probe-interval", 0, "health probe cadence (0 = 1s default)")
+		probeFail     = fs.Int("probe-fail", 0, "consecutive failures that eject a replica (0 = default 3)")
+		probeReadmit  = fs.Int("probe-readmit", 0, "consecutive successful probes that re-admit an ejected replica (0 = default 2)")
+		hedgeDelay    = fs.Duration("hedge-delay", 50*time.Millisecond, "primary latency before a hedged attempt starts (0 hedges immediately, negative disables)")
+		timeout       = fs.Duration("default-timeout", 0, "end-to-end budget for requests naming no deadline (0 = 15s default)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("no replicas: pass -replicas with at least one sdfserved URL")
+	}
+
+	reg := obs.New()
+	opts := fleet.Options{
+		Replicas:         urls,
+		ProbeInterval:    *probeInterval,
+		FailThreshold:    *probeFail,
+		ReadmitThreshold: *probeReadmit,
+		HedgeDelay:       *hedgeDelay,
+		DefaultTimeout:   *timeout,
+		Backoff:          guard.Backoff{Jitter: guard.DefaultJitter()},
+		Obs:              reg,
+	}
+	if *hedgeDelay == 0 {
+		// A raw zero means "use the default" to the fleet layer; the
+		// flag's zero explicitly means hedge-immediately.
+		opts = opts.ImmediateHedge()
+	}
+	router := fleet.New(opts)
+	router.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		router.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: fleet.NewHandler(router)}
+	fmt.Fprintf(logw, "sdfrouter: listening on %s, routing %d replicas\n", ln.Addr(), len(urls))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		router.Close()
+		return fmt.Errorf("http server: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain, mirroring sdfserved: admission stops first so
+	// /readyz flips to 503 and load balancers move on, then the HTTP
+	// server shuts down under the same deadline so in-flight proxied
+	// requests can finish writing.
+	fmt.Fprintf(logw, "sdfrouter: draining (deadline %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := router.Drain(dctx)
+	if err := httpSrv.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = fmt.Errorf("http shutdown: %w", err)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("unclean drain: %w", drainErr)
+	}
+	fmt.Fprintln(logw, "sdfrouter: drained cleanly")
+	return nil
+}

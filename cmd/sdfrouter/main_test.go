@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/sdfio"
+	"repro/internal/serve"
+	"repro/internal/testutil"
+)
+
+// startBackend boots a real in-process sdfserved-equivalent replica the
+// router can proxy to.
+func startBackend(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(serve.NewHandler(serve.New(serve.Options{Workers: 2})))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// startRouter runs the router in-process on an ephemeral port against
+// the given replicas and returns its base URL, a cancel playing the
+// role of SIGTERM, and run's exit error channel.
+func startRouter(t *testing.T, logw io.Writer, replicas string, args ...string) (string, context.CancelFunc, <-chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-replicas", replicas}, args...), logw, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("router died on startup: %v", err)
+		return "", nil, nil
+	}
+}
+
+func wireBody(t *testing.T) []byte {
+	t.Helper()
+	var text bytes.Buffer
+	if err := sdfio.WriteText(&text, gen.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(serve.RequestPayload{GraphText: text.String(), Method: "matrix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestRouterLifecycle boots two real replicas and the router, proxies a
+// real analysis through the fleet, checks the health surfaces, and
+// drains via the SIGTERM path.
+func TestRouterLifecycle(t *testing.T) {
+	defer testutil.FailOnLeakedGoroutines(t, "repro/internal/fleet")
+	var log bytes.Buffer
+	replicas := startBackend(t) + "," + startBackend(t)
+	base, sigterm, done := startRouter(t, &log, replicas, "-probe-interval", "50ms")
+
+	resp, err := http.Post(base+"/v1/throughput", "application/json", bytes.NewReader(wireBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied throughput: %d %s", resp.StatusCode, body)
+	}
+	var res serve.ResultPayload
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.Period == "" {
+		t.Errorf("proxied result = %+v", res)
+	}
+	if resp.Header.Get("X-SDF-Replica") == "" {
+		t.Error("response does not name the winning replica")
+	}
+
+	for _, probe := range []string{"/healthz", "/readyz", "/metrics"} {
+		r, err := http.Get(base + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d", probe, r.StatusCode)
+		}
+	}
+
+	sigterm()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("router exit: %v\nlog:\n%s", err, log.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("router did not drain")
+	}
+	if !strings.Contains(log.String(), "drained cleanly") {
+		t.Errorf("log missing clean-drain line:\n%s", log.String())
+	}
+}
+
+func TestRouterBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, io.Discard, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(context.Background(), nil, io.Discard, nil); err == nil {
+		t.Fatal("missing -replicas accepted")
+	}
+	if err := run(context.Background(), []string{"-replicas", "http://127.0.0.1:1", "positional"}, io.Discard, nil); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if err := run(context.Background(), []string{"-replicas", "http://127.0.0.1:1", "-addr", "256.256.256.256:99999"}, io.Discard, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

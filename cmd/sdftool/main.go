@@ -30,8 +30,9 @@
 //	buffers     throughput/buffer-size Pareto exploration (-maxsteps)
 //	fmt         convert between formats (-to text|xml|json|dot)
 //	query       analyse through a running sdfserved daemon (-server,
-//	            -method, -health); server errors map onto the same exit
-//	            codes as local analyses
+//	            -method, -health) or a replica list (-addr url1,url2,...
+//	            tried in order, falling through dead replicas); server
+//	            errors map onto the same exit codes as local analyses
 //
 // Every command accepts -timeout (a wall-clock deadline such as 500ms)
 // and -budget (a uniform work cap on states, firings, HSDF actors and
@@ -53,7 +54,8 @@
 //	   check
 //	6  analysis service unavailable: the sdfserved daemon refused the
 //	   request (overloaded, draining, or the engine's circuit breaker
-//	   is open) — retry later
+//	   is open), the sdfrouter fleet had no alive replica, or every
+//	   replica in a -addr list was unreachable — retry later
 package main
 
 import (

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,7 +34,8 @@ func (e *remoteError) Error() string {
 // exitCode maps the server's error kind onto sdftool's exit codes.
 // Unavailability kinds get their own code, 6: the request was fine, the
 // service was not, and the caller should retry rather than touch the
-// model.
+// model. "unavailable" covers both the router's fleet-wide refusals and
+// an exhausted client-side -addr fallthrough.
 func (e *remoteError) exitCode() int {
 	switch e.kind {
 	case "precondition":
@@ -44,18 +46,32 @@ func (e *remoteError) exitCode() int {
 		return 4
 	case "certificate":
 		return 5
-	case "overloaded", "draining", "breaker-open":
+	case "overloaded", "draining", "breaker-open", "unavailable":
 		return 6
 	default: // bad-request, injection-disabled, unknown kinds
 		return 1
 	}
 }
 
+// transportError marks a failure to reach a replica at all — connect
+// refused, reset, client-side timeout. Unlike an HTTP error response
+// (which any replica would reproduce or which is the replica's own
+// verdict), a transport failure says nothing about the request, so the
+// -addr fallthrough moves on to the next replica.
+type transportError struct {
+	addr string
+	err  error
+}
+
+func (e *transportError) Error() string { return fmt.Sprintf("%s: %v", e.addr, e.err) }
+func (e *transportError) Unwrap() error { return e.err }
+
 // cmdQuery analyses a graph through a running sdfserved daemon instead
 // of in-process, or (with -health) fetches the daemon's health report.
 func cmdQuery(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	server := fs.String("server", "http://127.0.0.1:8080", "base URL of the sdfserved daemon")
+	addrs := fs.String("addr", "", "comma-separated replica base URLs tried in order (overrides -server); exhausting the list exits 6")
 	method := fs.String("method", "hedged", "engine: hedged, matrix, statespace or hsdf")
 	format := fs.String("format", "", "input format: text, xml or json (default: by extension)")
 	timeout := fs.Duration("timeout", 0, "per-request analysis deadline sent to the server (0 = server default)")
@@ -65,17 +81,29 @@ func cmdQuery(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	servers := []string{strings.TrimRight(*server, "/")}
+	if *addrs != "" {
+		servers = servers[:0]
+		for _, u := range strings.Split(*addrs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				servers = append(servers, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(servers) == 0 {
+			return fmt.Errorf("-addr lists no replica URLs")
+		}
+	}
 	if *health {
 		if fs.NArg() != 0 {
 			return fmt.Errorf("-health takes no graph argument")
 		}
-		return queryHealth(out, *server)
+		return queryHealth(out, servers[0])
 	}
 	if *metrics {
 		if fs.NArg() != 0 {
 			return fmt.Errorf("-metrics takes no graph argument")
 		}
-		return queryMetrics(out, *server)
+		return queryMetrics(out, servers[0])
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one graph file argument")
@@ -99,7 +127,15 @@ func cmdQuery(args []string, out io.Writer) error {
 		return err
 	}
 
-	res, err := postThroughput(*server, body, *timeout)
+	// A single -server target keeps its plain transport error (exit 1:
+	// likely a typo or a stopped daemon); only the -addr replica list
+	// has fallthrough-then-unavailable semantics.
+	var res *serve.ResultPayload
+	if *addrs != "" {
+		res, err = postThroughputAny(servers, body, *timeout)
+	} else {
+		res, err = postThroughput(servers[0], body, *timeout)
+	}
 	if err != nil {
 		return err
 	}
@@ -126,6 +162,28 @@ func cmdQuery(args []string, out io.Writer) error {
 	return nil
 }
 
+// postThroughputAny walks the replica list, falling through replicas
+// that cannot be reached at the transport level. The first replica that
+// answers — success or its own error verdict — settles the request;
+// HTTP-level failures are never retried on another replica, because a
+// replica that answered is alive and deterministic failures would
+// repeat anywhere. An exhausted list is an unavailability: every
+// configured replica was down, which maps to exit code 6.
+func postThroughputAny(servers []string, body []byte, timeout time.Duration) (*serve.ResultPayload, error) {
+	var last *transportError
+	for _, s := range servers {
+		res, err := postThroughput(s, body, timeout)
+		if errors.As(err, &last) {
+			continue
+		}
+		return res, err
+	}
+	return nil, &remoteError{
+		kind: "unavailable",
+		msg:  fmt.Sprintf("no replica reachable (%d tried; last: %v)", len(servers), last),
+	}
+}
+
 // postThroughput performs the wire round trip and converts error
 // payloads into remoteError.
 func postThroughput(server string, body []byte, timeout time.Duration) (*serve.ResultPayload, error) {
@@ -135,12 +193,12 @@ func postThroughput(server string, body []byte, timeout time.Duration) (*serve.R
 	client := &http.Client{Timeout: timeout + 60*time.Second}
 	resp, err := client.Post(server+"/v1/throughput", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, &transportError{addr: server, err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
 	if err != nil {
-		return nil, err
+		return nil, &transportError{addr: server, err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
 		var ep serve.ErrorPayload

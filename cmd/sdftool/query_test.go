@@ -128,6 +128,60 @@ func TestQueryUnavailableExitCode(t *testing.T) {
 	}
 }
 
+// TestQueryAddrFallthrough lists a dead replica before a live one: the
+// client must fall through the refused connection and get its answer.
+func TestQueryAddrFallthrough(t *testing.T) {
+	ts := startTestServer(t, serve.Options{})
+	dead := "http://127.0.0.1:1"
+	path := writeSample(t, "g.sdf", sampleText)
+
+	out, err := runTool(t, "query", "-addr", dead+","+ts.URL, path)
+	if err != nil {
+		t.Fatalf("fallthrough query failed: %v", err)
+	}
+	if !strings.Contains(out, "iteration period: 5/2") {
+		t.Errorf("fallthrough output:\n%s", out)
+	}
+
+	// An HTTP answer settles the request: a replica that responds with
+	// its own verdict must not be retried on the next replica (which
+	// here would succeed, masking the verdict).
+	verdict := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprint(w, `{"error":"inconsistent","kind":"precondition"}`)
+	}))
+	defer verdict.Close()
+	_, err = runTool(t, "query", "-addr", verdict.URL+","+ts.URL, path)
+	if err == nil {
+		t.Fatal("replica verdict was retried into a success on the next replica")
+	}
+	if got := exitCode(err); got != 2 {
+		t.Errorf("exitCode(%v) = %d, want the verdict's own 2", err, got)
+	}
+}
+
+// TestQueryAddrExhaustionExitCode: every replica in the list down means
+// unavailability, code 6 — distinct from a typo'd single -server (1).
+func TestQueryAddrExhaustionExitCode(t *testing.T) {
+	path := writeSample(t, "g.sdf", sampleText)
+	_, err := runTool(t, "query", "-addr", "http://127.0.0.1:1,http://127.0.0.1:2", path)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := exitCode(err); got != 6 {
+		t.Errorf("exitCode(%v) = %d, want 6", err, got)
+	}
+	var re *remoteError
+	if !errors.As(err, &re) || re.kind != "unavailable" {
+		t.Errorf("error = %v, want kind unavailable", err)
+	}
+
+	// An empty list is a usage error, not an unavailability.
+	if _, err := runTool(t, "query", "-addr", " , ", path); err == nil || exitCode(err) != 1 {
+		t.Errorf("empty -addr list: err %v, exit %d, want usage error exit 1", err, exitCode(err))
+	}
+}
+
 // TestExitCodeTable is the full documented exit-code table, driven both
 // by local sentinel errors and by remote error kinds.
 func TestExitCodeTable(t *testing.T) {
@@ -160,6 +214,7 @@ func TestExitCodeTable(t *testing.T) {
 		{"remote overloaded", remote("overloaded"), 6},
 		{"remote draining", remote("draining"), 6},
 		{"remote breaker-open", remote("breaker-open"), 6},
+		{"remote unavailable", remote("unavailable"), 6},
 		{"remote bad-request", remote("bad-request"), 1},
 		{"remote injection-disabled", remote("injection-disabled"), 1},
 		{"remote unknown kind", remote("???"), 1},

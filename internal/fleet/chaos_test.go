@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// chaosReplica is one real sdfserved instance on a real TCP port. Kill
+// is the SIGKILL analog — http.Server.Close drops the listener and
+// every open connection without draining — and restart rebinds the same
+// address so the router's probes can re-admit it.
+type chaosReplica struct {
+	t    *testing.T
+	addr string // host:port, stable across restarts
+
+	mu  sync.Mutex
+	srv *http.Server
+}
+
+func startChaosReplica(t *testing.T) *chaosReplica {
+	t.Helper()
+	r := &chaosReplica{t: t}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.addr = ln.Addr().String()
+	r.serveOn(ln)
+	t.Cleanup(r.kill)
+	return r
+}
+
+func (r *chaosReplica) serveOn(ln net.Listener) {
+	srv := &http.Server{Handler: serve.NewHandler(serve.New(serve.Options{Workers: 4}))}
+	r.mu.Lock()
+	r.srv = srv
+	r.mu.Unlock()
+	go srv.Serve(ln)
+}
+
+func (r *chaosReplica) kill() {
+	r.mu.Lock()
+	srv := r.srv
+	r.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+func (r *chaosReplica) restart() {
+	r.t.Helper()
+	ln, err := net.Listen("tcp", r.addr)
+	if err != nil {
+		r.t.Fatalf("rebinding %s: %v", r.addr, err)
+	}
+	r.serveOn(ln)
+}
+
+func (r *chaosReplica) url() string { return "http://" + r.addr }
+
+// TestChaosKillReplicaMidStorm is the kill-a-replica soak: three real
+// replicas behind a router, a 200-request storm, one replica SIGKILLed
+// mid-storm and restarted before the storm ends. The fleet contract
+// under test: zero client-visible failures, the dead replica ejected by
+// its own refused traffic, hedging winning at least once, and the
+// restarted replica re-admitted by probation probes.
+func TestChaosKillReplicaMidStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	// Registered before the replicas' own cleanups so it runs after
+	// every server and the router have shut down (cleanups are LIFO).
+	t.Cleanup(func() { noLeaks(t) })
+
+	replicas := []*chaosReplica{startChaosReplica(t), startChaosReplica(t), startChaosReplica(t)}
+	urls := make([]string, len(replicas))
+	for i, rep := range replicas {
+		urls[i] = rep.url()
+	}
+
+	reg := obs.New()
+	opts := Options{
+		Replicas:         urls,
+		ProbeInterval:    25 * time.Millisecond,
+		FailThreshold:    2,
+		ReadmitThreshold: 2,
+		DefaultTimeout:   10 * time.Second,
+		AttemptFloor:     250 * time.Millisecond,
+		Obs:              reg,
+	}
+	opts.Backoff.Base, opts.Backoff.Cap = time.Millisecond, 8*time.Millisecond
+	// Immediate hedging makes hedge traffic deterministic: every request
+	// races its primary against the next ring replica, so requests whose
+	// primary is the dead replica are guaranteed hedge material.
+	opts = opts.ImmediateHedge()
+	router := New(opts)
+	defer router.Close()
+	router.Start()
+	h := NewHandler(router)
+
+	// 16 distinct request keys spread across the ring; the storm cycles
+	// through them so every replica is some requests' primary. The
+	// budgets are large — they only vary the canonical key, and the real
+	// engines behind these replicas must not hit the work cap.
+	bodies := make([][]byte, 16)
+	for i := range bodies {
+		bodies[i] = requestBody(t, int64(100000+i))
+	}
+
+	var failures []string
+	var mu sync.Mutex
+	storm := func(n, offset int) {
+		sem := make(chan struct{}, 8)
+		var wg sync.WaitGroup
+		for j := 0; j < n; j++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				rec := post(t, h, bodies[(offset+j)%len(bodies)])
+				if rec.Code != http.StatusOK {
+					mu.Lock()
+					failures = append(failures, fmt.Sprintf("request %d: %d %s", offset+j, rec.Code, rec.Body))
+					mu.Unlock()
+				}
+			}(j)
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: healthy fleet.
+	storm(70, 0)
+
+	// Phase 2: SIGKILL one replica and keep the storm going. Its keys
+	// must fail over (and hedge) to ring successors with no client
+	// noticing; its refused connections plus the probes eject it.
+	victim := replicas[1]
+	victimMember := router.members[1]
+	victim.kill()
+	storm(70, 70)
+	waitFor(t, "victim ejection", func() bool { return !victimMember.isAlive() })
+
+	// Phase 3: restart the victim; probation probes must re-admit it,
+	// and the storm keeps running clean throughout.
+	victim.restart()
+	waitFor(t, "victim re-admission", victimMember.isAlive)
+	storm(60, 140)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(failures) > 0 {
+		t.Fatalf("%d of 200 requests failed during the soak; first: %s", len(failures), failures[0])
+	}
+	if got := counterValue(reg, obs.MetricFleetEjections, "replica", victimMember.addr); got < 1 {
+		t.Errorf("ejections for the killed replica = %d, want >= 1", got)
+	}
+	if got := counterValue(reg, obs.MetricFleetReadmissions, "replica", victimMember.addr); got < 1 {
+		t.Errorf("readmissions after restart = %d, want >= 1", got)
+	}
+	hedgeWins := int64(0)
+	for _, m := range router.members {
+		hedgeWins += counterValue(reg, obs.MetricFleetHedgeWins, "replica", m.addr)
+	}
+	if hedgeWins < 1 {
+		t.Errorf("hedge wins across the soak = %d, want >= 1", hedgeWins)
+	}
+	if got := reg.Gauge(obs.MetricFleetEjectedReplicas).Value(); got != 0 {
+		t.Errorf("ejected gauge after recovery = %d, want 0", got)
+	}
+}

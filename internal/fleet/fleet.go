@@ -1,0 +1,290 @@
+// Package fleet turns N sdfserved replicas into one fault-tolerant
+// analysis endpoint. A single daemon — whatever its admission control,
+// breakers and drain discipline — is still a single point of failure;
+// this layer is the step from "a resilient process" to "a resilient
+// service".
+//
+// The design leans on what the serving layer already established:
+//
+//	cache-aware routing — requests are consistent-hashed by the same
+//	    canonical request key the replicas use for their result caches
+//	    (serve.Request.Key), so repeats of a graph land on the replica
+//	    whose LRU is already warm. Ejections move only the dead
+//	    replica's keys to their ring successors.
+//	health-gated membership — a probe loop polls every replica's
+//	    /readyz; consecutive failures eject it from routing, and an
+//	    ejected replica must pass a probation streak of successful
+//	    probes before it is re-admitted. Transport-level routing
+//	    failures feed the same streak, so a SIGKILLed replica is
+//	    ejected by the very traffic it refuses.
+//	deadline budgeting — the client's end-to-end budget is carved
+//	    across the remaining failover attempts, so one slow replica
+//	    cannot eat the whole deadline and leave nothing for failover.
+//	retry with backoff — connect failures, 5xx and refusals move the
+//	    request to the next replica on the ring after a guard.Backoff
+//	    pause (capped exponential plus jitter, honouring Retry-After).
+//	hedging — when the primary attempt is slow past HedgeDelay, a
+//	    second attempt starts on the next replica; the first good
+//	    answer wins and the loser is cancelled through its context.
+//
+// The router holds no analysis state and no cache of its own: replicas
+// stay the sole source of truth, which is what keeps this layer thin
+// enough to run several of them behind a plain TCP load balancer.
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/obs"
+)
+
+// Options configures a Router. Replicas is required; everything else
+// has serviceable defaults.
+type Options struct {
+	// Replicas are the sdfserved base URLs ("http://host:port"). The
+	// set is fixed for the router's lifetime; health gating decides
+	// which members receive traffic.
+	Replicas []string
+	// ProbeInterval paces the /readyz health probes; default 1s.
+	ProbeInterval time.Duration
+	// FailThreshold is the consecutive probe/transport failures that
+	// eject a replica; default 3.
+	FailThreshold int
+	// ReadmitThreshold is the consecutive successful probes an ejected
+	// replica must pass (probation) before re-admission; default 2.
+	ReadmitThreshold int
+	// HedgeDelay is how long the primary attempt may run before a
+	// hedged attempt starts on the next replica. 0 hedges immediately
+	// (every request races two replicas); negative disables hedging.
+	// Default 50ms.
+	HedgeDelay time.Duration
+	// DefaultTimeout is the end-to-end budget for requests that name no
+	// deadline of their own; default 15s.
+	DefaultTimeout time.Duration
+	// AttemptFloor is the minimum per-attempt deadline carved from the
+	// remaining budget; default 100ms. It keeps late attempts from
+	// being handed sub-millisecond scraps that can only fail.
+	AttemptFloor time.Duration
+	// Backoff paces the failover retries. The zero value (25ms base,
+	// 2s cap, no jitter) is deterministic; production callers should
+	// set Jitter (cmd/sdfrouter injects guard.DefaultJitter).
+	Backoff guard.Backoff
+	// Client performs the proxied HTTP exchanges; nil means a client
+	// with sane connection pooling. Tests inject transports.
+	Client *http.Client
+	// Obs, when non-nil, receives the router's metrics: per-replica
+	// attempt outcomes, retries, hedge wins/losses, ejection events and
+	// the end-to-end latency histogram.
+	Obs *obs.Registry
+
+	// hedgeSet distinguishes "HedgeDelay left zero" (use the default)
+	// from "deliberately zero" (hedge immediately); set via
+	// ImmediateHedge.
+	hedgeSet bool
+}
+
+func (o Options) normalized() Options {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.FailThreshold < 1 {
+		o.FailThreshold = 3
+	}
+	if o.ReadmitThreshold < 1 {
+		o.ReadmitThreshold = 2
+	}
+	if o.HedgeDelay == 0 && !o.hedgeSet {
+		o.HedgeDelay = 50 * time.Millisecond
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 15 * time.Second
+	}
+	if o.AttemptFloor <= 0 {
+		o.AttemptFloor = 100 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+		}}
+	}
+	return o
+}
+
+// ImmediateHedge returns o with hedging set to fire immediately: every
+// request races the primary and the next replica from the start, first
+// good answer wins. The chaos soak uses it to make hedge traffic
+// deterministic under load.
+func (o Options) ImmediateHedge() Options {
+	o.HedgeDelay = 0
+	o.hedgeSet = true
+	return o
+}
+
+// Router routes analysis requests across the replica fleet. Construct
+// with New, then Start the probe loops; safe for concurrent use.
+type Router struct {
+	opts    Options
+	reg     *obs.Registry
+	client  *http.Client
+	members []*member
+	ring    *ring
+
+	probeCtx    context.Context
+	probeCancel context.CancelFunc
+	probeWG     sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	active   int
+	drained  chan struct{}
+}
+
+// New builds a Router over the configured replicas. Call Start to begin
+// health probing; until then every configured replica is presumed
+// alive, so a router is usable the moment it is constructed.
+func New(opts Options) *Router {
+	opts = opts.normalized()
+	r := &Router{
+		opts:    opts,
+		reg:     opts.Obs,
+		client:  opts.Client,
+		ring:    newRing(opts.Replicas),
+		drained: make(chan struct{}),
+	}
+	for _, addr := range opts.Replicas {
+		r.members = append(r.members, &member{addr: addr, alive: true})
+	}
+	r.probeCtx, r.probeCancel = context.WithCancel(context.Background())
+	r.reg.Gauge(obs.MetricFleetEjectedReplicas).Set(0)
+	return r
+}
+
+// Registry returns the router's observability registry (nil when
+// observability is off).
+func (r *Router) Registry() *obs.Registry { return r.reg }
+
+// Start launches one probe loop per replica. Idempotent-enough for the
+// single daemon call site; tests that never Start simply keep the
+// initial all-alive membership.
+func (r *Router) Start() {
+	for _, m := range r.members {
+		r.probeWG.Add(1)
+		go r.probeLoop(r.probeCtx, m)
+	}
+}
+
+// aliveOrder returns the key's failover order restricted to alive
+// members: the primary first, then its ring successors.
+func (r *Router) aliveOrder(key string) []*member {
+	idx := r.ring.order(key)
+	out := make([]*member, 0, len(idx))
+	for _, i := range idx {
+		if r.members[i].isAlive() {
+			out = append(out, r.members[i])
+		}
+	}
+	return out
+}
+
+// MembersHealth reports every replica's health-gate state.
+func (r *Router) MembersHealth() []MemberHealth {
+	out := make([]MemberHealth, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m.health())
+	}
+	return out
+}
+
+// aliveCount counts routable replicas.
+func (r *Router) aliveCount() int {
+	n := 0
+	for _, m := range r.members {
+		if m.isAlive() {
+			n++
+		}
+	}
+	return n
+}
+
+// admit reserves one in-flight slot unless the router is draining.
+func (r *Router) admit() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return false
+	}
+	r.active++
+	return true
+}
+
+// finish releases the in-flight slot and completes a pending drain when
+// it was the last one.
+func (r *Router) finish() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.active--
+	if r.draining && r.active == 0 {
+		r.closeDrainedLocked()
+	}
+}
+
+func (r *Router) closeDrainedLocked() {
+	select {
+	case <-r.drained:
+	default:
+		close(r.drained)
+	}
+}
+
+// Draining reports whether admission has stopped.
+func (r *Router) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// Drain gracefully shuts the router down, mirroring serve.Server.Drain:
+// admission stops immediately (/readyz flips to 503), in-flight proxied
+// requests finish under ctx, and the probe loops are stopped. The
+// returned error is nil for a clean drain and ctx's cause when the
+// deadline expired with requests still in flight (their contexts are
+// not cancelled here — the HTTP server's shutdown handles that).
+func (r *Router) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	if !r.draining {
+		r.draining = true
+		if r.active == 0 {
+			r.closeDrainedLocked()
+		}
+	}
+	r.mu.Unlock()
+	defer r.stopProbes()
+
+	select {
+	case <-r.drained:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// Close abandons the router without waiting: admission and probing
+// stop. Intended for tests and fatal paths; prefer Drain.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.draining = true
+	if r.active == 0 {
+		r.closeDrainedLocked()
+	}
+	r.mu.Unlock()
+	r.stopProbes()
+}
+
+func (r *Router) stopProbes() {
+	r.probeCancel()
+	r.probeWG.Wait()
+}

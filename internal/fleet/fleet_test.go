@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/sdfio"
+	"repro/internal/serve"
+	"repro/internal/testutil"
+)
+
+// noLeaks asserts the router left no goroutine behind: no attempt
+// racers, no probe loops.
+func noLeaks(t *testing.T) {
+	t.Helper()
+	testutil.FailOnLeakedGoroutines(t, "repro/internal/fleet")
+}
+
+// requestBody builds a valid wire request. Distinct budgets yield
+// distinct canonical keys, which is how tests steer the ring.
+func requestBody(t *testing.T, budget int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sdfio.WriteText(&buf, gen.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(serve.RequestPayload{GraphText: buf.String(), Method: "matrix", Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// keyOf extracts the canonical routing key of a wire body.
+func keyOf(t *testing.T, body []byte) string {
+	t.Helper()
+	req, err := serve.DecodeRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req.Key()
+}
+
+// bodyWithPrimary searches budgets until the request's ring primary is
+// the wanted replica index.
+func bodyWithPrimary(t *testing.T, r *Router, want int) []byte {
+	t.Helper()
+	for budget := int64(1); budget < 4096; budget++ {
+		body := requestBody(t, budget)
+		if order := r.ring.order(keyOf(t, body)); order[0] == want {
+			return body
+		}
+	}
+	t.Fatalf("no budget routes primarily to replica %d", want)
+	return nil
+}
+
+// okPayload is a canned successful analysis answer; route tests only
+// care about status codes and which replica answered, not the period.
+func okPayload(name string) []byte {
+	b, _ := json.Marshal(serve.ResultPayload{Graph: "demo", Engine: name, Period: "3"})
+	return b
+}
+
+// post drives one request through the router's HTTP handler.
+func post(t *testing.T, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/throughput", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestRouterDrainStopsAdmission(t *testing.T) {
+	defer noLeaks(t)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(okPayload("matrix"))
+	}))
+	defer backend.Close()
+	r := New(Options{Replicas: []string{backend.URL}})
+	h := NewHandler(r)
+
+	if rec := post(t, h, requestBody(t, 1)); rec.Code != http.StatusOK {
+		t.Fatalf("pre-drain post = %d, body %s", rec.Code, rec.Body)
+	}
+	if err := r.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, h, requestBody(t, 1))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post while draining = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("draining refusal without Retry-After")
+	}
+	var ep serve.ErrorPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &ep); err != nil || ep.Kind != "draining" {
+		t.Errorf("draining payload = %s (err %v), want kind draining", rec.Body, err)
+	}
+
+	// /readyz mirrors the drain for load balancers.
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d, want 503", rr.Code)
+	}
+}
+
+func TestRouterBadRequestNoAttempts(t *testing.T) {
+	defer noLeaks(t)
+	hits := 0
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Write(okPayload("matrix"))
+	}))
+	defer backend.Close()
+	r := New(Options{Replicas: []string{backend.URL}})
+	defer r.Close()
+	h := NewHandler(r)
+
+	rec := post(t, h, []byte(`{"graph_text": "not a graph"`))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed post = %d, want 400", rec.Code)
+	}
+	if hits != 0 {
+		t.Errorf("malformed request reached a replica %d times, want 0", hits)
+	}
+}
+
+func TestRouterAllReplicasEjected(t *testing.T) {
+	defer noLeaks(t)
+	r := New(Options{
+		Replicas:         []string{"http://127.0.0.1:1", "http://127.0.0.1:2"},
+		ProbeInterval:    500 * time.Millisecond,
+		ReadmitThreshold: 2,
+	})
+	defer r.Close()
+	for _, m := range r.members {
+		m.mu.Lock()
+		m.alive = false
+		m.mu.Unlock()
+	}
+	rec := post(t, NewHandler(r), requestBody(t, 1))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-ejected post = %d, want 503", rec.Code)
+	}
+	var ep serve.ErrorPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &ep); err != nil || ep.Kind != "unavailable" {
+		t.Fatalf("all-ejected payload = %s (err %v), want kind unavailable", rec.Body, err)
+	}
+	// Retry-After must be sane: at least a second, roughly a probation
+	// cycle (500ms probe interval * (2+1) -> 2s).
+	ra := rec.Header().Get("Retry-After")
+	if ra != "2" {
+		t.Errorf("all-ejected Retry-After = %q, want 2", ra)
+	}
+
+	// /readyz goes dark too: a router with no routable replica must
+	// pull itself out of its own upstream load balancer.
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rr := httptest.NewRecorder()
+	NewHandler(r).ServeHTTP(rr, req)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz with no alive replicas = %d, want 503", rr.Code)
+	}
+}

@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// probeReport is the slice of the replica's /readyz JSON the router
+// cares about. PR 7 widened that payload with the draining flag and the
+// breaker summary precisely so this probe can read replica health in
+// one structured request instead of scraping /metrics.
+type probeReport struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	Breakers []struct {
+		Engine string `json:"engine"`
+		State  string `json:"state"`
+	} `json:"breakers"`
+}
+
+// member is one replica plus its health-gate state. All mutable state
+// sits behind mu; the probe loop and the routing hot path both touch it.
+type member struct {
+	addr string // base URL, e.g. http://127.0.0.1:8081
+
+	mu         sync.Mutex
+	alive      bool
+	failStreak int  // consecutive probe/transport failures while alive
+	okStreak   int  // consecutive probe successes while ejected
+	draining   bool // last probe saw the replica draining
+	openBreak  int  // open breakers in the last probe report
+	ejections  int64
+	readmits   int64
+}
+
+// MemberHealth is one replica's state in the router's health report.
+type MemberHealth struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"` // alive, probation, ejected
+	// FailStreak counts consecutive failures while alive; OKStreak
+	// consecutive probe successes while ejected (probation progress).
+	FailStreak int `json:"fail_streak"`
+	OKStreak   int `json:"ok_streak"`
+	// Draining and OpenBreakers relay what the last successful probe
+	// read out of the replica's /readyz detail.
+	Draining     bool  `json:"draining,omitempty"`
+	OpenBreakers int   `json:"open_breakers,omitempty"`
+	Ejections    int64 `json:"ejections"`
+	Readmissions int64 `json:"readmissions"`
+}
+
+func (m *member) health() MemberHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	state := "alive"
+	switch {
+	case !m.alive && m.okStreak > 0:
+		state = "probation"
+	case !m.alive:
+		state = "ejected"
+	}
+	return MemberHealth{
+		Addr:         m.addr,
+		State:        state,
+		FailStreak:   m.failStreak,
+		OKStreak:     m.okStreak,
+		Draining:     m.draining,
+		OpenBreakers: m.openBreak,
+		Ejections:    m.ejections,
+		Readmissions: m.readmits,
+	}
+}
+
+func (m *member) isAlive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alive
+}
+
+// touchAlive resets the failure streak of an alive member. The routing
+// path calls it on every completed HTTP exchange: any status code
+// proves liveness, so a transient transport blip between successful
+// responses never accumulates toward ejection. It deliberately does not
+// advance probation — re-admission is the probe loop's job alone, so
+// its metrics and gauge updates have exactly one call site.
+func (m *member) touchAlive() {
+	m.mu.Lock()
+	if m.alive {
+		m.failStreak = 0
+	}
+	m.mu.Unlock()
+}
+
+// noteOK records a successful health probe. On an alive member it
+// resets the failure streak; on an ejected member it counts probation
+// progress and re-admits at the threshold. It reports whether the
+// member transitioned back to alive.
+func (m *member) noteOK(readmitThreshold int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failStreak = 0
+	if m.alive {
+		return false
+	}
+	m.okStreak++
+	if m.okStreak < readmitThreshold {
+		return false
+	}
+	m.alive = true
+	m.okStreak = 0
+	m.readmits++
+	return true
+}
+
+// noteFail records a failed probe or a transport-level routing failure
+// (connect refused, reset — never an HTTP error response, which proves
+// the replica is up). It reports whether the member was ejected by this
+// failure.
+func (m *member) noteFail(failThreshold int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.okStreak = 0
+	if !m.alive {
+		return false
+	}
+	m.failStreak++
+	if m.failStreak < failThreshold {
+		return false
+	}
+	m.alive = false
+	m.failStreak = 0
+	m.ejections++
+	return true
+}
+
+// setDetail stores the readiness detail of the last successful probe.
+func (m *member) setDetail(rep probeReport) {
+	open := 0
+	for _, b := range rep.Breakers {
+		if b.State == "open" {
+			open++
+		}
+	}
+	m.mu.Lock()
+	m.draining = rep.Draining
+	m.openBreak = open
+	m.mu.Unlock()
+}
+
+// probeLoop probes one replica's /readyz every ProbeInterval until ctx
+// is cancelled. Consecutive failures eject the member from the routing
+// ring; an ejected member stays on probation until ReadmitThreshold
+// consecutive successes re-admit it.
+func (r *Router) probeLoop(ctx context.Context, m *member) {
+	defer r.probeWG.Done()
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		r.probeOnce(ctx, m)
+	}
+}
+
+// probeOnce runs one health probe and applies its verdict.
+func (r *Router) probeOnce(ctx context.Context, m *member) {
+	pctx, cancel := context.WithTimeout(ctx, r.opts.ProbeInterval)
+	ok := r.probe(pctx, m)
+	cancel()
+	if ok {
+		r.reg.Counter(obs.MetricFleetProbes, "replica", m.addr, "result", "ok").Inc()
+		if m.noteOK(r.opts.ReadmitThreshold) {
+			r.reg.Counter(obs.MetricFleetReadmissions, "replica", m.addr).Inc()
+			r.reg.Emit("fleet.readmit", "replica", m.addr)
+			r.updateEjectedGauge()
+		}
+		return
+	}
+	r.reg.Counter(obs.MetricFleetProbes, "replica", m.addr, "result", "fail").Inc()
+	r.noteTransportFailure(m)
+}
+
+// probe performs the HTTP round trip: true means the replica answered
+// /readyz with 200 and a ready body. A 503 (draining, or not yet up) is
+// as disqualifying as a refused connection.
+func (r *Router) probe(ctx context.Context, m *member) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.addr+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return false
+	}
+	var rep probeReport
+	if json.Unmarshal(body, &rep) == nil {
+		m.setDetail(rep)
+	}
+	return resp.StatusCode == http.StatusOK && rep.Ready
+}
+
+// noteTransportFailure is the shared verdict for a failed probe or a
+// transport-level attempt failure: bump the streak and eject at the
+// threshold.
+func (r *Router) noteTransportFailure(m *member) {
+	if m.noteFail(r.opts.FailThreshold) {
+		r.reg.Counter(obs.MetricFleetEjections, "replica", m.addr).Inc()
+		r.reg.Emit("fleet.eject", "replica", m.addr)
+		r.updateEjectedGauge()
+	}
+}
+
+// updateEjectedGauge recounts the ejected replicas. Recounting (instead
+// of deltas) keeps the gauge right even when transitions race.
+func (r *Router) updateEjectedGauge() {
+	ejected := int64(0)
+	for _, m := range r.members {
+		if !m.isAlive() {
+			ejected++
+		}
+	}
+	r.reg.Gauge(obs.MetricFleetEjectedReplicas).Set(ejected)
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func counterValue(reg *obs.Registry, name string, labels ...string) int64 {
+	return reg.Counter(name, labels...).Value()
+}
+
+func TestProbeEjectionAndProbationReadmission(t *testing.T) {
+	defer noLeaks(t)
+	var healthy atomic.Bool
+	healthy.Store(true)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		if healthy.Load() {
+			fmt.Fprintln(w, `{"ready": true, "draining": false, "breakers": [{"engine": "matrix", "state": "open"}, {"engine": "hsdf", "state": "closed"}]}`)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ready": false, "draining": true, "breakers": []}`)
+	}))
+	defer backend.Close()
+
+	reg := obs.New()
+	r := New(Options{
+		Replicas:         []string{backend.URL},
+		ProbeInterval:    5 * time.Millisecond,
+		FailThreshold:    3,
+		ReadmitThreshold: 2,
+		Obs:              reg,
+	})
+	r.Start()
+	defer r.Close()
+	m := r.members[0]
+
+	// Healthy probes keep the member alive and record the parsed
+	// readiness detail (the open breaker) without touching /metrics.
+	waitFor(t, "first successful probe", func() bool {
+		return counterValue(reg, obs.MetricFleetProbes, "replica", m.addr, "result", "ok") > 0
+	})
+	h := m.health()
+	if h.State != "alive" || h.OpenBreakers != 1 {
+		t.Errorf("healthy member = %+v, want alive with 1 open breaker", h)
+	}
+
+	// Three consecutive failures eject; the gauge and counter agree.
+	healthy.Store(false)
+	waitFor(t, "ejection", func() bool { return !m.isAlive() })
+	if got := counterValue(reg, obs.MetricFleetEjections, "replica", m.addr); got != 1 {
+		t.Errorf("ejections = %d, want 1", got)
+	}
+	if got := reg.Gauge(obs.MetricFleetEjectedReplicas).Value(); got != 1 {
+		t.Errorf("ejected gauge = %d, want 1", got)
+	}
+	if h := m.health(); h.State != "ejected" && h.State != "probation" {
+		t.Errorf("ejected member state = %q", h.State)
+	}
+
+	// Recovery: two consecutive good probes (probation) re-admit.
+	healthy.Store(true)
+	waitFor(t, "re-admission", m.isAlive)
+	if got := counterValue(reg, obs.MetricFleetReadmissions, "replica", m.addr); got != 1 {
+		t.Errorf("readmissions = %d, want 1", got)
+	}
+	if got := reg.Gauge(obs.MetricFleetEjectedReplicas).Value(); got != 0 {
+		t.Errorf("ejected gauge after re-admission = %d, want 0", got)
+	}
+}
+
+func TestProbationRequiresConsecutiveSuccesses(t *testing.T) {
+	m := &member{addr: "x", alive: false}
+	// One success, then a failure, resets probation: re-admission needs
+	// a full consecutive streak.
+	if m.noteOK(2) {
+		t.Fatal("single probe success re-admitted at threshold 2")
+	}
+	if m.noteFail(3) {
+		t.Fatal("failure on an ejected member reported a fresh ejection")
+	}
+	if m.noteOK(2) {
+		t.Fatal("probation streak survived an intervening failure")
+	}
+	if !m.noteOK(2) {
+		t.Fatal("two consecutive successes did not re-admit")
+	}
+	if !m.isAlive() {
+		t.Fatal("re-admitted member not alive")
+	}
+	if h := m.health(); h.Readmissions != 1 {
+		t.Errorf("readmissions = %d, want 1", h.Readmissions)
+	}
+}
+
+func TestTouchAliveDoesNotReadmit(t *testing.T) {
+	m := &member{addr: "x", alive: false, okStreak: 1}
+	m.touchAlive()
+	if m.isAlive() {
+		t.Fatal("routing-path liveness evidence re-admitted an ejected member")
+	}
+	alive := &member{addr: "y", alive: true, failStreak: 2}
+	alive.touchAlive()
+	if h := alive.health(); h.FailStreak != 0 {
+		t.Errorf("touchAlive left failStreak %d, want 0", h.FailStreak)
+	}
+}

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is how many points each replica owns on the hash ring.
+// Enough that load and key ownership spread evenly across a handful of
+// replicas; small enough that building and walking the ring is trivial.
+const ringVnodes = 64
+
+// ring is a consistent-hash ring over a fixed replica set. The ring is
+// built once, over all configured replicas — membership changes do not
+// rebuild it. Ejected replicas are skipped at routing time instead,
+// which is what makes redistribution minimal: when a replica dies, only
+// the keys it owned move (to their next ring successor); every other
+// key keeps its primary, and with it the replica whose result cache is
+// already warm for it.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // number of replicas
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int // index into the router's member slice
+}
+
+// ringHash hashes s onto the ring. Raw FNV-1a clusters badly here: the
+// inputs are near-identical strings (addresses differing in one port
+// digit, canonical keys differing in a counter), and FNV's weak
+// avalanche leaves their hashes in tight arithmetic runs, collapsing
+// the ring into one contiguous arc per replica. The splitmix64
+// finalizer scatters those runs uniformly.
+func ringHash(s string, suffix []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	h.Write(suffix)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func newRing(replicas []string) *ring {
+	r := &ring{n: len(replicas)}
+	r.points = make([]ringPoint, 0, len(replicas)*ringVnodes)
+	for i, addr := range replicas {
+		for v := 0; v < ringVnodes; v++ {
+			suffix := []byte{'#', byte(v)}
+			r.points = append(r.points, ringPoint{hash: ringHash(addr, suffix), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// order returns every replica index exactly once, starting at the owner
+// of key and continuing in ring-successor order. The first element is
+// the key's primary (cache-warm) replica; the rest are the failover and
+// hedge targets, in the order a dying primary hands its keys over.
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.n)
+	if len(r.points) == 0 {
+		return out
+	}
+	target := ringHash(key, nil)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= target })
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

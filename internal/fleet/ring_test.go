@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func ringReplicas(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 9000+i)
+	}
+	return out
+}
+
+func TestRingOrderCompleteAndStable(t *testing.T) {
+	r := newRing(ringReplicas(5))
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		order := r.order(key)
+		if len(order) != 5 {
+			t.Fatalf("order(%q) has %d entries, want 5", key, len(order))
+		}
+		seen := make(map[int]bool)
+		for _, idx := range order {
+			if seen[idx] {
+				t.Fatalf("order(%q) repeats replica %d", key, idx)
+			}
+			seen[idx] = true
+		}
+		again := r.order(key)
+		for i := range order {
+			if order[i] != again[i] {
+				t.Fatalf("order(%q) unstable: %v vs %v", key, order, again)
+			}
+		}
+	}
+}
+
+func TestRingSpreadsPrimaries(t *testing.T) {
+	r := newRing(ringReplicas(3))
+	counts := make([]int, 3)
+	for k := 0; k < 300; k++ {
+		counts[r.order(fmt.Sprintf("key-%d", k))[0]]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("replica %d is primary for no keys: %v", i, counts)
+		}
+		// Even spread would be 100 each; vnodes should keep the skew
+		// well under pathological.
+		if c > 220 {
+			t.Errorf("replica %d owns %d of 300 keys — ring badly skewed: %v", i, c, counts)
+		}
+	}
+}
+
+// TestRingRedistributionOnEjection is the consistency property the
+// cache-aware router depends on: ejecting one replica moves only that
+// replica's keys (to their ring successors); every other key keeps its
+// warm primary.
+func TestRingRedistributionOnEjection(t *testing.T) {
+	r := New(Options{Replicas: ringReplicas(3), ProbeInterval: time.Hour})
+	defer r.Close()
+
+	keys := make([]string, 200)
+	for k := range keys {
+		keys[k] = fmt.Sprintf("key-%d", k)
+	}
+	before := make(map[string][]*member)
+	for _, key := range keys {
+		before[key] = r.aliveOrder(key)
+	}
+
+	dead := r.members[1]
+	dead.mu.Lock()
+	dead.alive = false
+	dead.mu.Unlock()
+
+	moved := 0
+	for _, key := range keys {
+		after := r.aliveOrder(key)
+		if len(after) != 2 {
+			t.Fatalf("aliveOrder(%q) has %d entries after ejection, want 2", key, len(after))
+		}
+		prev := before[key]
+		if prev[0] == dead {
+			// The dead primary's keys move to their old first successor
+			// that is still alive.
+			moved++
+			wantNext := prev[1]
+			if after[0] != wantNext {
+				t.Errorf("key %q: new primary %s, want old successor %s", key, after[0].addr, wantNext.addr)
+			}
+			continue
+		}
+		// Every other key keeps its primary: its cache stays warm.
+		if after[0] != prev[0] {
+			t.Errorf("key %q: primary moved from %s to %s though its replica is alive",
+				key, prev[0].addr, after[0].addr)
+		}
+	}
+	if moved == 0 {
+		t.Error("no key had the ejected replica as primary; test proves nothing")
+	}
+
+	// Re-admission restores the original ownership exactly.
+	dead.mu.Lock()
+	dead.alive = true
+	dead.mu.Unlock()
+	for _, key := range keys {
+		restored := r.aliveOrder(key)
+		prev := before[key]
+		for i := range prev {
+			if restored[i] != prev[i] {
+				t.Fatalf("key %q: order after re-admission differs at %d", key, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Retry pacing for the fleet layer. A router that retries a failed
+// attempt immediately turns one sick replica into a synchronised retry
+// storm against the next one; Backoff computes capped exponential
+// delays with optional jitter so retries spread out instead of
+// stampeding. It lives in guard — next to the breaker and the budget —
+// because it is the same discipline applied to time instead of work:
+// bound how hard a client may hammer a failing resource.
+package guard
+
+import "time"
+
+// Backoff computes the delay before retry attempt n as a capped
+// exponential: Base<<n, clamped at Cap, then jittered into
+// [delay/2, delay) when a Jitter source is set ("equal jitter" — half
+// deterministic so a retry never fires instantly, half random so
+// concurrent retriers decorrelate).
+//
+// The zero value is usable (25ms base, 2s cap, no jitter). Delay is
+// allocation-free, so it may sit on a per-request hot path.
+type Backoff struct {
+	// Base is the delay before the first retry; values <= 0 mean the
+	// default of 25ms.
+	Base time.Duration
+	// Cap clamps the exponential growth; values <= 0 mean the default
+	// of 2s.
+	Cap time.Duration
+	// Jitter supplies randomness in [0, 1). nil disables jitter, which
+	// makes Delay fully deterministic — tests rely on that, and so do
+	// callers that inject their own deterministic source.
+	Jitter func() float64
+}
+
+// DefaultJitter returns time-seeded uniform jitter in [0, 1), suitable
+// for production Backoff values. It deliberately avoids math/rand's
+// global state: each Backoff gets an independent cheap xorshift stream,
+// and tests that want determinism inject their own source instead.
+func DefaultJitter() func() float64 {
+	state := uint64(time.Now().UnixNano()) | 1
+	return func() float64 {
+		// xorshift64*: fast, allocation-free, plenty for retry spreading.
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return float64((state*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+	}
+}
+
+// Delay returns the pause before retry attempt n (0-based: Delay(0)
+// paces the first retry). Negative n is treated as 0.
+func (b Backoff) Delay(n int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	if base > cap {
+		base = cap
+	}
+	d := base
+	for i := 0; i < n && d < cap; i++ {
+		d <<= 1
+		if d <= 0 { // overflow: the cap is the only sane answer
+			d = cap
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	if b.Jitter == nil {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(float64(half)*b.Jitter())
+}

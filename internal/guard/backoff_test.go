@@ -1,0 +1,97 @@
+package guard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDefaultsAndCap(t *testing.T) {
+	var b Backoff // zero value: 25ms base, 2s cap, no jitter
+	want := []time.Duration{
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for n, w := range want {
+		if got := b.Delay(n); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+	if got := b.Delay(-3); got != 25*time.Millisecond {
+		t.Errorf("Delay(-3) = %v, want the base", got)
+	}
+	// A huge attempt index must neither overflow nor exceed the cap.
+	if got := b.Delay(200); got != 2*time.Second {
+		t.Errorf("Delay(200) = %v, want the cap", got)
+	}
+}
+
+func TestBackoffExplicitBaseAndCap(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 35 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		35 * time.Millisecond, // 40ms clamped
+		35 * time.Millisecond,
+	}
+	for n, w := range want {
+		if got := b.Delay(n); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+	// A base above the cap clamps to the cap instead of inverting the
+	// ordering.
+	b = Backoff{Base: time.Second, Cap: 100 * time.Millisecond}
+	if got := b.Delay(0); got != 100*time.Millisecond {
+		t.Errorf("Delay(0) with base>cap = %v, want the cap", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	// With an injected deterministic source, every delay lands in
+	// [d/2, d): half deterministic, half jittered.
+	for _, j := range []float64{0, 0.25, 0.5, 0.999999} {
+		b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second,
+			Jitter: func() float64 { return j }}
+		for n := 0; n < 6; n++ {
+			full := Backoff{Base: 100 * time.Millisecond, Cap: time.Second}.Delay(n)
+			got := b.Delay(n)
+			if got < full/2 || got >= full {
+				t.Errorf("jitter %v: Delay(%d) = %v outside [%v, %v)", j, n, got, full/2, full)
+			}
+		}
+	}
+}
+
+func TestBackoffDefaultJitterVariesAndStaysInRange(t *testing.T) {
+	b := Backoff{Base: 128 * time.Millisecond, Jitter: DefaultJitter()}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		d := b.Delay(0)
+		if d < 64*time.Millisecond || d >= 128*time.Millisecond {
+			t.Fatalf("jittered Delay(0) = %v outside [64ms, 128ms)", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("DefaultJitter produced a constant stream: %v", seen)
+	}
+}
+
+func TestBackoffDelayAllocationFree(t *testing.T) {
+	b := Backoff{Base: 5 * time.Millisecond, Cap: time.Second, Jitter: DefaultJitter()}
+	var sink time.Duration
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = b.Delay(4)
+	})
+	if allocs != 0 {
+		t.Errorf("Delay allocates %v times per call, want 0", allocs)
+	}
+	_ = sink
+}

@@ -74,6 +74,37 @@ const (
 	// MetricReduceSteps counts applied reduction-rule rewrites (label
 	// rule).
 	MetricReduceSteps = "sdf_reduce_steps_total"
+
+	// Fleet-layer metrics (the sdfrouter replica router).
+
+	// MetricFleetRequestSeconds is the router's end-to-end latency
+	// histogram, attempts and hedges included (label outcome: ok,
+	// error, unavailable).
+	MetricFleetRequestSeconds = "sdf_fleet_request_seconds"
+	// MetricFleetAttempts counts per-replica proxy attempts by outcome
+	// (labels replica; outcome: ok, retryable, fatal, canceled).
+	MetricFleetAttempts = "sdf_fleet_attempts_total"
+	// MetricFleetRetries counts backoff-paced retry launches (label
+	// replica = the replica the retry went to).
+	MetricFleetRetries = "sdf_fleet_retries_total"
+	// MetricFleetHedgeWins counts requests answered by the hedged
+	// (second) attempt (label replica = the winner).
+	MetricFleetHedgeWins = "sdf_fleet_hedge_wins_total"
+	// MetricFleetHedgeLosses counts hedges that launched but lost to
+	// the primary attempt (label replica = the losing hedge's target).
+	MetricFleetHedgeLosses = "sdf_fleet_hedge_losses_total"
+	// MetricFleetEjections counts replica ejections from the routing
+	// ring (label replica).
+	MetricFleetEjections = "sdf_fleet_ejections_total"
+	// MetricFleetReadmissions counts replicas re-admitted after
+	// probation (label replica).
+	MetricFleetReadmissions = "sdf_fleet_readmissions_total"
+	// MetricFleetEjectedReplicas is the gauge of currently ejected
+	// replicas.
+	MetricFleetEjectedReplicas = "sdf_fleet_ejected_replicas"
+	// MetricFleetProbes counts health probes by result (labels replica;
+	// result: ok, fail).
+	MetricFleetProbes = "sdf_fleet_probes_total"
 )
 
 // Kind distinguishes the instrument families of a Registry.

@@ -136,7 +136,9 @@ func (s *Server) retryAfter(kind string) int {
 //	     lives.
 //	GET  /readyz — 200 while admitting, 503 once draining, so load
 //	     balancers stop routing before SIGTERM's drain completes. The
-//	     body carries the cache traffic detail for quick inspection.
+//	     body carries the draining flag, the per-engine breaker summary
+//	     (what the fleet router's health probe parses) and the cache
+//	     traffic detail for quick inspection.
 //	GET  /metrics — Prometheus text exposition of the server's
 //	     registry; 404 when the server was built without one.
 //	GET  /debug/vars — the same registry in expvar-compatible JSON.
@@ -174,10 +176,17 @@ func NewHandler(s *Server) http.Handler {
 			Evictions int64 `json:"evictions"`
 			Deduped   int64 `json:"deduped"`
 		}
+		// The readiness body carries structured health detail on top of
+		// the plain 200/503 contract: draining and the per-engine
+		// breaker summary are what the fleet router's probe parses, so
+		// it can gate membership without scraping /metrics. Existing
+		// callers that only look at the status code are unaffected.
 		type readiness struct {
-			Ready  bool        `json:"ready"`
-			Reason string      `json:"reason,omitempty"`
-			Cache  cacheDetail `json:"cache"`
+			Ready    bool           `json:"ready"`
+			Reason   string         `json:"reason,omitempty"`
+			Draining bool           `json:"draining"`
+			Breakers []EngineHealth `json:"breakers"`
+			Cache    cacheDetail    `json:"cache"`
 		}
 		detail := cacheDetail{
 			Entries:   s.cache.len(),
@@ -187,12 +196,23 @@ func NewHandler(s *Server) http.Handler {
 			Evictions: s.cache.evictions.Load(),
 			Deduped:   s.flights.deduped.Load(),
 		}
+		breakers := make([]EngineHealth, 0, len(s.opts.Engines))
+		for _, m := range s.opts.Engines {
+			b := s.breakers[m]
+			breakers = append(breakers, EngineHealth{
+				Engine: m.String(),
+				State:  b.State().String(),
+				Streak: b.Streak(),
+				Trips:  b.Trips(),
+			})
+		}
 		if s.Draining() {
 			w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfter))
-			writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "draining", Cache: detail})
+			writeJSON(w, http.StatusServiceUnavailable,
+				readiness{Reason: "draining", Draining: true, Breakers: breakers, Cache: detail})
 			return
 		}
-		writeJSON(w, http.StatusOK, readiness{Ready: true, Cache: detail})
+		writeJSON(w, http.StatusOK, readiness{Ready: true, Breakers: breakers, Cache: detail})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		if s.reg == nil {

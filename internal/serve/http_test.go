@@ -146,8 +146,36 @@ func TestHTTPHealthAndReadiness(t *testing.T) {
 		return rec
 	}
 
-	if rec := get("/readyz"); rec.Code != http.StatusOK {
-		t.Fatalf("readyz before drain = %d", rec.Code)
+	// The readiness body carries the structured detail the fleet
+	// router's probe parses: ready, draining, and the per-engine
+	// breaker summary — no /metrics scrape needed.
+	type readiness struct {
+		Ready    bool   `json:"ready"`
+		Reason   string `json:"reason"`
+		Draining bool   `json:"draining"`
+		Breakers []struct {
+			Engine string `json:"engine"`
+			State  string `json:"state"`
+		} `json:"breakers"`
+	}
+	readyRec := get("/readyz")
+	if readyRec.Code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d", readyRec.Code)
+	}
+	var rd readiness
+	if err := json.Unmarshal(readyRec.Body.Bytes(), &rd); err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Ready || rd.Draining {
+		t.Errorf("ready readyz = %+v, want ready and not draining", rd)
+	}
+	if len(rd.Breakers) != 3 {
+		t.Errorf("readyz reports %d breakers, want 3", len(rd.Breakers))
+	}
+	for _, b := range rd.Breakers {
+		if b.Engine == "" || b.State != "closed" {
+			t.Errorf("readyz breaker %+v, want a named closed breaker", b)
+		}
 	}
 	rec := get("/healthz")
 	if rec.Code != http.StatusOK {
@@ -175,6 +203,16 @@ func TestHTTPHealthAndReadiness(t *testing.T) {
 	}
 	if rec.Header().Get("Retry-After") == "" {
 		t.Error("draining readyz without Retry-After")
+	}
+	rd = readiness{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rd); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Ready || !rd.Draining || rd.Reason != "draining" {
+		t.Errorf("draining readyz = %+v, want draining detail", rd)
+	}
+	if len(rd.Breakers) != 3 {
+		t.Errorf("draining readyz reports %d breakers, want 3", len(rd.Breakers))
 	}
 	// healthz keeps answering during the drain: it is how the operator
 	// watches the drain complete.

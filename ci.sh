@@ -190,6 +190,149 @@ grep -q 'drained cleanly' "$SOAK_DIR/served.log" || {
 cleanup_soak
 trap - EXIT
 
+echo '== brownout soak: overload burst, certified bounded answers, zero 5xx'
+# Overload soak of the degradation ladder: a race-instrumented sdfserved
+# with admission capacity 4 (-workers 1 -queue 3) takes a burst of 120
+# cache-busted requests (10 waves of 12 concurrent, distinct budgets so
+# every request is a distinct canonical key). The daemon must brown out,
+# never break: zero 5xx responses, a nonzero stream of bounded answers
+# whose conservativeness certificates re-checked against the original
+# graph ("verified": true on every one), the bounded counter and the
+# degradation gauge moving on /metrics, an exact-only request during the
+# pressure window answering 429 + Retry-After, and a clean SIGTERM drain
+# afterwards.
+BROWN_DIR=$(mktemp -d)
+BROWN_PID=
+cleanup_brown() {
+    [ -n "$BROWN_PID" ] && kill "$BROWN_PID" 2>/dev/null || true
+    rm -rf "$BROWN_DIR"
+}
+trap cleanup_brown EXIT
+
+go build -race -o "$BROWN_DIR/sdfserved" ./cmd/sdfserved
+go build -o "$BROWN_DIR/sdftool" ./cmd/sdftool
+
+BROWN_GRAPH='sdf brown\nactor A 2\nactor B 3\nactor C 5\nchan A B 3 2 0\nchan B C 4 3 0\nchan C A 1 2 8\n'
+
+BROWN_ADDR="127.0.0.1:$((22000 + $$ % 20000))"
+"$BROWN_DIR/sdfserved" -addr "$BROWN_ADDR" -workers 1 -queue 3 \
+    > "$BROWN_DIR/served.log" 2>&1 &
+BROWN_PID=$!
+
+ready=0
+for _ in $(seq 1 100); do
+    if "$BROWN_DIR/sdftool" query -server "http://$BROWN_ADDR" -health >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { echo 'brownout: sdfserved never became ready'; cat "$BROWN_DIR/served.log"; exit 1; }
+
+n=0
+wave=0
+while [ $wave -lt 10 ]; do
+    CURL_PIDS=
+    j=0
+    while [ $j -lt 12 ]; do
+        n=$((n + 1))
+        curl -s -o "$BROWN_DIR/resp_$n.json" -w '%{http_code}' -X POST \
+            -d '{"graph_text":"'"$BROWN_GRAPH"'","budget":'$((200000 + n))'}' \
+            "http://$BROWN_ADDR/v1/throughput" > "$BROWN_DIR/code_$n" &
+        CURL_PIDS="$CURL_PIDS $!"
+        j=$((j + 1))
+    done
+    for pid in $CURL_PIDS; do
+        wait "$pid" || true
+    done
+    wave=$((wave + 1))
+done
+
+# Still inside the hysteresis hold: an exact-only client must be turned
+# away with the stable degraded kind, 429 and a drain-estimate hint —
+# never handed a degraded answer it said it cannot accept.
+eo_code=$(curl -s -o "$BROWN_DIR/eo.json" -D "$BROWN_DIR/eo.hdr" -w '%{http_code}' -X POST \
+    -d '{"graph_text":"'"$BROWN_GRAPH"'","budget":999999,"exact_only":true}' \
+    "http://$BROWN_ADDR/v1/throughput")
+if [ "$eo_code" != 429 ]; then
+    echo "brownout: exact-only under pressure answered $eo_code, want 429"
+    cat "$BROWN_DIR/eo.json"
+    exit 1
+fi
+grep -qi '^Retry-After:' "$BROWN_DIR/eo.hdr" || {
+    echo 'brownout: exact-only 429 carried no Retry-After'
+    cat "$BROWN_DIR/eo.hdr"
+    exit 1
+}
+grep -q '"kind": "degraded"' "$BROWN_DIR/eo.json" || {
+    echo 'brownout: exact-only refusal kind is not "degraded"'
+    cat "$BROWN_DIR/eo.json"
+    exit 1
+}
+
+# Zero 5xx: overload may refuse (4xx) but must never break.
+for f in "$BROWN_DIR"/code_*; do
+    code=$(cat "$f")
+    case "$code" in
+    5*)
+        echo "brownout: burst produced a $code ($f)"
+        cat "${f%code_*}resp_${f##*code_}.json" 2>/dev/null || true
+        cat "$BROWN_DIR/served.log"
+        exit 1
+        ;;
+    esac
+done
+
+# A nonzero stream of bounded answers, every one of them re-verified:
+# the reduction certificate was re-checked against the original graph in
+# exact arithmetic before the response claimed "verified".
+bounded=0
+for f in "$BROWN_DIR"/resp_*.json; do
+    grep -q '"degradation": "bounded"' "$f" || continue
+    bounded=$((bounded + 1))
+    grep -q '"verified": true' "$f" || {
+        echo "brownout: bounded answer without a re-checked certificate ($f)"
+        cat "$f"
+        exit 1
+    }
+done
+if [ "$bounded" -eq 0 ]; then
+    echo 'brownout: burst produced no bounded answers'
+    cat "$BROWN_DIR/served.log"
+    exit 1
+fi
+echo "   $bounded certified bounded answers under overload"
+
+# The ladder is visible on the metrics surface.
+curl -s "http://$BROWN_ADDR/metrics" > "$BROWN_DIR/metrics.txt"
+for series in \
+    'sdf_serve_degraded_total\{level="bounded"\} [1-9]' \
+    'sdf_degradation_level [0-9]'; do
+    grep -E "$series" "$BROWN_DIR/metrics.txt" >/dev/null || {
+        echo "brownout: /metrics missing series $series"
+        cat "$BROWN_DIR/metrics.txt"
+        exit 1
+    }
+done
+
+# SIGTERM: the browned-out daemon still drains cleanly.
+kill -TERM "$BROWN_PID"
+rc=0
+wait "$BROWN_PID" || rc=$?
+BROWN_PID=
+if [ "$rc" -ne 0 ]; then
+    echo "brownout: sdfserved exited $rc after SIGTERM, want 0"
+    cat "$BROWN_DIR/served.log"
+    exit 1
+fi
+grep -q 'drained cleanly' "$BROWN_DIR/served.log" || {
+    echo 'brownout: no clean-drain line in the daemon log'
+    cat "$BROWN_DIR/served.log"
+    exit 1
+}
+cleanup_brown
+trap - EXIT
+
 echo '== fleet soak: kill-a-replica storm through sdfrouter'
 # Chaos soak of the fleet layer: three sdfserved replicas behind a
 # race-instrumented sdfrouter take a 200-request storm; one replica is

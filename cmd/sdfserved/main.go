@@ -8,6 +8,15 @@
 // 503, in-flight analyses finish under the drain deadline, stragglers
 // are cancelled.
 //
+// Under overload the daemon browns out instead of refusing: queue
+// pressure and sustained p99 breaches walk a degradation ladder
+// (exact → bounded → stale-cache → shed) that swaps exact analyses for
+// certified conservative bounds and then for stale cache entries, every
+// degraded answer labelled with a "degradation" field and the brownout
+// level exported as sdf_degradation_level. Clients that cannot accept a
+// degraded answer send "exact_only": true and get a 429 with a
+// Retry-After sized from the queue's drain estimate.
+//
 // Usage:
 //
 //	sdfserved [flags]
@@ -73,6 +82,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		queue          = fs.Int("queue", 0, "admission queue depth on top of the workers (0 = default)")
 		pool           = fs.Int64("pool", 0, "global work-unit pool for admission control (0 = default)")
 		cache          = fs.Int("cache", 0, "result cache entries (0 = default)")
+		cacheTTL       = fs.Duration("cache-ttl", 0, "result freshness window; expired entries are recomputed when healthy and stale-served under brownout (0 = never expire)")
+		degradeHold    = fs.Duration("degrade-hold", 0, "how long pressure must stay below a brownout level before stepping down one rung (0 = default 2s)")
+		degradeP99     = fs.Duration("degrade-p99", 0, "p99 latency target; sustained breach escalates the brownout ladder (0 = default 1s)")
 		timeout        = fs.Duration("timeout", 0, "default per-request analysis deadline (0 = server default)")
 		maxTimeout     = fs.Duration("max-timeout", 0, "upper clamp on client-requested deadlines (0 = server default)")
 		threshold      = fs.Int("breaker-threshold", 0, "consecutive failures that trip an engine's breaker (0 = default)")
@@ -94,15 +106,18 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		reg.EnableEvents(*events)
 	}
 	s := serve.New(serve.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		PoolCapacity:   *pool,
-		CacheEntries:   *cache,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Breaker:        guard.BreakerOptions{Threshold: *threshold, Cooldown: *cooldown},
-		AllowInjection: *allowInjection,
-		Obs:            reg,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		PoolCapacity:     *pool,
+		CacheEntries:     *cache,
+		CacheTTL:         *cacheTTL,
+		DegradeHold:      *degradeHold,
+		DegradeTargetP99: *degradeP99,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		Breaker:          guard.BreakerOptions{Threshold: *threshold, Cooldown: *cooldown},
+		AllowInjection:   *allowInjection,
+		Obs:              reg,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

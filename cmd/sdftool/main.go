@@ -32,7 +32,9 @@
 //	query       analyse through a running sdfserved daemon (-server,
 //	            -method, -health) or a replica list (-addr url1,url2,...
 //	            tried in order, falling through dead replicas); server
-//	            errors map onto the same exit codes as local analyses
+//	            errors map onto the same exit codes as local analyses;
+//	            -exact-only refuses brownout answers (a degraded server
+//	            answers 429 instead of a certified bound or stale result)
 //
 // Every command accepts -timeout (a wall-clock deadline such as 500ms)
 // and -budget (a uniform work cap on states, firings, HSDF actors and
@@ -43,7 +45,9 @@
 // Exit codes:
 //
 //	0  success
-//	1  usage or I/O error (including malformed server responses)
+//	1  usage or I/O error (including malformed server responses and a
+//	   request body over the server's wire cap — "too-large" — which no
+//	   retry can fix)
 //	2  model precondition failed (lint precheck, inconsistent rates,
 //	   deadlocking cycle, error-level lint diagnostics)
 //	3  work budget exceeded or deadline/cancellation hit
@@ -53,9 +57,10 @@
 //	   whose witness did not survive the independent exact-arithmetic
 //	   check
 //	6  analysis service unavailable: the sdfserved daemon refused the
-//	   request (overloaded, draining, or the engine's circuit breaker
-//	   is open), the sdfrouter fleet had no alive replica, or every
-//	   replica in a -addr list was unreachable — retry later
+//	   request (overloaded, draining, browned out with -exact-only set,
+//	   or the engine's circuit breaker is open), the sdfrouter fleet
+//	   had no alive replica, or every replica in a -addr list was
+//	   unreachable — retry later
 package main
 
 import (

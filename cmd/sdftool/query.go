@@ -35,7 +35,11 @@ func (e *remoteError) Error() string {
 // Unavailability kinds get their own code, 6: the request was fine, the
 // service was not, and the caller should retry rather than touch the
 // model. "unavailable" covers both the router's fleet-wide refusals and
-// an exhausted client-side -addr fallthrough.
+// an exhausted client-side -addr fallthrough; "degraded" is the
+// brownout ladder refusing an -exact-only request (retry when the
+// pressure clears). "too-large" is a permanent verdict on this request
+// — shrink the graph, retrying cannot help — so it shares code 1 with
+// the other request-shaped failures.
 func (e *remoteError) exitCode() int {
 	switch e.kind {
 	case "precondition":
@@ -46,9 +50,11 @@ func (e *remoteError) exitCode() int {
 		return 4
 	case "certificate":
 		return 5
-	case "overloaded", "draining", "breaker-open", "unavailable":
+	case "overloaded", "draining", "breaker-open", "unavailable", "degraded":
 		return 6
-	default: // bad-request, injection-disabled, unknown kinds
+	case "bad-request", "injection-disabled", "too-large":
+		return 1
+	default: // unknown kinds
 		return 1
 	}
 }
@@ -76,6 +82,7 @@ func cmdQuery(args []string, out io.Writer) error {
 	format := fs.String("format", "", "input format: text, xml or json (default: by extension)")
 	timeout := fs.Duration("timeout", 0, "per-request analysis deadline sent to the server (0 = server default)")
 	budget := fs.Int64("budget", 0, "uniform work cap sent to the server (0 = defaults, negative = unlimited)")
+	exactOnly := fs.Bool("exact-only", false, "refuse degraded answers: a browned-out server answers 429 (exit 6) instead of a bounded or stale result")
 	health := fs.Bool("health", false, "fetch the server health report instead of analysing a graph")
 	metrics := fs.Bool("metrics", false, "scrape and summarise the server's /metrics instead of analysing a graph")
 	if err := fs.Parse(args); err != nil {
@@ -122,6 +129,7 @@ func cmdQuery(args []string, out io.Writer) error {
 		Method:    *method,
 		TimeoutMS: timeout.Milliseconds(),
 		Budget:    *budget,
+		ExactOnly: *exactOnly,
 	})
 	if err != nil {
 		return err
@@ -145,13 +153,28 @@ func cmdQuery(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %s\n", line)
 		}
 	}
-	if res.Unbounded {
+	switch {
+	case res.Unbounded:
 		fmt.Fprintln(out, "throughput: unbounded (no dependency cycle constrains the steady state)")
-	} else {
+	case res.Degradation == "bounded":
+		// A brownout answer: the period is a certified conservative
+		// upper bound, not the exact Λ.
+		fmt.Fprintf(out, "iteration period: <= %s (certified upper bound; engine: %s)\n", res.Period, res.Engine)
+		if res.PeriodLower != "" {
+			fmt.Fprintf(out, "period enclosure: [%s, %s]\n", res.PeriodLower, res.Period)
+		}
+	default:
 		fmt.Fprintf(out, "iteration period: %s (engine: %s)\n", res.Period, res.Engine)
 	}
 	if res.Verified {
 		fmt.Fprintf(out, "verified: %s\n", res.Certificate)
+	}
+	if res.Degradation != "" {
+		note := ""
+		if res.Stale {
+			note = "; expired cache entry, background refresh under way"
+		}
+		fmt.Fprintf(out, "degraded: served at the %s level%s\n", res.Degradation, note)
 	}
 	switch {
 	case res.Cached:
@@ -326,6 +349,9 @@ func queryHealth(out io.Writer, server string) error {
 	state := "admitting"
 	if h.Draining {
 		state = "draining"
+	}
+	if h.Degradation != "" && h.Degradation != "exact" {
+		state += ", degraded: " + h.Degradation
 	}
 	fmt.Fprintf(out, "server:     %s (%s)\n", server, state)
 	fmt.Fprintf(out, "in flight:  %d (running %d of %d workers, queue capacity %d)\n",

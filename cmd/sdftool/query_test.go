@@ -215,8 +215,10 @@ func TestExitCodeTable(t *testing.T) {
 		{"remote draining", remote("draining"), 6},
 		{"remote breaker-open", remote("breaker-open"), 6},
 		{"remote unavailable", remote("unavailable"), 6},
+		{"remote degraded", remote("degraded"), 6},
 		{"remote bad-request", remote("bad-request"), 1},
 		{"remote injection-disabled", remote("injection-disabled"), 1},
+		{"remote too-large", remote("too-large"), 1},
 		{"remote unknown kind", remote("???"), 1},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// kindMap is the cross-package wire-contract check: every error kind the
+// serving layer can put on the wire (a string literal returned by
+// serve.KindOf) must have an explicit case in sdftool's exit-code table
+// (a case literal in an exitCode function under cmd/sdftool). The
+// default-to-1 fallback in that table exists for kinds from *future*
+// servers, not as a dumping ground for kinds the repository already
+// defines — a new kind that silently falls through would ship with an
+// undocumented exit code.
+//
+// The check is cross-directory, so it accumulates over the whole run and
+// only fires when both sides were actually seen: analysing a single
+// package in isolation must not report every kind as unmapped.
+type kindMap struct {
+	kinds map[string]token.Position // kind -> its return in KindOf
+	cases map[string]bool           // kinds with an explicit exitCode case
+	sawFn bool                      // an exitCode function was harvested
+}
+
+func newKindMap() *kindMap {
+	return &kindMap{kinds: make(map[string]token.Position), cases: make(map[string]bool)}
+}
+
+// collect harvests one parsed file's contribution to either side of the
+// mapping, scoped by the file's logical package path.
+func (km *kindMap) collect(fset *token.FileSet, file *ast.File, logical string) {
+	dir := strings.ReplaceAll(logical, "\\", "/")
+	switch {
+	case strings.Contains(dir, "internal/serve/"):
+		km.collectKinds(fset, file)
+	case strings.Contains(dir, "cmd/sdftool/"):
+		km.collectCases(file)
+	}
+}
+
+// collectKinds records every non-empty string literal returned by a
+// function named KindOf.
+func (km *kindMap) collectKinds(fset *token.FileSet, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name != "KindOf" || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			if kind, ok := stringLit(ret.Results[0]); ok && kind != "" {
+				if _, seen := km.kinds[kind]; !seen {
+					km.kinds[kind] = fset.Position(ret.Pos())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectCases records every string literal appearing in a case clause
+// of a function named exitCode (the method on remoteError carries the
+// kind table; the package-level exitCode switches on sentinel errors and
+// contributes no string cases).
+func (km *kindMap) collectCases(file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name != "exitCode" || fn.Body == nil {
+			continue
+		}
+		km.sawFn = true
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CaseClause)
+			if !ok {
+				return true
+			}
+			for _, e := range cc.List {
+				if kind, ok := stringLit(e); ok {
+					km.cases[kind] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// findings reports every harvested kind without an exit-code case. With
+// either side missing from the analysed set, the mapping cannot be
+// judged and the check stays silent.
+func (km *kindMap) findings() []finding {
+	if len(km.kinds) == 0 || !km.sawFn {
+		return nil
+	}
+	var names []string
+	for kind := range km.kinds {
+		if !km.cases[kind] {
+			names = append(names, kind)
+		}
+	}
+	sort.Strings(names)
+	out := make([]finding, 0, len(names))
+	for _, kind := range names {
+		out = append(out, finding{
+			pos:   km.kinds[kind],
+			check: "kindmap",
+			msg: "error kind " + strconv.Quote(kind) +
+				" returned by serve.KindOf has no case in sdftool's exitCode table; map it to a documented exit code",
+		})
+	}
+	return out
+}
+
+// stringLit unwraps e to a string literal's value.
+func stringLit(e ast.Expr) (string, bool) {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return stringLit(p.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -25,6 +25,11 @@
 //	          no _test.go file in the package references: a rule's lift
 //	          is the only path from a reduced-graph answer back to the
 //	          original graph, so it must be named and test-exercised
+//	kindmap   error kinds returned by serve.KindOf (string literals)
+//	          missing an explicit case in sdftool's exitCode table:
+//	          every kind the server can put on the wire must map to a
+//	          documented CLI exit code, not fall through the default
+//	          (cross-directory; silent unless both sides are analysed)
 //
 // Usage:
 //
@@ -107,6 +112,7 @@ func run(args []string, out io.Writer) ([]finding, error) {
 	}
 	var all []finding
 	fset := token.NewFileSet()
+	km := newKindMap()
 	for _, dir := range dirs {
 		entries, err := os.ReadDir(dir)
 		if err != nil {
@@ -128,6 +134,7 @@ func run(args []string, out io.Writer) ([]finding, error) {
 			}
 			logical := logicalPath(path)
 			all = append(all, analyzeFile(fset, file, logical)...)
+			km.collect(fset, file, logical)
 			pkgFiles = append(pkgFiles, parsedFile{
 				file:    file,
 				logical: logical,
@@ -136,6 +143,7 @@ func run(args []string, out io.Writer) ([]finding, error) {
 		}
 		all = append(all, analyzeRuleLift(fset, pkgFiles)...)
 	}
+	all = append(all, km.findings()...)
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].pos, all[j].pos
 		if a.Filename != b.Filename {

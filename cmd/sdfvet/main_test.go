@@ -13,7 +13,7 @@ import (
 
 var knownChecks = map[string]bool{
 	"ratcmp": true, "mpcmp": true, "floatconv": true, "droperr": true, "minmaxint": true,
-	"rulelift": true,
+	"rulelift": true, "kindmap": true,
 }
 
 // wantMarkers reads every fixture file and returns, keyed by
@@ -85,6 +85,22 @@ func TestFixtures(t *testing.T) {
 	}
 	if len(want) == 0 {
 		t.Fatal("no want markers found; fixture tree missing?")
+	}
+}
+
+// TestKindMapNeedsBothSides: kindmap is a cross-directory check, so
+// analysing only the serving side (no exitCode table in scope) must stay
+// silent instead of reporting every kind as unmapped.
+func TestKindMapNeedsBothSides(t *testing.T) {
+	var out bytes.Buffer
+	findings, err := run([]string{filepath.Join("testdata", "src", "internal", "serve")}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.check == "kindmap" {
+			t.Errorf("kindmap finding without the exit-code side in scope: %s", f)
+		}
 	}
 }
 

@@ -1,0 +1,18 @@
+// Fixture for the kindmap check: the exit-code table that must carry an
+// explicit case for every kind the fixture serve.KindOf can return.
+package main
+
+type remoteError struct{ kind string }
+
+func (e *remoteError) exitCode() int {
+	switch e.kind {
+	case "internal":
+		return 4
+	case "degraded":
+		return 6
+	case "too-large":
+		return 1
+	default:
+		return 1
+	}
+}

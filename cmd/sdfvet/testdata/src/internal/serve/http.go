@@ -1,0 +1,26 @@
+// Fixture for the kindmap check: KindOf defines the wire kinds. The
+// kinds "degraded" and "too-large" have cases in the fixture exitCode
+// table under cmd/sdftool; "orphan" deliberately has none.
+package serve
+
+import "errors"
+
+var (
+	errDegraded = errors.New("degraded")
+	errTooLarge = errors.New("too large")
+	errOrphan   = errors.New("orphan")
+)
+
+func KindOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, errDegraded):
+		return "degraded"
+	case errors.Is(err, errTooLarge):
+		return "too-large"
+	case errors.Is(err, errOrphan):
+		return "orphan" // want kindmap
+	}
+	return "internal"
+}

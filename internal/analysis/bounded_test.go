@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/sdf"
+)
+
+// abstractableGraph builds an HSDF graph no exact rule bites on (a
+// diamond: every actor has in- or out-degree 2) so the fixpoint's only
+// move is the Definitions 3–4 abstraction; the self-loop on B gives the
+// period floor a witness. Exact period: max cycle mean = 5/2 (the
+// A→C→D→A cycle); the self-loop contributes 2/1.
+func abstractableGraph(t *testing.T) *sdf.Graph {
+	t.Helper()
+	g := sdf.NewGraph("diamond")
+	a := g.MustAddActor("A", 1)
+	b := g.MustAddActor("B", 2)
+	c := g.MustAddActor("C", 3)
+	d := g.MustAddActor("D", 1)
+	g.MustAddChannel(a, b, 1, 1, 0)
+	g.MustAddChannel(a, c, 1, 1, 0)
+	g.MustAddChannel(b, d, 1, 1, 0)
+	g.MustAddChannel(c, d, 1, 1, 0)
+	g.MustAddChannel(d, a, 1, 1, 2)
+	g.MustAddChannel(b, b, 1, 1, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+// TestBoundedExactChain: on a graph the exact rules fully reduce, the
+// bounded mode returns a degenerate enclosure Lower == Upper == Λ with
+// an exact certificate chain.
+func TestBoundedExactChain(t *testing.T) {
+	g := reducibleGraph(t)
+	direct, err := ComputeThroughputDirectCtx(unlimited(), g, Matrix)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	b, cert, err := ComputeThroughputBounded(unlimited(), g, BoundedOptions{})
+	if err != nil {
+		t.Fatalf("bounded: %v", err)
+	}
+	if b.Unbounded || !b.Exact {
+		t.Fatalf("bound = %+v, want exact bounded enclosure", b)
+	}
+	if !b.Upper.Equal(direct.Period) || !b.Lower.Equal(direct.Period) {
+		t.Fatalf("enclosure [%v, %v], want degenerate at %v", b.Lower, b.Upper, direct.Period)
+	}
+	if cert.Bound {
+		t.Fatalf("exact chain marked as a bound")
+	}
+	if err := cert.Check(unlimited(), g); err != nil {
+		t.Fatalf("certificate re-check: %v", err)
+	}
+}
+
+// TestBoundedAbstraction: on a graph only the abstraction rule can
+// shrink, the enclosure must bracket the true period, the certificate
+// must carry Bound and still re-check against the original graph in
+// exact arithmetic — the acceptance criterion of a brownout answer.
+func TestBoundedAbstraction(t *testing.T) {
+	g := abstractableGraph(t)
+	direct, err := ComputeThroughputDirectCtx(unlimited(), g, Matrix)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	b, cert, err := ComputeThroughputBounded(unlimited(), g, BoundedOptions{})
+	if err != nil {
+		t.Fatalf("bounded: %v", err)
+	}
+	if b.Unbounded {
+		t.Fatalf("bounded graph reported unbounded")
+	}
+	if b.Exact || !cert.Bound {
+		t.Fatalf("abstraction chain not marked as a bound (exact=%v, cert.Bound=%v)", b.Exact, cert.Bound)
+	}
+	if b.Lower.Cmp(direct.Period) > 0 {
+		t.Fatalf("floor %v exceeds the true period %v", b.Lower, direct.Period)
+	}
+	if b.Upper.Cmp(direct.Period) < 0 {
+		t.Fatalf("ceiling %v below the true period %v — the bound is not conservative", b.Upper, direct.Period)
+	}
+	if b.Lower.IsZero() {
+		t.Fatalf("self-loop floor not picked up: lower bound is zero")
+	}
+	if err := cert.Check(unlimited(), g); err != nil {
+		t.Fatalf("conservativeness certificate rejected against the original graph: %v", err)
+	}
+	if len(b.Repetition) != g.NumActors() {
+		t.Fatalf("repetition has %d entries, want %d", len(b.Repetition), g.NumActors())
+	}
+}
+
+// TestBoundedCostCeiling: the ceiling is hard — a ceiling too small for
+// even the reduction fixpoint yields a budget refusal, not a hang and
+// not an uncertified answer.
+func TestBoundedCostCeiling(t *testing.T) {
+	g := abstractableGraph(t)
+	_, _, err := ComputeThroughputBounded(unlimited(), g, BoundedOptions{CostCeiling: 1})
+	if err == nil {
+		t.Fatalf("ceiling of 1 work unit produced an answer")
+	}
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("ceiling error = %v, want guard.ErrBudgetExceeded", err)
+	}
+}
+
+// TestBoundedUnbounded: an acyclic graph has no constraining cycle and
+// the bounded mode says so rather than inventing an enclosure.
+func TestBoundedUnbounded(t *testing.T) {
+	g := sdf.NewGraph("pipe")
+	a := g.MustAddActor("A", 3)
+	b := g.MustAddActor("B", 4)
+	g.MustAddChannel(a, b, 2, 1, 0)
+	bound, cert, err := ComputeThroughputBounded(unlimited(), g, BoundedOptions{})
+	if err != nil {
+		t.Fatalf("bounded: %v", err)
+	}
+	if !bound.Unbounded {
+		t.Fatalf("want unbounded, got [%v, %v]", bound.Lower, bound.Upper)
+	}
+	if err := cert.Check(unlimited(), g); err != nil {
+		t.Fatalf("certificate re-check: %v", err)
+	}
+}

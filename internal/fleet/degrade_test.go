@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// degradedBackend answers every analysis request with a canned payload,
+// tagging it with the given brownout level header when non-empty.
+func degradedBackend(name, level string) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if level != "" {
+			w.Header().Set("X-SDF-Degradation", level)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(okPayload(name))
+	}))
+}
+
+// TestDegradedRerouting: the router prefers un-browned replicas when a
+// key's ring owner is degraded, relays the degradation marker to the
+// client, and falls back to cache affinity when the whole fleet is
+// browned out.
+func TestDegradedRerouting(t *testing.T) {
+	defer noLeaks(t)
+	a := degradedBackend("a", "bounded")
+	defer a.Close()
+	b := degradedBackend("b", "")
+	defer b.Close()
+
+	reg := obs.New()
+	r := New(Options{Replicas: []string{a.URL, b.URL}, Obs: reg})
+	defer r.Close()
+	h := NewHandler(r)
+	body := bodyWithPrimary(t, r, 0) // ring owner = replica a
+
+	// No probe detail yet: ring order holds, and the owner's brownout
+	// marker survives the hop to the client.
+	rec := post(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-SDF-Replica"); got != a.URL {
+		t.Fatalf("answered by %q, want the ring owner %q", got, a.URL)
+	}
+	if got := rec.Header().Get("X-SDF-Degradation"); got != "bounded" {
+		t.Fatalf("relayed degradation = %q, want bounded", got)
+	}
+
+	// A probe reports the owner browned out: traffic prefers the
+	// un-degraded replica even though its cache is cold.
+	r.members[0].setDetail(probeReport{Ready: true, Degradation: "bounded"})
+	rec = post(t, h, body)
+	if got := rec.Header().Get("X-SDF-Replica"); got != b.URL {
+		t.Fatalf("answered by %q, want the un-degraded %q", got, b.URL)
+	}
+	if got := rec.Header().Get("X-SDF-Degradation"); got != "" {
+		t.Fatalf("un-degraded answer carries marker %q", got)
+	}
+	if mh := r.MembersHealth()[0]; mh.Degradation != "bounded" {
+		t.Fatalf("member health degradation = %q, want bounded", mh.Degradation)
+	}
+
+	// The reroute is visible in the router's metrics.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	samples, err := obs.ParseText(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == obs.MetricFleetDegradedReroutes && s.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("%s not incremented", obs.MetricFleetDegradedReroutes)
+	}
+
+	// The whole fleet browned out: nothing to prefer, cache affinity
+	// wins again and the owner's marker reaches the client.
+	r.members[1].setDetail(probeReport{Ready: true, Degradation: "stale-cache"})
+	rec = post(t, h, body)
+	if got := rec.Header().Get("X-SDF-Replica"); got != a.URL {
+		t.Fatalf("all-degraded fleet answered by %q, want the ring owner %q", got, a.URL)
+	}
+	if got := rec.Header().Get("X-SDF-Degradation"); got != "bounded" {
+		t.Fatalf("all-degraded relayed marker = %q, want bounded", got)
+	}
+}

@@ -178,7 +178,12 @@ func (r *Router) Start() {
 }
 
 // aliveOrder returns the key's failover order restricted to alive
-// members: the primary first, then its ring successors.
+// members: the primary first, then its ring successors. When the ring
+// owner is browned out and an un-degraded replica exists, the
+// un-degraded ones move to the front (keeping ring order within each
+// group): a colder cache on a healthy replica beats a warm cache that
+// can only answer with bounds. The reroute is counted so operators can
+// see cache affinity being traded away under brownout.
 func (r *Router) aliveOrder(key string) []*member {
 	idx := r.ring.order(key)
 	out := make([]*member, 0, len(idx))
@@ -187,7 +192,26 @@ func (r *Router) aliveOrder(key string) []*member {
 			out = append(out, r.members[i])
 		}
 	}
-	return out
+	if len(out) < 2 || !out[0].isDegraded() {
+		return out
+	}
+	sound := make([]*member, 0, len(out))
+	var degraded []*member
+	for _, m := range out {
+		if m.isDegraded() {
+			degraded = append(degraded, m)
+		} else {
+			sound = append(sound, m)
+		}
+	}
+	if len(sound) == 0 {
+		// The whole fleet is browned out: keep cache affinity, the
+		// owner's bounded answer is as good as anyone's.
+		return out
+	}
+	r.reg.Counter(obs.MetricFleetDegradedReroutes).Inc()
+	r.reg.Emit("fleet.degraded-reroute", "from", out[0].addr, "to", sound[0].addr)
+	return append(sound, degraded...)
 }
 
 // MembersHealth reports every replica's health-gate state.

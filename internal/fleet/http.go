@@ -152,6 +152,11 @@ func (r *Router) handleThroughput(w http.ResponseWriter, req *http.Request) {
 	if ct := out.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
+	if dg := out.header.Get("X-SDF-Degradation"); dg != "" {
+		// The brownout marker survives the hop: the client learns its
+		// answer was degraded even through the fleet.
+		w.Header().Set("X-SDF-Degradation", dg)
+	}
 	w.Header().Set("X-SDF-Replica", out.m.addr)
 	w.WriteHeader(out.status)
 	_, _ = w.Write(out.body)

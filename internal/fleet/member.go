@@ -18,7 +18,11 @@ import (
 type probeReport struct {
 	Ready    bool `json:"ready"`
 	Draining bool `json:"draining"`
-	Breakers []struct {
+	// Degradation is the replica's brownout level ("exact", "bounded",
+	// "stale-cache", "shed"); the router prefers un-browned replicas
+	// when a key's ring owner is degraded.
+	Degradation string `json:"degradation"`
+	Breakers    []struct {
 		Engine string `json:"engine"`
 		State  string `json:"state"`
 	} `json:"breakers"`
@@ -29,14 +33,15 @@ type probeReport struct {
 type member struct {
 	addr string // base URL, e.g. http://127.0.0.1:8081
 
-	mu         sync.Mutex
-	alive      bool
-	failStreak int  // consecutive probe/transport failures while alive
-	okStreak   int  // consecutive probe successes while ejected
-	draining   bool // last probe saw the replica draining
-	openBreak  int  // open breakers in the last probe report
-	ejections  int64
-	readmits   int64
+	mu          sync.Mutex
+	alive       bool
+	failStreak  int    // consecutive probe/transport failures while alive
+	okStreak    int    // consecutive probe successes while ejected
+	draining    bool   // last probe saw the replica draining
+	degradation string // brownout level from the last probe report
+	openBreak   int    // open breakers in the last probe report
+	ejections   int64
+	readmits    int64
 }
 
 // MemberHealth is one replica's state in the router's health report.
@@ -47,12 +52,13 @@ type MemberHealth struct {
 	// consecutive probe successes while ejected (probation progress).
 	FailStreak int `json:"fail_streak"`
 	OKStreak   int `json:"ok_streak"`
-	// Draining and OpenBreakers relay what the last successful probe
-	// read out of the replica's /readyz detail.
-	Draining     bool  `json:"draining,omitempty"`
-	OpenBreakers int   `json:"open_breakers,omitempty"`
-	Ejections    int64 `json:"ejections"`
-	Readmissions int64 `json:"readmissions"`
+	// Draining, Degradation and OpenBreakers relay what the last
+	// successful probe read out of the replica's /readyz detail.
+	Draining     bool   `json:"draining,omitempty"`
+	Degradation  string `json:"degradation,omitempty"`
+	OpenBreakers int    `json:"open_breakers,omitempty"`
+	Ejections    int64  `json:"ejections"`
+	Readmissions int64  `json:"readmissions"`
 }
 
 func (m *member) health() MemberHealth {
@@ -71,6 +77,7 @@ func (m *member) health() MemberHealth {
 		FailStreak:   m.failStreak,
 		OKStreak:     m.okStreak,
 		Draining:     m.draining,
+		Degradation:  m.degradation,
 		OpenBreakers: m.openBreak,
 		Ejections:    m.ejections,
 		Readmissions: m.readmits,
@@ -149,8 +156,18 @@ func (m *member) setDetail(rep probeReport) {
 	}
 	m.mu.Lock()
 	m.draining = rep.Draining
+	m.degradation = rep.Degradation
 	m.openBreak = open
 	m.mu.Unlock()
+}
+
+// isDegraded reports whether the last probe saw the replica browned
+// out. An empty level (replica predates the ladder, or no probe yet)
+// counts as exact: routing must not churn on missing information.
+func (m *member) isDegraded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degradation != "" && m.degradation != "exact"
 }
 
 // probeLoop probes one replica's /readyz every ProbeInterval until ctx

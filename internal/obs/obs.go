@@ -74,6 +74,13 @@ const (
 	// MetricReduceSteps counts applied reduction-rule rewrites (label
 	// rule).
 	MetricReduceSteps = "sdf_reduce_steps_total"
+	// MetricDegradationLevel is the serving layer's current brownout
+	// level as a gauge: 0 exact, 1 bounded, 2 stale-cache, 3 shed.
+	MetricDegradationLevel = "sdf_degradation_level"
+	// MetricDegraded counts answers and refusals produced under a
+	// degraded admission level (label level: bounded, stale-cache, shed,
+	// exact-only).
+	MetricDegraded = "sdf_serve_degraded_total"
 
 	// Fleet-layer metrics (the sdfrouter replica router).
 
@@ -105,6 +112,10 @@ const (
 	// MetricFleetProbes counts health probes by result (labels replica;
 	// result: ok, fail).
 	MetricFleetProbes = "sdf_fleet_probes_total"
+	// MetricFleetDegradedReroutes counts requests steered away from a
+	// browned-out ring owner toward an un-degraded replica (label
+	// replica = the preferred replica).
+	MetricFleetDegradedReroutes = "sdf_fleet_degraded_reroutes_total"
 )
 
 // Kind distinguishes the instrument families of a Registry.

@@ -244,6 +244,50 @@ func (f *Facts) Cost() int64 {
 	return f.cost
 }
 
+// PeriodFloor is a cheap, sound lower bound on the iteration period Λ
+// of the graph, derived from self-loop dependency chains only: a
+// channel a→a with rate p and t initial tokens lets at most ⌊t/p⌋
+// firings of a overlap, so the q(a) firings of one iteration take at
+// least q(a)·exec(a)/⌊t/p⌋ time. The bound deliberately uses nothing
+// but self-loops — under the paper's auto-concurrency semantics,
+// firings of an actor without one may overlap without limit, so
+// per-actor terms like q(a)·exec(a) are not sound. Graphs with no
+// delayed self-loop floor at zero; ok is false when the graph is
+// inconsistent (no repetition vector, so no iteration to bound) or the
+// arithmetic overflows int64.
+func (f *Facts) PeriodFloor() (floor rat.Rat, ok bool) {
+	q, err := f.Repetition()
+	if err != nil {
+		return rat.Rat{}, false
+	}
+	floor = rat.Zero()
+	for _, c := range f.g.Channels() {
+		if c.Src != c.Dst || c.Cons < 1 {
+			continue
+		}
+		// Each in-flight firing holds Cons tokens (consistency forces
+		// Prod == Cons on a self-loop), so at most ⌊t/Cons⌋ overlap.
+		lag := int64(c.Initial) / int64(c.Cons)
+		if lag < 1 {
+			// Zero effective delay: the self-loop deadlocks, which the
+			// lint precheck diagnoses; no period exists to bound.
+			continue
+		}
+		work, mulOK := rat.MulChecked(q[c.Src], f.g.Actor(c.Src).Exec)
+		if !mulOK {
+			return rat.Rat{}, false
+		}
+		mean, err := rat.New(work, lag)
+		if err != nil {
+			return rat.Rat{}, false
+		}
+		if mean.Cmp(floor) > 0 {
+			floor = mean
+		}
+	}
+	return floor, true
+}
+
 // Rebind returns a fact table for g that starts with the facts of f
 // named by keep already computed — the invalidation contract of the
 // pass manager: a rule application calls Rebind(after, rule.Preserves)

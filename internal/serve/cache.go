@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -15,10 +16,19 @@ import (
 // payload, because the serving layer lifts answers through each
 // request's own reduction chain before rendering — two originals that
 // reduce to the same graph share the entry but not the lift.
+//
+// With a TTL configured, entries past it stop answering get but stay
+// in the list: the degradation ladder's stale-cache level serves them
+// explicitly (marked stale) via getStale while a background refresh
+// recomputes. Expired entries leave only by capacity eviction or by
+// being overwritten with a fresh result — a stale certified answer
+// beats a refusal, and it still occupies the capacity it is worth.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
-	order   *list.List // front = most recently used; values are *cacheEntry
+	ttl     time.Duration    // 0 = entries never go stale
+	now     func() time.Time // registry clock (injectable in tests)
+	order   *list.List       // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
 	reg     *obs.Registry // nil = uninstrumented
 
@@ -26,24 +36,33 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key string
-	res *answer
+	key    string
+	res    *answer
+	stored time.Time
 }
 
-func newResultCache(capacity int, reg *obs.Registry) *resultCache {
+func newResultCache(capacity int, ttl time.Duration, reg *obs.Registry) *resultCache {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &resultCache{
 		cap:     capacity,
+		ttl:     ttl,
+		now:     reg.Now,
 		order:   list.New(),
 		entries: make(map[string]*list.Element, capacity),
 		reg:     reg,
 	}
 }
 
+// fresh reports whether the entry is still within the TTL.
+func (c *resultCache) fresh(e *cacheEntry) bool {
+	return c.ttl <= 0 || c.now().Sub(e.stored) < c.ttl
+}
+
 // get returns a copy of the cached answer for key, marking it as served
-// from the cache.
+// from the cache. Expired entries answer as misses (the exact path must
+// recompute) but are left in place for getStale.
 func (c *resultCache) get(key string) (*answer, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -53,12 +72,45 @@ func (c *resultCache) get(key string) (*answer, bool) {
 		c.reg.Counter(obs.MetricCacheEvents, "event", "miss").Inc()
 		return nil, false
 	}
+	e := el.Value.(*cacheEntry)
+	if !c.fresh(e) {
+		c.misses.Add(1)
+		c.reg.Counter(obs.MetricCacheEvents, "event", "expired").Inc()
+		return nil, false
+	}
 	c.hits.Add(1)
 	c.reg.Counter(obs.MetricCacheEvents, "event", "hit").Inc()
 	c.order.MoveToFront(el)
-	res := *el.Value.(*cacheEntry).res
+	res := *e.res
 	res.cached = true
 	return &res, true
+}
+
+// getStale returns a copy of the cached answer for key regardless of
+// age, reporting whether it is past the TTL. Serving an entry — fresh
+// or stale — refreshes its LRU position: an answer that is still being
+// asked for is the last one capacity eviction should reclaim.
+func (c *resultCache) getStale(key string) (res *answer, stale, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[key]
+	if !found {
+		c.misses.Add(1)
+		c.reg.Counter(obs.MetricCacheEvents, "event", "miss").Inc()
+		return nil, false, false
+	}
+	e := el.Value.(*cacheEntry)
+	stale = !c.fresh(e)
+	c.hits.Add(1)
+	if stale {
+		c.reg.Counter(obs.MetricCacheEvents, "event", "stale-hit").Inc()
+	} else {
+		c.reg.Counter(obs.MetricCacheEvents, "event", "hit").Inc()
+	}
+	c.order.MoveToFront(el)
+	out := *e.res
+	out.cached = true
+	return &out, stale, true
 }
 
 // put stores an answer, evicting the least recently used entry past the
@@ -67,11 +119,13 @@ func (c *resultCache) put(key string, res *answer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		e.res = res
+		e.stored = c.now()
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res, stored: c.now()})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

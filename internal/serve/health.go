@@ -13,6 +13,9 @@ type EngineHealth struct {
 // admission counters.
 type Health struct {
 	Draining bool `json:"draining"`
+	// Degradation is the admission controller's current brownout level:
+	// "exact", "bounded", "stale-cache" or "shed".
+	Degradation string `json:"degradation"`
 
 	// InFlight counts requests inside the server (queued + running),
 	// Running the analyses currently holding a worker.
@@ -49,6 +52,7 @@ func (s *Server) Health() Health {
 	s.mu.Unlock()
 	h := Health{
 		Draining:       draining,
+		Degradation:    s.ctrl.current().String(),
 		InFlight:       active,
 		Running:        s.running.Load(),
 		Workers:        s.opts.Workers,

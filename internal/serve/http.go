@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -26,10 +27,14 @@ func KindOf(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	case errors.Is(err, ErrTooLarge):
+		return "too-large"
 	case errors.Is(err, ErrBadRequest):
 		return "bad-request"
 	case errors.Is(err, ErrInjectionDisabled):
 		return "injection-disabled"
+	case errors.Is(err, ErrDegraded):
+		return "degraded"
 	case errors.Is(err, ErrOverloaded):
 		return "overloaded"
 	case errors.Is(err, ErrDraining):
@@ -68,9 +73,11 @@ func statusOf(kind string) int {
 	switch kind {
 	case "bad-request":
 		return http.StatusBadRequest
+	case "too-large":
+		return http.StatusRequestEntityTooLarge
 	case "injection-disabled":
 		return http.StatusForbidden
-	case "overloaded":
+	case "overloaded", "degraded":
 		return http.StatusTooManyRequests
 	case "draining", "breaker-open":
 		return http.StatusServiceUnavailable
@@ -87,7 +94,7 @@ func statusOf(kind string) int {
 // response should carry a Retry-After hint.
 func retryable(kind string) bool {
 	switch kind {
-	case "overloaded", "draining", "breaker-open":
+	case "overloaded", "draining", "breaker-open", "degraded":
 		return true
 	}
 	return false
@@ -118,7 +125,16 @@ func (s *Server) retryAfter(kind string) int {
 			secs = 1
 		}
 		return secs
+	case "degraded":
+		// The controller's drain estimate: how long the present backlog
+		// needs to clear at the recent mean latency.
+		return s.ctrl.drainEstimate(len(s.slots))
 	default: // overloaded
+		if s.ctrl.current() > LevelExact {
+			// A degraded server knows its drain time; quote it instead
+			// of the static backlog heuristic.
+			return s.ctrl.drainEstimate(len(s.slots))
+		}
 		backlog := len(s.slots)
 		hint := 1 + backlog/s.opts.Workers
 		if hint > 8 {
@@ -149,6 +165,11 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("POST /v1/throughput", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.writeError(w, fmt.Errorf("%w: body exceeds the %d-byte limit", ErrTooLarge, mbe.Limit))
+				return
+			}
 			s.writeError(w, errors.Join(ErrBadRequest, err))
 			return
 		}
@@ -161,6 +182,11 @@ func NewHandler(s *Server) http.Handler {
 		if err != nil {
 			s.writeError(w, err)
 			return
+		}
+		if res.Degradation != "" {
+			// The marker rides a header too, so the fleet router can
+			// relay it without parsing the body.
+			w.Header().Set("X-SDF-Degradation", res.Degradation)
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
@@ -182,11 +208,12 @@ func NewHandler(s *Server) http.Handler {
 		// it can gate membership without scraping /metrics. Existing
 		// callers that only look at the status code are unaffected.
 		type readiness struct {
-			Ready    bool           `json:"ready"`
-			Reason   string         `json:"reason,omitempty"`
-			Draining bool           `json:"draining"`
-			Breakers []EngineHealth `json:"breakers"`
-			Cache    cacheDetail    `json:"cache"`
+			Ready       bool           `json:"ready"`
+			Reason      string         `json:"reason,omitempty"`
+			Draining    bool           `json:"draining"`
+			Degradation string         `json:"degradation"`
+			Breakers    []EngineHealth `json:"breakers"`
+			Cache       cacheDetail    `json:"cache"`
 		}
 		detail := cacheDetail{
 			Entries:   s.cache.len(),
@@ -206,13 +233,14 @@ func NewHandler(s *Server) http.Handler {
 				Trips:  b.Trips(),
 			})
 		}
+		level := s.ctrl.current().String()
 		if s.Draining() {
 			w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfter))
 			writeJSON(w, http.StatusServiceUnavailable,
-				readiness{Reason: "draining", Draining: true, Breakers: breakers, Cache: detail})
+				readiness{Reason: "draining", Draining: true, Degradation: level, Breakers: breakers, Cache: detail})
 			return
 		}
-		writeJSON(w, http.StatusOK, readiness{Ready: true, Breakers: breakers, Cache: detail})
+		writeJSON(w, http.StatusOK, readiness{Ready: true, Degradation: level, Breakers: breakers, Cache: detail})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		if s.reg == nil {

@@ -198,8 +198,11 @@ func TestHTTPRetryAfterValues(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", rec.Code)
 	}
-	if got := rec.Header().Get("Retry-After"); got != "3" {
-		t.Errorf("overloaded Retry-After = %q, want 3 (1 + 2 queued / 1 worker)", got)
+	// The refused request escalated the ladder to shed, so the hint is
+	// the controller's drain estimate: 2 queued × 250ms fallback mean /
+	// 1 worker, rounded up to 1s.
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("overloaded Retry-After = %q, want the 1s drain estimate", got)
 	}
 
 	if err := s.Drain(context.Background()); err != nil {
@@ -263,7 +266,7 @@ func TestReadyzCacheDetail(t *testing.T) {
 // in the local counter and the registry series.
 func TestCacheEvictionOrderAndCounts(t *testing.T) {
 	reg := obs.New()
-	c := newResultCache(2, reg)
+	c := newResultCache(2, 0, reg)
 	r := func(p string) *answer { return &answer{engine: p} }
 
 	c.put("a", r("1"))

@@ -20,6 +20,11 @@ import (
 // unknown method, an invalid graph. It maps to HTTP 400.
 var ErrBadRequest = errors.New("serve: bad request")
 
+// ErrTooLarge marks a request whose body blew through maxRequestBytes
+// at the HTTP layer. It maps to HTTP 413 with its own stable error
+// kind, so clients can tell "shrink the graph" from "fix the JSON".
+var ErrTooLarge = errors.New("serve: request body too large")
+
 // maxRequestBytes caps the wire size of one request; the HTTP layer
 // additionally enforces it with http.MaxBytesReader before the decoder
 // ever sees the payload.
@@ -50,6 +55,11 @@ type RequestPayload struct {
 	// the server was started with injection enabled; exists so soak
 	// tests can drive the failure paths through the real wire format.
 	Inject []InjectPayload `json:"inject,omitempty"`
+	// ExactOnly opts this request out of brownout serving: when the
+	// server's degradation level is anything but exact, the request is
+	// refused (HTTP 429 + Retry-After) instead of answered with a
+	// bounded or stale result.
+	ExactOnly bool `json:"exact_only,omitempty"`
 }
 
 // InjectPayload is the wire form of one guard.Fault.
@@ -88,6 +98,20 @@ type ResultPayload struct {
 	// result cache, or by joining an identical in-flight request.
 	Cached  bool `json:"cached,omitempty"`
 	Deduped bool `json:"deduped,omitempty"`
+	// Degradation names the brownout level the answer was served at
+	// ("bounded", "stale-cache"); empty for a full-fidelity answer. A
+	// bounded answer's Period is the certified conservative upper bound
+	// of Λ, not Λ itself.
+	Degradation string `json:"degradation,omitempty"`
+	// Stale marks an answer served from an expired cache entry (a
+	// background refresh was kicked off).
+	Stale bool `json:"stale,omitempty"`
+	// PeriodLower is the advisory floor of a bounded answer's period
+	// enclosure (Lower ≤ Λ ≤ Period); absent when no cheap floor
+	// witness exists or the enclosure is degenerate.
+	PeriodLower    string `json:"period_lower,omitempty"`
+	PeriodLowerNum int64  `json:"period_lower_num,omitempty"`
+	PeriodLowerDen int64  `json:"period_lower_den,omitempty"`
 }
 
 // ErrorPayload is the JSON wire form of a failed analysis. Kind is a
@@ -112,6 +136,9 @@ type Request struct {
 	Budget int64
 	// Faults are the armed per-request faults (empty for real traffic).
 	Faults []guard.Fault
+	// ExactOnly refuses brownout answers (see RequestPayload.ExactOnly).
+	// It is excluded from Key(): it gates serving, not the answer.
+	ExactOnly bool
 }
 
 // DecodeRequest parses and validates the wire form of one request. All
@@ -176,11 +203,12 @@ func DecodeRequest(data []byte) (*Request, error) {
 	}
 
 	return &Request{
-		Graph:   g,
-		Method:  method,
-		Timeout: time.Duration(p.TimeoutMS) * time.Millisecond,
-		Budget:  p.Budget,
-		Faults:  faults,
+		Graph:     g,
+		Method:    method,
+		Timeout:   time.Duration(p.TimeoutMS) * time.Millisecond,
+		Budget:    p.Budget,
+		Faults:    faults,
+		ExactOnly: p.ExactOnly,
 	}, nil
 }
 

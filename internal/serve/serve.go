@@ -84,6 +84,18 @@ type Options struct {
 	// ever enable it for soak tests; it is how the failure paths are
 	// exercised deterministically through the real wire format.
 	AllowInjection bool
+	// CacheTTL is how long a cached result stays fresh. Past it, the
+	// exact path recomputes — but the entry remains servable, marked
+	// stale, at the degradation ladder's stale-cache level. 0 (the
+	// default) means entries never go stale.
+	CacheTTL time.Duration
+	// DegradeHold is how long the pressure signal must stay below the
+	// current degradation level before the controller steps down one
+	// rung; default 2s. Escalation is always immediate.
+	DegradeHold time.Duration
+	// DegradeTargetP99 is the recent-p99 latency past which the
+	// controller browns out even with a shallow queue; default 1s.
+	DegradeTargetP99 time.Duration
 	// Obs, when non-nil, receives every metric and event the server
 	// produces: request outcomes and latencies, per-engine wall times,
 	// cache traffic, breaker transitions. The registry is also injected
@@ -127,6 +139,11 @@ type Server struct {
 	pool     *guard.Pool
 	cache    *resultCache
 	flights  *flightGroup
+	ctrl     *controller
+
+	// refreshWG tracks background stale-cache refreshers so Drain and
+	// Close never leak a goroutine past the server's lifetime.
+	refreshWG sync.WaitGroup
 
 	// slots bounds requests inside the server (running + waiting);
 	// work bounds running analyses.
@@ -158,9 +175,11 @@ func New(opts Options) *Server {
 		reg:      opts.Obs,
 		breakers: make(map[analysis.Method]*guard.Breaker, len(opts.Engines)),
 		pool:     guard.NewPool(opts.PoolCapacity),
-		cache:    newResultCache(opts.CacheEntries, opts.Obs),
+		cache:    newResultCache(opts.CacheEntries, opts.CacheTTL, opts.Obs),
 		flights:  newFlightGroup(opts.Obs),
-		slots:    make(chan struct{}, opts.Workers+opts.QueueDepth),
+		ctrl: newController(opts.Workers, opts.Workers+opts.QueueDepth,
+			opts.DegradeTargetP99, opts.DegradeHold, opts.Obs),
+		slots: make(chan struct{}, opts.Workers+opts.QueueDepth),
 		work:     make(chan struct{}, opts.Workers),
 		drained:  make(chan struct{}),
 	}
@@ -202,6 +221,8 @@ func outcomeOf(err error) string {
 		return "refused-overloaded"
 	case errors.Is(err, ErrInjectionDisabled):
 		return "refused-injection"
+	case errors.Is(err, ErrDegraded):
+		return "refused-degraded"
 	default:
 		return "failed"
 	}
@@ -219,9 +240,16 @@ func outcomeOf(err error) string {
 func (s *Server) Analyze(ctx context.Context, req *Request) (*ResultPayload, error) {
 	start := s.reg.Now()
 	res, err := s.analyze(ctx, req)
-	s.reg.Histogram(obs.MetricRequestSeconds, "method", req.Method).
-		Observe(s.reg.Now().Sub(start))
-	s.reg.Counter(obs.MetricRequests, "outcome", outcomeOf(err)).Inc()
+	elapsed := s.reg.Now().Sub(start)
+	s.reg.Histogram(obs.MetricRequestSeconds, "method", req.Method).Observe(elapsed)
+	outcome := outcomeOf(err)
+	// The pressure signal samples only requests that did real work:
+	// refusals return in microseconds and would talk the p99 and the
+	// drain estimate down exactly when they should be going up.
+	if outcome == "served" || outcome == "failed" {
+		s.ctrl.observe(elapsed)
+	}
+	s.reg.Counter(obs.MetricRequests, "outcome", outcome).Inc()
 	return res, err
 }
 
@@ -239,11 +267,24 @@ func (s *Server) analyze(ctx context.Context, req *Request) (*ResultPayload, err
 	select {
 	case s.slots <- struct{}{}:
 	default:
+		// A full house is the strongest pressure signal there is: feed
+		// it to the controller even though this request is refused, so
+		// the ladder is already at shed for the next arrival.
+		s.ctrl.update(cap(s.slots))
 		s.overloaded.Add(1)
 		return nil, fmt.Errorf("%w: all %d request slots taken", ErrOverloaded, cap(s.slots))
 	}
 	defer func() { <-s.slots }()
 	s.admitted.Add(1)
+
+	// The degradation level of this request, decided at entry from the
+	// queue depth just observed (this request included) and the recent
+	// latency window.
+	level := s.ctrl.update(len(s.slots))
+	if req.ExactOnly && level > LevelExact {
+		s.reg.Counter(obs.MetricDegraded, "level", "exact-only").Inc()
+		return nil, fmt.Errorf("%w: serving at level %s and the request is exact-only", ErrDegraded, level)
+	}
 
 	// Cheap structural prechecks before any budget is reserved: an
 	// inconsistent or deadlocked graph costs the server almost nothing.
@@ -274,6 +315,22 @@ func (s *Server) analyze(ctx context.Context, req *Request) (*ResultPayload, err
 		}
 	}
 
+	// Browned-out serving: under pressure the server answers with the
+	// best certified thing it can afford instead of refusing. Injected
+	// requests never degrade — their faults must fire in the engine they
+	// name.
+	if len(req.Faults) == 0 && level > LevelExact {
+		res, err := s.analyzeDegraded(ctx, req, dispReq, red, level)
+		if err != nil {
+			if !errors.Is(err, ErrDegraded) {
+				s.failed.Add(1)
+			}
+			return nil, err
+		}
+		s.served.Add(1)
+		return res, nil
+	}
+
 	ans, err := s.dispatch(ctx, dispReq)
 	if err != nil {
 		s.failed.Add(1)
@@ -286,6 +343,85 @@ func (s *Server) analyze(ctx context.Context, req *Request) (*ResultPayload, err
 	}
 	s.served.Add(1)
 	return res, nil
+}
+
+// analyzeDegraded serves one request at a browned-out level. The ladder
+// inside: a fresh cache hit is free and full-fidelity at any level; at
+// stale-cache and shed an expired entry is served marked stale with a
+// background singleflight refresh; what remains is computed as a
+// certified bounded answer at the bounded and stale-cache levels, and
+// refused outright at shed.
+func (s *Server) analyzeDegraded(ctx context.Context, req, dispReq *Request, red *passes.Reduction, level Level) (*ResultPayload, error) {
+	key := dispReq.Key()
+	if ans, stale, ok := s.cache.getStale(key); ok {
+		serveIt := !stale || level >= LevelStale
+		if serveIt {
+			res, err := s.render(req.Graph, red, ans)
+			if err == nil {
+				if stale {
+					res.Degradation = LevelStale.String()
+					res.Stale = true
+					s.reg.Counter(obs.MetricDegraded, "level", LevelStale.String()).Inc()
+					s.spawnRefresh(dispReq, key)
+				}
+				return res, nil
+			}
+			// A render failure here means the cached entry no longer
+			// lifts; fall through to a fresh degraded answer.
+		}
+	}
+	if level >= LevelShed {
+		s.reg.Counter(obs.MetricDegraded, "level", LevelShed.String()).Inc()
+		return nil, fmt.Errorf("%w: shedding fresh work and no cached answer exists", ErrDegraded)
+	}
+	return s.serveBounded(ctx, req)
+}
+
+// serveBounded answers with a certified conservative enclosure from
+// analysis.ComputeThroughputBounded, cached and deduplicated under its
+// own key space (a bounded answer must never impersonate an exact one).
+func (s *Server) serveBounded(ctx context.Context, req *Request) (*ResultPayload, error) {
+	key := "bounded|" + req.Key()
+	ans, err := s.dispatchWith(ctx, key, func() (*answer, error) {
+		return s.executeBounded(req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.renderBounded(req.Graph, ans)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Counter(obs.MetricDegraded, "level", LevelBounded.String()).Inc()
+	return res, nil
+}
+
+// spawnRefresh recomputes a stale cache entry in the background,
+// singleflighted against identical live requests and refreshers. The
+// goroutine is tracked by refreshWG and runs under the server's base
+// context, so drain and close wait for it rather than leak it.
+func (s *Server) spawnRefresh(req *Request, key string) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.refreshWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.refreshWG.Done()
+		f, leader := s.flights.join(key)
+		if !leader {
+			// An identical computation is already in flight; its result
+			// will land in the cache.
+			return
+		}
+		res, err := s.execute(req)
+		if err == nil {
+			s.cache.put(key, res)
+		}
+		s.flights.finish(key, f, res, err)
+	}()
 }
 
 // render turns an engine-layer answer into the wire payload, lifting it
@@ -350,6 +486,13 @@ type answer struct {
 	report  []string
 	cached  bool
 	deduped bool
+
+	// bound and redCert carry a brownout answer: the two-sided period
+	// enclosure and the reduction-chain certificate that proves its
+	// conservativeness against the original graph. Exactly one of
+	// (tp, cert) and (bound, redCert) is populated.
+	bound   *analysis.Bound
+	redCert *verify.ReductionCert
 }
 
 // dispatch routes a request through the cache and singleflight group;
@@ -359,7 +502,15 @@ func (s *Server) dispatch(ctx context.Context, req *Request) (*answer, error) {
 	if len(req.Faults) > 0 {
 		return s.execute(req)
 	}
-	key := req.Key()
+	return s.dispatchWith(ctx, req.Key(), func() (*answer, error) {
+		return s.execute(req)
+	})
+}
+
+// dispatchWith is the cache/singleflight discipline for any keyed
+// computation: serve a fresh cached answer, join an identical in-flight
+// one, or lead the computation and publish its result.
+func (s *Server) dispatchWith(ctx context.Context, key string, exec func() (*answer, error)) (*answer, error) {
 	if res, ok := s.cache.get(key); ok {
 		return res, nil
 	}
@@ -377,7 +528,7 @@ func (s *Server) dispatch(ctx context.Context, req *Request) (*answer, error) {
 			return nil, fmt.Errorf("%w: %w", guard.ErrCanceled, context.Cause(ctx))
 		}
 	}
-	res, err := s.execute(req)
+	res, err := exec()
 	if err == nil {
 		s.cache.put(key, res)
 	}
@@ -436,6 +587,86 @@ func (s *Server) execute(req *Request) (*answer, error) {
 		return s.runHedged(actx, req.Graph)
 	}
 	return s.runSingle(actx, req.Graph, req.Method)
+}
+
+// executeBounded runs the brownout engine: reduction fixpoint plus the
+// matrix engine under analysis.DefaultBoundedCeiling. It still takes a
+// worker slot (bounded work is cheap, not free) but charges the pool at
+// most the ceiling — the whole point is a cost the server can always
+// afford.
+func (s *Server) executeBounded(req *Request) (*answer, error) {
+	cost := EstimateCost(req.Graph)
+	if cost > analysis.DefaultBoundedCeiling {
+		cost = analysis.DefaultBoundedCeiling
+	}
+	if !s.pool.TryAcquire(cost) {
+		s.overloaded.Add(1)
+		return nil, fmt.Errorf("%w: request cost %d exceeds pool headroom %d",
+			ErrOverloaded, cost, s.pool.Headroom())
+	}
+	defer s.pool.Release(cost)
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	if timeout > s.opts.MaxTimeout {
+		timeout = s.opts.MaxTimeout
+	}
+	actx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	actx = obs.WithRegistry(actx, s.reg)
+
+	select {
+	case s.work <- struct{}{}:
+	case <-actx.Done():
+		return nil, fmt.Errorf("%w: queued past the deadline: %w", guard.ErrCanceled, context.Cause(actx))
+	}
+	defer func() { <-s.work }()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	// The request's own budget is ignored here: the bounded mode's hard
+	// ceiling is the contract, and it is below anything a client would
+	// reasonably ask for.
+	b, cert, err := analysis.ComputeThroughputBounded(actx, req.Graph, analysis.BoundedOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &answer{engine: "bounded", bound: &b, redCert: cert}, nil
+}
+
+// renderBounded turns a brownout answer into the wire payload. The
+// conservativeness certificate is re-checked against the original graph
+// in exact arithmetic on every serve — cached entries included — before
+// the payload claims Verified; the check is capped by the same ceiling
+// that produced the answer, so it cannot become the new overload.
+func (s *Server) renderBounded(orig *sdf.Graph, ans *answer) (*ResultPayload, error) {
+	b := ans.bound
+	res := &ResultPayload{
+		Graph:       orig.Name(),
+		Engine:      ans.engine,
+		Unbounded:   b.Unbounded,
+		Degradation: LevelBounded.String(),
+		Cached:      ans.cached,
+		Deduped:     ans.deduped,
+	}
+	if !b.Unbounded {
+		res.Period = b.Upper.String()
+		res.PeriodNum = b.Upper.Num()
+		res.PeriodDen = b.Upper.Den()
+		if !b.Exact && !b.Lower.IsZero() {
+			res.PeriodLower = b.Lower.String()
+			res.PeriodLowerNum = b.Lower.Num()
+			res.PeriodLowerDen = b.Lower.Den()
+		}
+	}
+	if err := ans.redCert.Check(context.Background(), orig); err != nil {
+		return nil, fmt.Errorf("serve: bounded certificate rejected: %w", err)
+	}
+	res.Verified = true
+	res.Certificate = ans.redCert.String()
+	return res, nil
 }
 
 // runHedged races the breaker-gated engines and feeds every attempt's
@@ -634,12 +865,21 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 
+	// A clean drain also waits for background stale-cache refreshers:
+	// they run under the base context, so the deadline hammer below
+	// reaches them the same way it reaches request stragglers.
+	done := make(chan struct{})
+	go func() {
+		<-s.drained
+		s.refreshWG.Wait()
+		close(done)
+	}()
 	select {
-	case <-s.drained:
+	case <-done:
 		return nil
 	case <-ctx.Done():
 		s.baseCancel()
-		<-s.drained
+		<-done
 		return fmt.Errorf("serve: drain deadline hit, stragglers cancelled: %w", context.Cause(ctx))
 	}
 }
@@ -655,4 +895,5 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.baseCancel()
+	s.refreshWG.Wait()
 }

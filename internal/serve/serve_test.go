@@ -447,7 +447,7 @@ func TestRequestKeyDistinguishes(t *testing.T) {
 }
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2, nil)
+	c := newResultCache(2, 0, nil)
 	r := func(p string) *answer { return &answer{engine: p} }
 	c.put("a", r("1"))
 	c.put("b", r("2"))

@@ -39,6 +39,12 @@ echo '== fuzz smoke: FuzzRequest (10s)'
 # gets its own coverage-guided smoke run on top of its seed corpus.
 timeout 120 go test -run='^$' -fuzz='^FuzzRequest$' -fuzztime=10s ./internal/serve
 
+echo '== fuzz smoke: FuzzBatchRequest (10s)'
+# The batch wire decoder feeds the same admission path up to 1024 items
+# at a time; per-item decode isolation (exactly one of Req/Err set,
+# never a batch-wide failure for one bad item) is the fuzzed invariant.
+timeout 120 go test -run='^$' -fuzz='^FuzzBatchRequest$' -fuzztime=10s ./internal/serve
+
 echo '== sdftool reduce -verify over the reduction corpus'
 # Every corpus graph must reduce (or reach the trivial fixpoint), and
 # the lifted certificate chain must re-check against the original.
@@ -488,6 +494,249 @@ grep -q 'drained cleanly' "$FLEET_DIR/router.log" || {
     exit 1
 }
 cleanup_fleet
+trap - EXIT
+
+echo '== batch soak: 100-item batch with per-item fault isolation through the fleet'
+# End-to-end contract of POST /v1/batch: three -allow-injection replicas
+# behind a race-instrumented sdfrouter take a 100-item batch carrying 97
+# healthy graphs, two fault-injected statespace panics and one
+# budget-explosive rate-doubling chain. The batch must come back HTTP
+# 200 with exactly 97 answers and 3 item-error entries — never a
+# batch-wide 5xx — and `sdftool batch` must render the table and exit
+# with the worst item's code. A second, all-healthy batch then survives
+# a mid-batch kill -9 of a replica: one entry per item, zero errors,
+# zero lost answers. Both the router and a replica drain cleanly on
+# SIGTERM afterwards. The in-process twins (TestBatchPartialFailure-
+# Isolation, TestChaosKillReplicaMidBatch) assert the same under -race
+# with goroutine-leak checks.
+BATCH_DIR=$(mktemp -d)
+BATCH_PIDS=
+cleanup_batch() {
+    for pid in $BATCH_PIDS; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$BATCH_DIR"
+}
+trap cleanup_batch EXIT
+
+go build -o "$BATCH_DIR/sdfserved" ./cmd/sdfserved
+go build -race -o "$BATCH_DIR/sdfrouter" ./cmd/sdfrouter
+go build -o "$BATCH_DIR/sdftool" ./cmd/sdftool
+
+HEALTHY_GRAPH='sdf demo\nactor A 2\nactor B 3\nchan A B 2 1 0\nchan B A 1 2 4\n'
+# The paper's exponential witness: a 30-stage rate-doubling chain whose
+# iteration length is 2^30-ish. With a work budget of 1000 every engine
+# must refuse it with a structured budget error — the batch's one
+# deterministic "explosive" item.
+CHAIN_GRAPH='sdf expchain\nactor S0 1\nchan S0 S0 1 1 1\n'
+i=1
+while [ $i -lt 30 ]; do
+    CHAIN_GRAPH="${CHAIN_GRAPH}actor S$i 1\nchan S$i S$i 1 1 1\nchan S$((i-1)) S$i 2 1 0\n"
+    i=$((i + 1))
+done
+
+{
+    printf '{"items":['
+    i=0
+    while [ $i -lt 97 ]; do
+        [ $i -gt 0 ] && printf ','
+        printf '{"graph_text":"%s","method":"matrix","budget":%d}' "$HEALTHY_GRAPH" $((300000 + i))
+        i=$((i + 1))
+    done
+    printf ',{"graph_text":"%s","method":"statespace","budget":400001,"inject":[{"engine":"statespace","mode":"panic","times":-1}]}' "$HEALTHY_GRAPH"
+    printf ',{"graph_text":"%s","method":"statespace","budget":400002,"inject":[{"engine":"statespace","mode":"panic","times":-1}]}' "$HEALTHY_GRAPH"
+    printf ',{"graph_text":"%s","budget":1000}' "$CHAIN_GRAPH"
+    printf '],"deadline_ms":60000}'
+} > "$BATCH_DIR/batch.json"
+
+B1="127.0.0.1:$((23000 + $$ % 10000))"
+B2="127.0.0.1:$((33100 + $$ % 10000))"
+B3="127.0.0.1:$((43200 + $$ % 10000))"
+BRADDR="127.0.0.1:$((53300 + $$ % 10000))"
+
+# -workers 2 keeps each replica's batch lane narrow, stretching the
+# sub-batch wall time so the mid-batch kill below lands in flight.
+"$BATCH_DIR/sdfserved" -addr "$B1" -allow-injection -workers 2 > "$BATCH_DIR/b1.log" 2>&1 &
+B1_PID=$!
+"$BATCH_DIR/sdfserved" -addr "$B2" -allow-injection -workers 2 > "$BATCH_DIR/b2.log" 2>&1 &
+B2_PID=$!
+"$BATCH_DIR/sdfserved" -addr "$B3" -allow-injection -workers 2 > "$BATCH_DIR/b3.log" 2>&1 &
+B3_PID=$!
+BATCH_PIDS="$B1_PID $B2_PID $B3_PID"
+
+for addr in "$B1" "$B2" "$B3"; do
+    ready=0
+    for _ in $(seq 1 100); do
+        if "$BATCH_DIR/sdftool" query -server "http://$addr" -health >/dev/null 2>&1; then
+            ready=1
+            break
+        fi
+        sleep 0.1
+    done
+    [ "$ready" = 1 ] || { echo "batch: replica $addr never became ready"; exit 1; }
+done
+
+"$BATCH_DIR/sdfrouter" -addr "$BRADDR" \
+    -replicas "http://$B1,http://$B2,http://$B3" \
+    -probe-interval 100ms -probe-fail 2 -probe-readmit 2 \
+    -batch-straggler 250ms > "$BATCH_DIR/router.log" 2>&1 &
+BROUTER_PID=$!
+BATCH_PIDS="$BATCH_PIDS $BROUTER_PID"
+
+ready=0
+for _ in $(seq 1 100); do
+    if curl -sf "http://$BRADDR/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { echo 'batch: sdfrouter never became ready'; cat "$BATCH_DIR/router.log"; exit 1; }
+
+# The contract batch: 97 healthy + 2 panicking + 1 explosive items must
+# come back as one HTTP 200 with exactly 3 item-error entries.
+code=$(curl -s -o "$BATCH_DIR/res1.json" -w '%{http_code}' -X POST \
+    --data-binary @"$BATCH_DIR/batch.json" "http://$BRADDR/v1/batch")
+if [ "$code" != 200 ]; then
+    echo "batch: contract batch answered $code, want 200 (item failures are never batch-wide)"
+    cat "$BATCH_DIR/res1.json"
+    cat "$BATCH_DIR/router.log"
+    exit 1
+fi
+grep -q '"kind": "partial"' "$BATCH_DIR/res1.json" || {
+    echo 'batch: contract batch kind is not "partial"'
+    cat "$BATCH_DIR/res1.json"
+    exit 1
+}
+grep -q '"ok": 97' "$BATCH_DIR/res1.json" && grep -q '"errors": 3' "$BATCH_DIR/res1.json" || {
+    echo 'batch: contract batch did not report 97 ok / 3 errors'
+    head -5 "$BATCH_DIR/res1.json"
+    exit 1
+}
+errs=$(grep -c '"status": "item-error"' "$BATCH_DIR/res1.json" || true)
+if [ "$errs" -ne 3 ]; then
+    echo "batch: $errs item-error entries, want exactly 3"
+    exit 1
+fi
+# The failure kinds are per item and structured: two engine panics
+# (isolated by the per-item guard) and one budget refusal.
+panics=$(grep -c '"kind": "engine"' "$BATCH_DIR/res1.json" || true)
+budgets=$(grep -c '"kind": "budget"' "$BATCH_DIR/res1.json" || true)
+if [ "$panics" -ne 2 ] || [ "$budgets" -ne 1 ]; then
+    echo "batch: item-error kinds engine=$panics budget=$budgets, want 2/1"
+    grep '"kind"' "$BATCH_DIR/res1.json"
+    exit 1
+fi
+# Every healthy answer carries its own checked certificate.
+verified=$(grep -c '"verified": true' "$BATCH_DIR/res1.json" || true)
+if [ "$verified" -ne 97 ]; then
+    echo "batch: $verified verified answers, want 97"
+    exit 1
+fi
+
+# sdftool batch renders the same batch as a table and exits with the
+# worst item's code: the panicking items map to the engine code 4.
+rc=0
+"$BATCH_DIR/sdftool" batch -server "http://$BRADDR" -deadline 60s \
+    "$BATCH_DIR/batch.json" > "$BATCH_DIR/table.txt" 2>&1 || rc=$?
+if [ "$rc" -ne 4 ]; then
+    echo "batch: sdftool batch exited $rc, want 4 (worst item: engine panic)"
+    cat "$BATCH_DIR/table.txt"
+    exit 1
+fi
+rows=$(grep -cE '^  +[0-9]+  ' "$BATCH_DIR/table.txt" || true)
+if [ "$rows" -ne 100 ]; then
+    echo "batch: sdftool batch table has $rows rows, want 100"
+    cat "$BATCH_DIR/table.txt"
+    exit 1
+fi
+
+# Mid-batch kill -9: a second, all-healthy batch is in flight when one
+# replica dies. Its items must be re-dispatched to the survivors — one
+# entry per item, zero errors, zero lost answers.
+{
+    printf '{"items":['
+    i=0
+    while [ $i -lt 150 ]; do
+        [ $i -gt 0 ] && printf ','
+        printf '{"graph_text":"%s","method":"matrix","budget":%d}' "$HEALTHY_GRAPH" $((500000 + i))
+        i=$((i + 1))
+    done
+    printf '],"deadline_ms":60000}'
+} > "$BATCH_DIR/batch_kill.json"
+curl -s -o "$BATCH_DIR/res2.json" -w '%{http_code}' -X POST \
+    --data-binary @"$BATCH_DIR/batch_kill.json" "http://$BRADDR/v1/batch" \
+    > "$BATCH_DIR/code2" &
+CURL_PID=$!
+sleep 0.1
+kill -9 "$B2_PID" 2>/dev/null || true
+wait "$CURL_PID" || true
+code=$(cat "$BATCH_DIR/code2")
+if [ "$code" != 200 ]; then
+    echo "batch: kill batch answered $code, want 200 (a dying replica is never batch-wide)"
+    cat "$BATCH_DIR/res2.json"
+    cat "$BATCH_DIR/router.log"
+    exit 1
+fi
+grep -q '"kind": "complete"' "$BATCH_DIR/res2.json" && grep -q '"ok": 150' "$BATCH_DIR/res2.json" || {
+    echo 'batch: kill batch lost answers; want complete with 150 ok'
+    head -5 "$BATCH_DIR/res2.json"
+    cat "$BATCH_DIR/router.log"
+    exit 1
+}
+entries=$(grep -c '"index":' "$BATCH_DIR/res2.json" || true)
+if [ "$entries" -ne 150 ]; then
+    echo "batch: kill batch merged $entries entries, want one per item (150)"
+    exit 1
+fi
+
+# The batch surface is on the router's metrics; no answer may have been
+# lost (the series only appears when the merge invariant synthesized
+# entries).
+curl -s "http://$BRADDR/metrics" > "$BATCH_DIR/batch-metrics.txt"
+for series in \
+    'sdf_batch_requests_total\{outcome="partial"\} [1-9]' \
+    'sdf_batch_requests_total\{outcome="complete"\} [1-9]' \
+    'sdf_batch_fanout_total\{[^}]*\} [1-9]'; do
+    grep -E "$series" "$BATCH_DIR/batch-metrics.txt" >/dev/null || {
+        echo "batch: /metrics missing non-zero series $series"
+        cat "$BATCH_DIR/batch-metrics.txt"
+        exit 1
+    }
+done
+if grep -E 'sdf_batch_lost_items_total [1-9]' "$BATCH_DIR/batch-metrics.txt"; then
+    echo 'batch: the fleet lost item answers during the kill'
+    cat "$BATCH_DIR/batch-metrics.txt"
+    exit 1
+fi
+if grep -E 'sdf_batch_redispatched_items_total\{[^}]*\} [1-9]' \
+    "$BATCH_DIR/batch-metrics.txt" >/dev/null; then
+    echo '   mid-batch kill re-dispatched items to survivors'
+else
+    echo '   (kill batch completed before the kill landed; isolation still holds)'
+fi
+
+# SIGTERM: the router and a replica drain cleanly with the batch load done.
+kill -TERM "$BROUTER_PID"
+rc=0
+wait "$BROUTER_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "batch: sdfrouter exited $rc after SIGTERM, want 0"
+    cat "$BATCH_DIR/router.log"
+    exit 1
+fi
+grep -q 'drained cleanly' "$BATCH_DIR/router.log" || {
+    echo 'batch: no clean-drain line in the router log'
+    cat "$BATCH_DIR/router.log"
+    exit 1
+}
+kill -TERM "$B1_PID"
+rc=0
+wait "$B1_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "batch: sdfserved exited $rc after SIGTERM, want 0"
+    cat "$BATCH_DIR/b1.log"
+    exit 1
+fi
+cleanup_batch
 trap - EXIT
 
 echo 'ci: all checks passed'

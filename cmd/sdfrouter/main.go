@@ -17,6 +17,14 @@
 //	POST /v1/throughput  the replicas' own wire contract, relayed
 //	                     verbatim from the winning replica (plus an
 //	                     X-SDF-Replica header naming it)
+//	POST /v1/batch       batch fan-out: the batch is split by ring
+//	                     ownership so each item lands on its cache-warm
+//	                     replica, sub-batches dispatch concurrently, and
+//	                     the items of a replica that dies or straggles
+//	                     mid-batch (past the router's p99 estimate) are
+//	                     re-dispatched to survivors; per-item answers
+//	                     merge back into request order, always one entry
+//	                     per item
 //	GET  /healthz        router health: per-replica membership state
 //	GET  /readyz         200 while admitting with >= 1 alive replica
 //	GET  /metrics        Prometheus text exposition of the fleet
@@ -67,6 +75,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		probeReadmit  = fs.Int("probe-readmit", 0, "consecutive successful probes that re-admit an ejected replica (0 = default 2)")
 		hedgeDelay    = fs.Duration("hedge-delay", 50*time.Millisecond, "primary latency before a hedged attempt starts (0 hedges immediately, negative disables)")
 		timeout       = fs.Duration("default-timeout", 0, "end-to-end budget for requests naming no deadline (0 = 15s default)")
+		batchHedge    = fs.Duration("batch-straggler", 0, "batch sub-dispatch straggler-hedge delay until the router has its own p99 estimate (0 = 500ms default, negative disables)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,14 +96,15 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 
 	reg := obs.New()
 	opts := fleet.Options{
-		Replicas:         urls,
-		ProbeInterval:    *probeInterval,
-		FailThreshold:    *probeFail,
-		ReadmitThreshold: *probeReadmit,
-		HedgeDelay:       *hedgeDelay,
-		DefaultTimeout:   *timeout,
-		Backoff:          guard.Backoff{Jitter: guard.DefaultJitter()},
-		Obs:              reg,
+		Replicas:            urls,
+		ProbeInterval:       *probeInterval,
+		FailThreshold:       *probeFail,
+		ReadmitThreshold:    *probeReadmit,
+		HedgeDelay:          *hedgeDelay,
+		DefaultTimeout:      *timeout,
+		BatchStragglerDelay: *batchHedge,
+		Backoff:             guard.Backoff{Jitter: guard.DefaultJitter()},
+		Obs:                 reg,
 	}
 	if *hedgeDelay == 0 {
 		// A raw zero means "use the default" to the fleet layer; the

@@ -27,6 +27,14 @@
 //	                     {"graph_text": "..."} plus optional "method"
 //	                     (hedged|matrix|statespace|hsdf), "timeout_ms",
 //	                     "budget"
+//	POST /v1/batch       analyse many graphs under one shared deadline;
+//	                     body {"items": [<request>, ...], "deadline_ms":
+//	                     ...}. Items run cheapest-first with the deadline
+//	                     carved into per-item budgets; every item gets
+//	                     its own result entry (ok | bounded | degraded |
+//	                     item-error, each success with its own
+//	                     certificate) — one hostile graph yields one
+//	                     error entry, never a batch-wide 5xx
 //	GET  /healthz        full health report: breaker states, queue
 //	                     depth, pool headroom, cache and admission
 //	                     counters

@@ -35,6 +35,16 @@
 //	            errors map onto the same exit codes as local analyses;
 //	            -exact-only refuses brownout answers (a degraded server
 //	            answers 429 instead of a certified bound or stale result)
+//	batch       analyse a multi-graph file in one POST /v1/batch round
+//	            trip (-server, -deadline shared across the batch, -method,
+//	            -budget and -timeout applied per item, -json for the raw
+//	            result). The input is concatenated native text (each
+//	            graph starts at its "sdf <name>" header) or JSON (a wire
+//	            batch object sent verbatim, or a single graph). Every
+//	            item gets its own table row — ok, bounded, degraded or
+//	            item-error — and the exit code reflects the worst item,
+//	            so one poisoned graph in a 100-item batch never hides
+//	            the 99 answers
 //
 // Every command accepts -timeout (a wall-clock deadline such as 500ms)
 // and -budget (a uniform work cap on states, firings, HSDF actors and
@@ -98,11 +108,14 @@ var errLintDiagnostics = errors.New("error-level diagnostics")
 // the server's classification and map onto the same table.
 func exitCode(err error) int {
 	var re *remoteError
+	var be *batchError
 	switch {
 	case err == nil:
 		return 0
 	case errors.As(err, &re):
 		return re.exitCode()
+	case errors.As(err, &be):
+		return be.code
 	case errors.Is(err, sdfreduce.ErrBudgetExceeded),
 		errors.Is(err, sdfreduce.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
@@ -218,6 +231,8 @@ func run(args []string, out io.Writer) error {
 		}, fs)
 	case "query":
 		return cmdQuery(rest, out)
+	case "batch":
+		return cmdBatch(rest, out)
 	case "help", "-h", "--help":
 		return usageError()
 	default:
@@ -226,7 +241,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|lint|reduce|matrix|report|bottleneck|buffers|fmt|query> [flags] <graph file>")
+	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|lint|reduce|matrix|report|bottleneck|buffers|fmt|query|batch> [flags] <graph file>")
 }
 
 // withGraph parses flags (when fs is non-nil), loads the graph named by

@@ -17,21 +17,36 @@ import (
 // defines — a new kind that silently falls through would ship with an
 // undocumented exit code.
 //
+// The batch wire contract gets the same treatment: every batch item
+// status (a literal returned by serve.ItemStatusOf) and batch kind
+// (serve.BatchKindOf) must have an explicit case in sdftool's
+// batchExitCode table, so a new item outcome cannot ship without a
+// documented worst-item exit code.
+//
 // The check is cross-directory, so it accumulates over the whole run and
 // only fires when both sides were actually seen: analysing a single
-// package in isolation must not report every kind as unmapped.
+// package in isolation must not report every kind as unmapped. The two
+// mappings gate independently — a tree holding only the single-request
+// table stays silent about batch statuses and vice versa.
 type kindMap struct {
 	kinds map[string]token.Position // kind -> its return in KindOf
 	cases map[string]bool           // kinds with an explicit exitCode case
 	sawFn bool                      // an exitCode function was harvested
+
+	batchKinds map[string]token.Position // batch status/kind -> its return
+	batchCases map[string]bool           // statuses with an explicit batchExitCode case
+	sawBatchFn bool                      // a batchExitCode function was harvested
 }
 
 func newKindMap() *kindMap {
-	return &kindMap{kinds: make(map[string]token.Position), cases: make(map[string]bool)}
+	return &kindMap{
+		kinds: make(map[string]token.Position), cases: make(map[string]bool),
+		batchKinds: make(map[string]token.Position), batchCases: make(map[string]bool),
+	}
 }
 
 // collect harvests one parsed file's contribution to either side of the
-// mapping, scoped by the file's logical package path.
+// mappings, scoped by the file's logical package path.
 func (km *kindMap) collect(fset *token.FileSet, file *ast.File, logical string) {
 	dir := strings.ReplaceAll(logical, "\\", "/")
 	switch {
@@ -42,65 +57,101 @@ func (km *kindMap) collect(fset *token.FileSet, file *ast.File, logical string) 
 	}
 }
 
-// collectKinds records every non-empty string literal returned by a
-// function named KindOf.
+// collectKinds records every non-empty string literal returned by the
+// wire-classification functions: KindOf (error kinds) feeds the
+// single-request mapping, ItemStatusOf and BatchKindOf (item statuses
+// and batch kinds) feed the batch mapping.
 func (km *kindMap) collectKinds(fset *token.FileSet, file *ast.File) {
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
-		if !ok || fn.Name.Name != "KindOf" || fn.Body == nil {
+		if !ok || fn.Body == nil {
 			continue
 		}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			ret, ok := n.(*ast.ReturnStmt)
-			if !ok || len(ret.Results) != 1 {
-				return true
-			}
-			if kind, ok := stringLit(ret.Results[0]); ok && kind != "" {
-				if _, seen := km.kinds[kind]; !seen {
-					km.kinds[kind] = fset.Position(ret.Pos())
-				}
-			}
-			return true
-		})
+		switch fn.Name.Name {
+		case "KindOf":
+			harvestReturns(fset, fn, km.kinds)
+		case "ItemStatusOf", "BatchKindOf":
+			harvestReturns(fset, fn, km.batchKinds)
+		}
 	}
+}
+
+// harvestReturns records every non-empty string literal fn returns.
+func harvestReturns(fset *token.FileSet, fn *ast.FuncDecl, into map[string]token.Position) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if kind, ok := stringLit(ret.Results[0]); ok && kind != "" {
+			if _, seen := into[kind]; !seen {
+				into[kind] = fset.Position(ret.Pos())
+			}
+		}
+		return true
+	})
 }
 
 // collectCases records every string literal appearing in a case clause
-// of a function named exitCode (the method on remoteError carries the
-// kind table; the package-level exitCode switches on sentinel errors and
-// contributes no string cases).
+// of the exit-code tables: exitCode (the method on remoteError carries
+// the kind table; the package-level exitCode switches on sentinel errors
+// and contributes no string cases) and batchExitCode (the batch
+// status/kind table).
 func (km *kindMap) collectCases(file *ast.File) {
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
-		if !ok || fn.Name.Name != "exitCode" || fn.Body == nil {
+		if !ok || fn.Body == nil {
 			continue
 		}
-		km.sawFn = true
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			cc, ok := n.(*ast.CaseClause)
-			if !ok {
-				return true
-			}
-			for _, e := range cc.List {
-				if kind, ok := stringLit(e); ok {
-					km.cases[kind] = true
-				}
-			}
-			return true
-		})
+		switch fn.Name.Name {
+		case "exitCode":
+			km.sawFn = true
+			harvestCases(fn, km.cases)
+		case "batchExitCode":
+			km.sawBatchFn = true
+			harvestCases(fn, km.batchCases)
+		}
 	}
 }
 
+// harvestCases records every string literal in fn's case clauses.
+func harvestCases(fn *ast.FuncDecl, into map[string]bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if kind, ok := stringLit(e); ok {
+				into[kind] = true
+			}
+		}
+		return true
+	})
+}
+
 // findings reports every harvested kind without an exit-code case. With
-// either side missing from the analysed set, the mapping cannot be
-// judged and the check stays silent.
+// either side of a mapping missing from the analysed set, that mapping
+// cannot be judged and stays silent.
 func (km *kindMap) findings() []finding {
-	if len(km.kinds) == 0 || !km.sawFn {
-		return nil
+	var out []finding
+	if len(km.kinds) > 0 && km.sawFn {
+		out = append(out, unmapped(km.kinds, km.cases,
+			"error kind %s returned by serve.KindOf has no case in sdftool's exitCode table; map it to a documented exit code")...)
 	}
+	if len(km.batchKinds) > 0 && km.sawBatchFn {
+		out = append(out, unmapped(km.batchKinds, km.batchCases,
+			"batch wire status %s returned by serve.ItemStatusOf/BatchKindOf has no case in sdftool's batchExitCode table; map it to a documented exit code")...)
+	}
+	return out
+}
+
+// unmapped builds one mapping's findings, sorted by kind for stable
+// output.
+func unmapped(kinds map[string]token.Position, cases map[string]bool, format string) []finding {
 	var names []string
-	for kind := range km.kinds {
-		if !km.cases[kind] {
+	for kind := range kinds {
+		if !cases[kind] {
 			names = append(names, kind)
 		}
 	}
@@ -108,10 +159,9 @@ func (km *kindMap) findings() []finding {
 	out := make([]finding, 0, len(names))
 	for _, kind := range names {
 		out = append(out, finding{
-			pos:   km.kinds[kind],
+			pos:   kinds[kind],
 			check: "kindmap",
-			msg: "error kind " + strconv.Quote(kind) +
-				" returned by serve.KindOf has no case in sdftool's exitCode table; map it to a documented exit code",
+			msg:   strings.Replace(format, "%s", strconv.Quote(kind), 1),
 		})
 	}
 	return out

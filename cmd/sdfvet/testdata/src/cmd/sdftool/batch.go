@@ -1,0 +1,15 @@
+// Fixture for the kindmap check's batch side: the exit-code table that
+// must carry an explicit case for every batch wire status the fixture
+// serve.ItemStatusOf and serve.BatchKindOf can return.
+package main
+
+func batchExitCode(status string) int {
+	switch status {
+	case "ok", "complete":
+		return 0
+	case "partial":
+		return 0
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,19 @@
+// Fixture for the kindmap check's batch side: ItemStatusOf and
+// BatchKindOf define the batch wire statuses. "ok", "complete" and
+// "partial" have cases in the fixture batchExitCode table under
+// cmd/sdftool; "stray-status" deliberately has none.
+package serve
+
+func ItemStatusOf(failed bool) string {
+	if failed {
+		return "stray-status" // want kindmap
+	}
+	return "ok"
+}
+
+func BatchKindOf(errs int) string {
+	if errs > 0 {
+		return "partial"
+	}
+	return "complete"
+}

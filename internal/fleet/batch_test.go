@@ -1,0 +1,469 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/sdfio"
+	"repro/internal/serve"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 2, 3, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"empty", "", 0},
+		{"whitespace", "   ", 0},
+		{"delta-seconds", "5", 5 * time.Second},
+		{"delta-padded", "  7  ", 7 * time.Second},
+		{"delta-zero", "0", 0},
+		{"delta-negative", "-3", 0},
+		{"http-date", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"rfc850-date", now.Add(30 * time.Second).Format(time.RFC850), 30 * time.Second},
+		{"ansic-date", now.Add(10 * time.Second).Format(time.ANSIC), 10 * time.Second},
+		{"past-date", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+		{"garbage-date", "Mon, 99 Jan 2026 12:00:00 GMT", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.v, now); got != tc.want {
+				t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLatWindowP99(t *testing.T) {
+	w := newLatWindow(64)
+	for i := 0; i < 15; i++ {
+		w.observe(time.Millisecond)
+	}
+	if _, ok := w.p99(); ok {
+		t.Fatal("p99 trusted with under a quarter of the window filled")
+	}
+	w.observe(time.Second)
+	p, ok := w.p99()
+	if !ok {
+		t.Fatal("p99 untrusted at a quarter of the window")
+	}
+	if p != time.Second {
+		t.Fatalf("p99 of 15x1ms + 1x1s = %v, want 1s", p)
+	}
+	// Overfill past capacity: the ring must keep only the recent window.
+	for i := 0; i < 200; i++ {
+		w.observe(2 * time.Millisecond)
+	}
+	if p, _ := w.p99(); p != 2*time.Millisecond {
+		t.Fatalf("p99 after overwrite = %v, want 2ms", p)
+	}
+}
+
+func TestStragglerDelay(t *testing.T) {
+	newRouter := func(d time.Duration) *Router {
+		r := New(Options{Replicas: []string{"http://stub"}, BatchStragglerDelay: d})
+		t.Cleanup(r.Close)
+		return r
+	}
+	if got := newRouter(-1).stragglerDelay(); got != -1 {
+		t.Errorf("negative config = %v, want -1 (hedge disabled)", got)
+	}
+	if got := newRouter(0).stragglerDelay(); got != 500*time.Millisecond {
+		t.Errorf("default config = %v, want 500ms", got)
+	}
+	if got := newRouter(time.Millisecond).stragglerDelay(); got != minStragglerDelay {
+		t.Errorf("tiny config = %v, want the %v floor", got, minStragglerDelay)
+	}
+	r := newRouter(50 * time.Millisecond)
+	for i := 0; i < 64; i++ {
+		r.batchLat.observe(2 * time.Second)
+	}
+	if got := r.stragglerDelay(); got != 2*time.Second {
+		t.Errorf("with history = %v, want the observed 2s p99", got)
+	}
+}
+
+// batchItemPayload builds one valid batch item; distinct budgets yield
+// distinct canonical keys, steering ring placement exactly as in
+// requestBody.
+func batchItemPayload(t *testing.T, budget int64) serve.RequestPayload {
+	t.Helper()
+	return serve.RequestPayload{GraphText: sdfio.TextString(gen.Figure2()), Method: "matrix", Budget: budget}
+}
+
+// payloadsWithPrimary searches budgets from base until n distinct items
+// whose ring primary is the wanted replica index are found.
+func payloadsWithPrimary(t *testing.T, r *Router, want, n int, base int64) []serve.RequestPayload {
+	t.Helper()
+	var out []serve.RequestPayload
+	for budget := base; budget < base+8192 && len(out) < n; budget++ {
+		p := batchItemPayload(t, budget)
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if order := r.ring.order(keyOf(t, b)); order[0] == want {
+			out = append(out, p)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("found only %d of %d payloads with primary %d", len(out), n, want)
+	}
+	return out
+}
+
+// batchWire marshals a batch request body.
+func batchWire(t *testing.T, items []serve.RequestPayload, deadlineMS int64) []byte {
+	t.Helper()
+	b, err := json.Marshal(serve.BatchRequestPayload{Items: items, DeadlineMS: deadlineMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// postBatch drives one batch through the router's HTTP handler.
+func postBatch(t *testing.T, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeBatchResult(t *testing.T, rec *httptest.ResponseRecorder) serve.BatchResultPayload {
+	t.Helper()
+	var res serve.BatchResultPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatalf("decoding batch result: %v (body %s)", err, rec.Body)
+	}
+	return res
+}
+
+// fakeBatchReplica is an httptest replica that records the sub-batches
+// it receives and answers every item ok with Engine set to its tag, so
+// merge tests can see which replica served which item.
+type fakeBatchReplica struct {
+	tag string
+	srv *httptest.Server
+
+	mu      sync.Mutex
+	batches [][]serve.RequestPayload
+}
+
+func startFakeBatchReplica(t *testing.T, tag string) *fakeBatchReplica {
+	t.Helper()
+	f := &fakeBatchReplica{tag: tag}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		var p serve.BatchRequestPayload
+		if err := json.Unmarshal(body, &p); err != nil {
+			t.Errorf("replica %s: bad sub-batch: %v", tag, err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.batches = append(f.batches, p.Items)
+		f.mu.Unlock()
+		res := serve.BatchResultPayload{Kind: "complete", OK: len(p.Items)}
+		for j := range p.Items {
+			res.Items = append(res.Items, serve.BatchItemResult{
+				Index:  j,
+				Graph:  "figure2",
+				Status: "ok",
+				Result: &serve.ResultPayload{Graph: "figure2", Engine: tag, Period: "3"},
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res)
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeBatchReplica) received() []serve.RequestPayload {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var all []serve.RequestPayload
+	for _, b := range f.batches {
+		all = append(all, b...)
+	}
+	return all
+}
+
+func TestBatchFanOutSplitsAndMerges(t *testing.T) {
+	defer noLeaks(t)
+	rep0 := startFakeBatchReplica(t, "replica-0")
+	rep1 := startFakeBatchReplica(t, "replica-1")
+	reg := obs.New()
+	r := New(Options{
+		Replicas:            []string{rep0.srv.URL, rep1.srv.URL},
+		BatchStragglerDelay: -1,
+		Obs:                 reg,
+	})
+	defer r.Close()
+	h := NewHandler(r)
+
+	// Interleave ownership so the merge has to reorder: items 0 and 2
+	// belong to replica 0, item 1 to replica 1.
+	own0 := payloadsWithPrimary(t, r, 0, 2, 1)
+	own1 := payloadsWithPrimary(t, r, 1, 1, 1)
+	items := []serve.RequestPayload{own0[0], own1[0], own0[1]}
+	wantEngine := []string{"replica-0", "replica-1", "replica-0"}
+
+	rec := postBatch(t, h, batchWire(t, items, 5000))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d, body %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-SDF-Batch"); got != "complete" {
+		t.Errorf("X-SDF-Batch = %q, want complete", got)
+	}
+	res := decodeBatchResult(t, rec)
+	if res.Kind != "complete" || res.OK != 3 || res.Errors != 0 || len(res.Items) != 3 {
+		t.Fatalf("merged batch = kind %q ok %d errors %d items %d", res.Kind, res.OK, res.Errors, len(res.Items))
+	}
+	for i, it := range res.Items {
+		if it.Index != i {
+			t.Errorf("item %d: index %d out of request order", i, it.Index)
+		}
+		if it.Result == nil || it.Result.Engine != wantEngine[i] {
+			t.Errorf("item %d answered by %+v, want replica %s", i, it.Result, wantEngine[i])
+		}
+	}
+	if got := len(rep0.received()); got != 2 {
+		t.Errorf("replica 0 received %d items, want its 2 owned items", got)
+	}
+	if got := len(rep1.received()); got != 1 {
+		t.Errorf("replica 1 received %d items, want its 1 owned item", got)
+	}
+	for _, rep := range []*fakeBatchReplica{rep0, rep1} {
+		if got := counterValue(reg, obs.MetricBatchFanout, "replica", rep.srv.URL); got != 1 {
+			t.Errorf("fanout counter for %s = %d, want 1", rep.tag, got)
+		}
+	}
+}
+
+func TestBatchDecodeErrItemNeverTravels(t *testing.T) {
+	defer noLeaks(t)
+	rep := startFakeBatchReplica(t, "solo")
+	reg := obs.New()
+	r := New(Options{Replicas: []string{rep.srv.URL}, BatchStragglerDelay: -1, Obs: reg})
+	defer r.Close()
+	h := NewHandler(r)
+
+	items := []serve.RequestPayload{
+		batchItemPayload(t, 1),
+		{GraphText: "sdf broken\nactor"}, // structurally invalid: item-error, never dispatched
+	}
+	rec := postBatch(t, h, batchWire(t, items, 5000))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d, body %s", rec.Code, rec.Body)
+	}
+	res := decodeBatchResult(t, rec)
+	if res.Kind != "partial" || res.OK != 1 || res.Errors != 1 {
+		t.Fatalf("batch = kind %q ok %d errors %d", res.Kind, res.OK, res.Errors)
+	}
+	bad := res.Items[1]
+	if bad.Status != "item-error" || bad.Error == nil || bad.Error.Kind != "bad-request" {
+		t.Fatalf("invalid item entry = %+v, want item-error/bad-request", bad)
+	}
+	if got := len(rep.received()); got != 1 {
+		t.Errorf("replica received %d items; the invalid item must not travel", got)
+	}
+}
+
+func TestBatchDrainingRefusal(t *testing.T) {
+	defer noLeaks(t)
+	rep := startFakeBatchReplica(t, "solo")
+	r := New(Options{Replicas: []string{rep.srv.URL}})
+	r.Close() // draining: admission stops
+
+	rec := postBatch(t, NewHandler(r), batchWire(t, []serve.RequestPayload{batchItemPayload(t, 1)}, 0))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining batch = %d, want 503", rec.Code)
+	}
+	var ep serve.ErrorPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &ep); err != nil || ep.Kind != "draining" {
+		t.Fatalf("draining payload = %s (err %v), want kind draining", rec.Body, err)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("draining refusal carries no Retry-After")
+	}
+}
+
+func TestBatchDarkFleetUnavailable(t *testing.T) {
+	defer noLeaks(t)
+	r := New(Options{Replicas: []string{"http://127.0.0.1:1"}})
+	defer r.Close()
+	r.members[0].noteFail(1) // eject the only replica: the fleet is dark
+
+	rec := postBatch(t, NewHandler(r), batchWire(t, []serve.RequestPayload{batchItemPayload(t, 1)}, 0))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dark-fleet batch = %d, want 503", rec.Code)
+	}
+	var ep serve.ErrorPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &ep); err != nil || ep.Kind != "unavailable" {
+		t.Fatalf("dark-fleet payload = %s (err %v), want kind unavailable", rec.Body, err)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("dark-fleet refusal carries no Retry-After")
+	}
+}
+
+func TestBatchLostItemsSynthesized(t *testing.T) {
+	defer noLeaks(t)
+	// A replica that answers 200 with a well-formed but empty batch
+	// result: every slot stays unfilled and the merge invariant must
+	// synthesize (and count) the lost answers.
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		io.Copy(io.Discard, req.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"kind":"complete","ok":0,"errors":0,"items":[]}`))
+	}))
+	defer backend.Close()
+	reg := obs.New()
+	r := New(Options{Replicas: []string{backend.URL}, BatchStragglerDelay: -1, Obs: reg})
+	defer r.Close()
+
+	items := []serve.RequestPayload{batchItemPayload(t, 1), batchItemPayload(t, 2)}
+	rec := postBatch(t, NewHandler(r), batchWire(t, items, 5000))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d, body %s", rec.Code, rec.Body)
+	}
+	res := decodeBatchResult(t, rec)
+	if res.Kind != "partial" || res.Errors != 2 || len(res.Items) != 2 {
+		t.Fatalf("batch = kind %q errors %d items %d, want partial/2/2", res.Kind, res.Errors, len(res.Items))
+	}
+	for i, it := range res.Items {
+		if it.Index != i || it.Status != "item-error" || it.Error == nil || it.Error.Kind != "unavailable" {
+			t.Errorf("lost item %d = %+v, want synthesized item-error/unavailable", i, it)
+		}
+	}
+	if got := counterValue(reg, obs.MetricBatchLostItems); got != 2 {
+		t.Errorf("lost-items counter = %d, want 2", got)
+	}
+}
+
+// blockingVictim is a replica that swallows its first sub-batch — it
+// drains the request body (so the router's POST fully commits) and then
+// hangs until killed. The SIGKILL analog for a replica dying mid-batch.
+type blockingVictim struct {
+	addr    string
+	srv     *http.Server
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func startBlockingVictim(t *testing.T) *blockingVictim {
+	t.Helper()
+	v := &blockingVictim{started: make(chan struct{}), release: make(chan struct{})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.addr = ln.Addr().String()
+	v.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		io.Copy(io.Discard, req.Body)
+		v.once.Do(func() { close(v.started) })
+		select {
+		case <-req.Context().Done():
+		case <-v.release:
+		}
+	})}
+	go v.srv.Serve(ln)
+	t.Cleanup(func() {
+		close(v.release)
+		v.srv.Close()
+	})
+	return v
+}
+
+func (v *blockingVictim) kill() { v.srv.Close() }
+
+func (v *blockingVictim) url() string { return "http://" + v.addr }
+
+// TestChaosKillReplicaMidBatch is the batch fault-isolation contract
+// under a replica death: one replica owns half the batch, receives its
+// sub-batch and is SIGKILLed while holding it. Every one of its items
+// must be re-dispatched to the survivor — the merged result has one ok
+// entry per item, nonzero re-dispatch counters and zero lost items.
+func TestChaosKillReplicaMidBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short")
+	}
+	// Registered before the servers' own cleanups so it runs after every
+	// server and the router have shut down (cleanups are LIFO).
+	t.Cleanup(func() { noLeaks(t) })
+
+	victim := startBlockingVictim(t)
+	survivor := startChaosReplica(t)
+
+	reg := obs.New()
+	opts := Options{
+		Replicas:       []string{victim.url(), survivor.url()},
+		DefaultTimeout: 10 * time.Second,
+		AttemptFloor:   250 * time.Millisecond,
+		// Membership is static (no Start, no probes) and the straggler
+		// hedge is off: any re-dispatch below is kill-driven failover,
+		// not latency hedging.
+		BatchStragglerDelay: -1,
+		Obs:                 reg,
+	}
+	opts.Backoff.Base, opts.Backoff.Cap = time.Millisecond, 8*time.Millisecond
+	router := New(opts)
+	defer router.Close()
+	h := NewHandler(router)
+
+	// Three items owned by the victim, three by the survivor,
+	// interleaved. Budgets are large: they only vary the canonical key,
+	// and the survivor's real engines must not hit the work cap.
+	own0 := payloadsWithPrimary(t, router, 0, 3, 100000)
+	own1 := payloadsWithPrimary(t, router, 1, 3, 200000)
+	var items []serve.RequestPayload
+	for i := 0; i < 3; i++ {
+		items = append(items, own0[i], own1[i])
+	}
+
+	// SIGKILL the victim the moment it has swallowed its sub-batch.
+	go func() {
+		<-victim.started
+		victim.kill()
+	}()
+
+	rec := postBatch(t, h, batchWire(t, items, 10000))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch through the dying fleet = %d, body %s", rec.Code, rec.Body)
+	}
+	res := decodeBatchResult(t, rec)
+	if len(res.Items) != len(items) {
+		t.Fatalf("merged %d entries for %d items", len(res.Items), len(items))
+	}
+	if res.Kind != "complete" || res.Errors != 0 || res.OK != len(items) {
+		t.Fatalf("batch = kind %q ok %d errors %d; every healthy item must be answered (body %s)",
+			res.Kind, res.OK, res.Errors, rec.Body)
+	}
+	for i, it := range res.Items {
+		if it.Index != i || it.Status != "ok" || it.Result == nil || !it.Result.Verified || it.Result.Certificate == "" {
+			t.Errorf("item %d = index %d status %q; want an ok entry with a certificate", i, it.Index, it.Status)
+		}
+	}
+	if got := counterValue(reg, obs.MetricBatchRedispatchedItems, "replica", victim.url()); got < 3 {
+		t.Errorf("re-dispatched items off the killed replica = %d, want >= its 3 owned items", got)
+	}
+	if got := counterValue(reg, obs.MetricBatchLostItems); got != 0 {
+		t.Errorf("lost items = %d, want 0: failover must cover a mid-batch death", got)
+	}
+}

@@ -73,6 +73,13 @@ type Options struct {
 	// 2s cap, no jitter) is deterministic; production callers should
 	// set Jitter (cmd/sdfrouter injects guard.DefaultJitter).
 	Backoff guard.Backoff
+	// BatchStragglerDelay is the straggler-hedge delay for batch
+	// sub-dispatches while the router has too little latency history to
+	// estimate its own p99: once a sub-batch has run this long on its
+	// primary replica, the same items are hedged onto the next survivor.
+	// With enough completed sub-batches the observed p99 replaces the
+	// constant. Negative disables straggler hedging; default 500ms.
+	BatchStragglerDelay time.Duration
 	// Client performs the proxied HTTP exchanges; nil means a client
 	// with sane connection pooling. Tests inject transports.
 	Client *http.Client
@@ -106,6 +113,9 @@ func (o Options) normalized() Options {
 	if o.AttemptFloor <= 0 {
 		o.AttemptFloor = 100 * time.Millisecond
 	}
+	if o.BatchStragglerDelay == 0 {
+		o.BatchStragglerDelay = 500 * time.Millisecond
+	}
 	if o.Client == nil {
 		o.Client = &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 16,
@@ -133,6 +143,10 @@ type Router struct {
 	members []*member
 	ring    *ring
 
+	// batchLat tracks recent sub-batch dispatch wall times; its p99 is
+	// the straggler-hedge delay estimate for later sub-batches.
+	batchLat *latWindow
+
 	probeCtx    context.Context
 	probeCancel context.CancelFunc
 	probeWG     sync.WaitGroup
@@ -149,11 +163,12 @@ type Router struct {
 func New(opts Options) *Router {
 	opts = opts.normalized()
 	r := &Router{
-		opts:    opts,
-		reg:     opts.Obs,
-		client:  opts.Client,
-		ring:    newRing(opts.Replicas),
-		drained: make(chan struct{}),
+		opts:     opts,
+		reg:      opts.Obs,
+		client:   opts.Client,
+		ring:     newRing(opts.Replicas),
+		batchLat: newLatWindow(64),
+		drained:  make(chan struct{}),
 	}
 	for _, addr := range opts.Replicas {
 		r.members = append(r.members, &member{addr: addr, alive: true})

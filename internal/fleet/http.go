@@ -29,6 +29,12 @@ type Health struct {
 //	POST /v1/throughput — decode + validate the request, route it by
 //	     its canonical hash, relay the winning replica's answer
 //	     verbatim (plus an X-SDF-Replica header naming it).
+//	POST /v1/batch — decode the batch, split it by ring ownership so
+//	     each item lands on its cache-warm replica, fan the sub-batches
+//	     out, re-dispatch the items of failed or straggling replicas to
+//	     survivors, and merge the per-item answers back into request
+//	     order (always one entry per item; never a batch-wide 5xx for
+//	     item failures).
 //	GET  /healthz — router health: per-replica membership state.
 //	GET  /readyz — 200 while admitting with at least one alive
 //	     replica, 503 otherwise (load balancers stop routing before a
@@ -38,6 +44,7 @@ type Health struct {
 func NewHandler(r *Router) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/throughput", r.handleThroughput)
+	mux.HandleFunc("POST /v1/batch", r.handleBatch)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, Health{
 			Draining: r.Draining(),

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -50,11 +51,33 @@ func (o attemptOutcome) retryAfter() time.Duration {
 	if o.header == nil {
 		return 0
 	}
-	secs, err := strconv.Atoi(o.header.Get("Retry-After"))
-	if err != nil || secs <= 0 {
+	return parseRetryAfter(o.header.Get("Retry-After"), time.Now())
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3: either delta-seconds or an HTTP-date (any of the three
+// formats http.ParseTime accepts). Unparseable values, non-positive
+// deltas and dates already past all yield 0 — an absent hint, so the
+// exponential backoff schedule paces the retry instead.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
+		return 0
+	}
+	if d := t.Sub(now); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // outcomeLabel classifies an attempt for the per-replica counter.
@@ -78,9 +101,19 @@ func outcomeLabel(o attemptOutcome) string {
 // through its context. The returned outcome is the winner's — or, after
 // exhaustion, the most recent failure's.
 func (r *Router) route(ctx context.Context, key string, body []byte) (attemptOutcome, error) {
+	out, _, err := r.routeOn(ctx, "/v1/throughput", key, r.opts.HedgeDelay, body)
+	return out, err
+}
+
+// routeOn is route generalized over the replica path and the hedge
+// delay; batch sub-dispatch reuses the whole failover machine with its
+// own straggler-hedge pacing. The extra return value counts attempts
+// launched beyond the primary (hedges plus failover retries) — the
+// batch layer turns it into its re-dispatched-items counter.
+func (r *Router) routeOn(ctx context.Context, path, key string, hedgeDelay time.Duration, body []byte) (attemptOutcome, int, error) {
 	order := r.aliveOrder(key)
 	if len(order) == 0 {
-		return attemptOutcome{}, errNoReplicas
+		return attemptOutcome{}, 0, errNoReplicas
 	}
 
 	deadline, hasDeadline := ctx.Deadline()
@@ -131,7 +164,7 @@ func (r *Router) route(ctx context.Context, key string, body []byte) (attemptOut
 		next++
 		inflight++
 		go func() {
-			results <- r.attempt(actx, m, hedged, body)
+			results <- r.attempt(actx, path, m, hedged, body)
 		}()
 	}
 	launch(false)
@@ -140,8 +173,8 @@ func (r *Router) route(ctx context.Context, key string, body []byte) (attemptOut
 	// attempts are failure-driven, not latency-driven: hedging them too
 	// would let one slow request fan out across the whole fleet.
 	var hedgeCh <-chan time.Time
-	if r.opts.HedgeDelay >= 0 && next < len(order) {
-		ht := time.NewTimer(r.opts.HedgeDelay)
+	if hedgeDelay >= 0 && next < len(order) {
+		ht := time.NewTimer(hedgeDelay)
 		defer ht.Stop()
 		hedgeCh = ht.C
 	}
@@ -172,12 +205,12 @@ func (r *Router) route(ctx context.Context, key string, body []byte) (attemptOut
 			}
 			if out.ok() {
 				r.settleHedge(out, hedgeLaunched)
-				return out, nil
+				return out, next - 1, nil
 			}
 			if !out.retryable() {
 				// Deterministic failure: every replica would answer the
 				// same, so relay it now and cancel the stragglers.
-				return out, nil
+				return out, next - 1, nil
 			}
 			last = out
 			switch {
@@ -192,7 +225,7 @@ func (r *Router) route(ctx context.Context, key string, body []byte) (attemptOut
 				backoffTimer = time.NewTimer(d)
 				backoffCh = backoffTimer.C
 			case next >= len(order) && inflight == 0 && backoffCh == nil:
-				return last, nil // exhausted: relay the most recent failure
+				return last, next - 1, nil // exhausted: relay the most recent failure
 			}
 		case <-backoffCh:
 			backoffCh = nil
@@ -200,7 +233,7 @@ func (r *Router) route(ctx context.Context, key string, body []byte) (attemptOut
 				r.reg.Counter(obs.MetricFleetRetries, "replica", order[next].addr).Inc()
 				launch(false)
 			} else if inflight == 0 {
-				return last, nil
+				return last, next - 1, nil
 			}
 		case <-hedgeCh:
 			hedgeCh = nil
@@ -212,7 +245,7 @@ func (r *Router) route(ctx context.Context, key string, body []byte) (attemptOut
 				launch(true)
 			}
 		case <-ctx.Done():
-			return attemptOutcome{err: ctx.Err()}, nil
+			return attemptOutcome{err: ctx.Err()}, next - 1, nil
 		}
 	}
 }
@@ -229,11 +262,12 @@ func (r *Router) settleHedge(winner attemptOutcome, hedgeLaunched bool) {
 	}
 }
 
-// attempt performs one proxied POST /v1/throughput exchange.
-func (r *Router) attempt(ctx context.Context, m *member, hedged bool, body []byte) attemptOutcome {
+// attempt performs one proxied POST exchange against the given replica
+// path (/v1/throughput or /v1/batch).
+func (r *Router) attempt(ctx context.Context, path string, m *member, hedged bool, body []byte) attemptOutcome {
 	out := attemptOutcome{m: m, hedged: hedged}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		m.addr+"/v1/throughput", bytes.NewReader(body))
+		m.addr+path, bytes.NewReader(body))
 	if err != nil {
 		out.err = err
 		return out

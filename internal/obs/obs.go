@@ -116,6 +116,30 @@ const (
 	// browned-out ring owner toward an un-degraded replica (label
 	// replica = the preferred replica).
 	MetricFleetDegradedReroutes = "sdf_fleet_degraded_reroutes_total"
+
+	// Batch-serving metrics (POST /v1/batch, serve and fleet layers).
+
+	// MetricBatchRequests counts whole batches by outcome (label
+	// outcome: complete, partial, refused-draining, failed).
+	MetricBatchRequests = "sdf_batch_requests_total"
+	// MetricBatchItems counts batch items by final status (label
+	// status: ok, bounded, degraded, item-error).
+	MetricBatchItems = "sdf_batch_items_total"
+	// MetricBatchSeconds is the whole-batch latency histogram.
+	MetricBatchSeconds = "sdf_batch_seconds"
+	// MetricBatchFanout counts sub-batches dispatched per replica by
+	// the fleet router (labels replica; kind: primary, redispatch,
+	// straggler).
+	MetricBatchFanout = "sdf_batch_fanout_total"
+	// MetricBatchRedispatchedItems counts items re-dispatched off a
+	// failed or straggling replica to a survivor (label replica = the
+	// replica the items were pulled from).
+	MetricBatchRedispatchedItems = "sdf_batch_redispatched_items_total"
+	// MetricBatchLostItems counts items the router had to synthesize an
+	// unavailable entry for because every replica failed them. The
+	// merge invariant keeps entries, so "lost" means lost answers, not
+	// lost entries; chaos tests assert the counter stays meaningful.
+	MetricBatchLostItems = "sdf_batch_lost_items_total"
 )
 
 // Kind distinguishes the instrument families of a Registry.

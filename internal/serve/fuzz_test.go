@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"testing"
 
 	"repro/internal/gen"
@@ -51,25 +52,104 @@ func FuzzRequest(f *testing.F) {
 			}
 			return
 		}
-		if req.Graph == nil {
-			t.Fatal("accepted request with nil graph")
+		checkDecodedRequest(t, req)
+	})
+}
+
+// checkDecodedRequest asserts the absolute invariants of any request the
+// wire decoder accepts, shared by the single-request and batch fuzzers.
+func checkDecodedRequest(t *testing.T, req *Request) {
+	t.Helper()
+	if req.Graph == nil {
+		t.Fatal("accepted request with nil graph")
+	}
+	if err := req.Graph.Validate(); err != nil {
+		t.Fatalf("accepted invalid graph: %v", err)
+	}
+	switch req.Method {
+	case "hedged", "matrix", "statespace", "hsdf":
+	default:
+		t.Fatalf("accepted unknown method %q", req.Method)
+	}
+	if req.Timeout < 0 {
+		t.Fatalf("accepted negative timeout %v", req.Timeout)
+	}
+	if cost := EstimateCost(req.Graph); cost < 1 {
+		t.Fatalf("estimated cost %d < 1", cost)
+	}
+	if k1, k2 := req.Key(), req.Key(); k1 != k2 || len(k1) != 64 {
+		t.Fatalf("unstable or malformed request key %q vs %q", k1, k2)
+	}
+}
+
+// FuzzBatchRequest hammers the batch wire decoder the way FuzzRequest
+// hammers the single-request one. The batch decoder fronts the same
+// public daemon with an extra contract on top: it must never panic, a
+// batch it accepts holds between 1 and maxBatchItems items with a
+// non-negative shared deadline, and every item carries exactly one of a
+// fully validated request (the FuzzRequest invariants) or a per-item
+// decode error that wraps ErrBadRequest — per-item fault isolation
+// starts at the wire.
+func FuzzBatchRequest(f *testing.F) {
+	var graphJSON, graphText bytes.Buffer
+	if err := sdfio.WriteJSON(&graphJSON, gen.Figure2()); err != nil {
+		f.Fatal(err)
+	}
+	if err := sdfio.WriteText(&graphText, gen.Figure2()); err != nil {
+		f.Fatal(err)
+	}
+	seed := func(p BatchRequestPayload) {
+		b, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
 		}
-		if err := req.Graph.Validate(); err != nil {
-			t.Fatalf("accepted invalid graph: %v", err)
+		f.Add(b)
+	}
+	seed(BatchRequestPayload{Items: []RequestPayload{{Graph: graphJSON.Bytes()}}})
+	seed(BatchRequestPayload{
+		Items: []RequestPayload{
+			{GraphText: graphText.String(), Method: "hedged"},
+			{Graph: graphJSON.Bytes(), Method: "Matrix", TimeoutMS: 250, Budget: 100000},
+			{GraphText: "sdf broken\nactor"},
+		},
+		DeadlineMS: 2000,
+	})
+	seed(BatchRequestPayload{Items: []RequestPayload{{GraphText: graphText.String(), Method: "statespace",
+		Inject: []InjectPayload{{Engine: "statespace", Point: "checkpoint", Mode: "panic", Times: -1}}}}})
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"items":[]}`))
+	f.Add([]byte(`{"items":[{}]}`))
+	f.Add([]byte(`{"items":[{"graph_text":"graph g\nactor a 1\n"}],"deadline_ms":-5}`))
+	f.Add([]byte(`{"items":[{"graph_text":"x","method":"oracle"}]} {"again":true}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		breq, err := DecodeBatchRequest(data)
+		if err != nil {
+			if breq != nil {
+				t.Fatal("batch decoder returned both a batch and an error")
+			}
+			return
 		}
-		switch req.Method {
-		case "hedged", "matrix", "statespace", "hsdf":
-		default:
-			t.Fatalf("accepted unknown method %q", req.Method)
+		if n := len(breq.Items); n < 1 || n > maxBatchItems {
+			t.Fatalf("accepted batch with %d items", n)
 		}
-		if req.Timeout < 0 {
-			t.Fatalf("accepted negative timeout %v", req.Timeout)
+		if breq.Deadline < 0 {
+			t.Fatalf("accepted negative deadline %v", breq.Deadline)
 		}
-		if cost := EstimateCost(req.Graph); cost < 1 {
-			t.Fatalf("estimated cost %d < 1", cost)
-		}
-		if k1, k2 := req.Key(), req.Key(); k1 != k2 || len(k1) != 64 {
-			t.Fatalf("unstable or malformed request key %q vs %q", k1, k2)
+		for i, it := range breq.Items {
+			switch {
+			case it.Req != nil && it.Err != nil:
+				t.Fatalf("item %d decoded to both a request and an error", i)
+			case it.Req == nil && it.Err == nil:
+				t.Fatalf("item %d decoded to neither a request nor an error", i)
+			case it.Err != nil:
+				if !errors.Is(it.Err, ErrBadRequest) {
+					t.Fatalf("item %d error %v does not wrap ErrBadRequest", i, it.Err)
+				}
+			default:
+				checkDecodedRequest(t, it.Req)
+			}
 		}
 	})
 }

@@ -190,6 +190,33 @@ func NewHandler(s *Server) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchRequestBytes))
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.writeError(w, fmt.Errorf("%w: batch body exceeds the %d-byte limit", ErrTooLarge, mbe.Limit))
+				return
+			}
+			s.writeError(w, errors.Join(ErrBadRequest, err))
+			return
+		}
+		breq, err := DecodeBatchRequest(body)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		res, err := s.AnalyzeBatch(r.Context(), breq)
+		if err != nil {
+			// Batch-level refusal (draining): item failures never land
+			// here — a processed batch is always 200 with per-item
+			// entries.
+			s.writeError(w, err)
+			return
+		}
+		w.Header().Set("X-SDF-Batch", res.Kind)
+		writeJSON(w, http.StatusOK, res)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
 	})

@@ -161,6 +161,17 @@ func DecodeRequest(data []byte) (*Request, error) {
 	if dec.More() {
 		return bad("trailing data after the request object")
 	}
+	return p.decode()
+}
+
+// decode validates one already-unmarshalled payload into a Request. It
+// is shared between the single-request decoder and the batch decoder,
+// where each item fails independently (per-item fault isolation starts
+// at the wire).
+func (p RequestPayload) decode() (*Request, error) {
+	bad := func(format string, args ...any) (*Request, error) {
+		return nil, fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+	}
 
 	var g *sdf.Graph
 	var err error

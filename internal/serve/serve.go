@@ -179,9 +179,9 @@ func New(opts Options) *Server {
 		flights:  newFlightGroup(opts.Obs),
 		ctrl: newController(opts.Workers, opts.Workers+opts.QueueDepth,
 			opts.DegradeTargetP99, opts.DegradeHold, opts.Obs),
-		slots: make(chan struct{}, opts.Workers+opts.QueueDepth),
-		work:     make(chan struct{}, opts.Workers),
-		drained:  make(chan struct{}),
+		slots:   make(chan struct{}, opts.Workers+opts.QueueDepth),
+		work:    make(chan struct{}, opts.Workers),
+		drained: make(chan struct{}),
 	}
 	for _, m := range opts.Engines {
 		bo := opts.Breaker
@@ -281,10 +281,6 @@ func (s *Server) analyze(ctx context.Context, req *Request) (*ResultPayload, err
 	// queue depth just observed (this request included) and the recent
 	// latency window.
 	level := s.ctrl.update(len(s.slots))
-	if req.ExactOnly && level > LevelExact {
-		s.reg.Counter(obs.MetricDegraded, "level", "exact-only").Inc()
-		return nil, fmt.Errorf("%w: serving at level %s and the request is exact-only", ErrDegraded, level)
-	}
 
 	// Cheap structural prechecks before any budget is reserved: an
 	// inconsistent or deadlocked graph costs the server almost nothing.
@@ -298,21 +294,53 @@ func (s *Server) analyze(ctx context.Context, req *Request) (*ResultPayload, err
 		return nil, err
 	}
 
-	// The reduction fixpoint runs before the cost estimate and cache
-	// key: the engines, the pool and the LRU all see the reduced graph,
-	// and the answer is lifted back per request. Fault-injected requests
-	// skip it — they are deliberately sick and their faults must fire in
-	// the engine they name, on the graph the test wrote.
-	dispReq := req
-	var red *passes.Reduction
-	if len(req.Faults) == 0 {
-		rctx := obs.WithRegistry(s.baseCtx, s.reg)
-		if r, rerr := passes.Reduce(rctx, req.Graph, passes.Options{}); rerr == nil && len(r.Steps) > 0 {
-			red = r
-			dr := *req
-			dr.Graph = r.Final
-			dispReq = &dr
+	red := s.reduceFor(req)
+	res, err := s.analyzeAdmitted(ctx, req, red, level)
+	if err != nil {
+		if !errors.Is(err, ErrDegraded) {
+			s.failed.Add(1)
 		}
+		return nil, err
+	}
+	s.served.Add(1)
+	return res, nil
+}
+
+// reduceFor runs the reduction fixpoint for a request. The engines, the
+// pool and the LRU all see the reduced graph, and the answer is lifted
+// back per request. Fault-injected requests skip it — they are
+// deliberately sick and their faults must fire in the engine they name,
+// on the graph the test wrote. A reduction that fails or achieves
+// nothing returns nil and the request proceeds on the original graph.
+func (s *Server) reduceFor(req *Request) *passes.Reduction {
+	if len(req.Faults) > 0 {
+		return nil
+	}
+	rctx := obs.WithRegistry(s.baseCtx, s.reg)
+	if r, err := passes.Reduce(rctx, req.Graph, passes.Options{}); err == nil && len(r.Steps) > 0 {
+		return r
+	}
+	return nil
+}
+
+// analyzeAdmitted executes one admitted, prechecked request at the given
+// degradation level: exact-only gating, the brownout ladder, dispatch
+// through the cache/singleflight discipline, and the lifted render. The
+// caller has already passed the drain gate and the bounded queue, run
+// the structural prechecks, and computed the reduction (nil when none
+// applied). Both the single-request path and every batch item funnel
+// through here, so admission economics and certificate discipline are
+// identical for the two workloads.
+func (s *Server) analyzeAdmitted(ctx context.Context, req *Request, red *passes.Reduction, level Level) (*ResultPayload, error) {
+	if req.ExactOnly && level > LevelExact {
+		s.reg.Counter(obs.MetricDegraded, "level", "exact-only").Inc()
+		return nil, fmt.Errorf("%w: serving at level %s and the request is exact-only", ErrDegraded, level)
+	}
+	dispReq := req
+	if red != nil && len(red.Steps) > 0 {
+		dr := *req
+		dr.Graph = red.Final
+		dispReq = &dr
 	}
 
 	// Browned-out serving: under pressure the server answers with the
@@ -320,29 +348,14 @@ func (s *Server) analyze(ctx context.Context, req *Request) (*ResultPayload, err
 	// requests never degrade — their faults must fire in the engine they
 	// name.
 	if len(req.Faults) == 0 && level > LevelExact {
-		res, err := s.analyzeDegraded(ctx, req, dispReq, red, level)
-		if err != nil {
-			if !errors.Is(err, ErrDegraded) {
-				s.failed.Add(1)
-			}
-			return nil, err
-		}
-		s.served.Add(1)
-		return res, nil
+		return s.analyzeDegraded(ctx, req, dispReq, red, level)
 	}
 
 	ans, err := s.dispatch(ctx, dispReq)
 	if err != nil {
-		s.failed.Add(1)
 		return nil, err
 	}
-	res, err := s.render(req.Graph, red, ans)
-	if err != nil {
-		s.failed.Add(1)
-		return nil, err
-	}
-	s.served.Add(1)
-	return res, nil
+	return s.render(req.Graph, red, ans)
 }
 
 // analyzeDegraded serves one request at a browned-out level. The ladder

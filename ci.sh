@@ -45,6 +45,12 @@ echo '== fuzz smoke: FuzzBatchRequest (10s)'
 # never a batch-wide failure for one bad item) is the fuzzed invariant.
 timeout 120 go test -run='^$' -fuzz='^FuzzBatchRequest$' -fuzztime=10s ./internal/serve
 
+echo '== fuzz smoke: FuzzSADFParse (10s)'
+# The FSM-SADF text parser feeds both sdftool and the /v1/sadf wire
+# path; parse -> render -> reparse round-trip fidelity is the fuzzed
+# invariant on top of panic-freedom.
+timeout 120 go test -run='^$' -fuzz='^FuzzSADFParse$' -fuzztime=10s ./internal/sdfio
+
 echo '== sdftool reduce -verify over the reduction corpus'
 # Every corpus graph must reduce (or reach the trivial fixpoint), and
 # the lifted certificate chain must re-check against the original.
@@ -58,6 +64,16 @@ echo '== sdfbench engine timings -> BENCH_3.json'
 # short deadline keeps the gate fast; engines that cannot finish in
 # time are recorded in the JSON as deadline errors, not failures.
 timeout 120 go run ./cmd/sdfbench -engines BENCH_3.json -deadline 2s
+
+echo '== sdfbench sadf automaton-size vs wall-time -> BENCH_3.json'
+# FSM-SADF analysis wall times over a ladder of synthetic scenario
+# models, merged into the same report (the engine sections above are
+# preserved). Every case's certificate must re-check.
+timeout 120 go run ./cmd/sdfbench -sadf BENCH_3.json -deadline 10s
+grep -q '"sadf_cases"' BENCH_3.json || {
+    echo 'bench: BENCH_3.json lost the sadf_cases section'
+    exit 1
+}
 
 echo '== sdfserved soak: mixed wire load, breaker trip/recover, graceful drain'
 # End-to-end soak of the serving stack: a race-instrumented sdfserved
@@ -737,6 +753,202 @@ if [ "$rc" -ne 0 ]; then
     exit 1
 fi
 cleanup_batch
+trap - EXIT
+
+echo '== sadf soak: FSM-SADF round-trips with client-side certificate checks'
+# End-to-end contract of the scenario-aware workload: `sdftool sadf
+# -verify` analyses the two-scenario reference model locally, then
+# round-trips it through a race-instrumented sdfserved daemon AND
+# through an sdfrouter in front of it — in both cases the client
+# rebuilds the server's certificate from the wire payload and re-checks
+# it against its own parse in exact arithmetic. The sadf error taxonomy
+# must hold through the wire (broken model exit 1, precondition-failing
+# scenario exit 2), repeat queries must hit the result cache, and the
+# sadf counters must move on /metrics. Both processes drain cleanly on
+# SIGTERM.
+SADF_DIR=$(mktemp -d)
+SADF_PIDS=
+cleanup_sadf() {
+    for pid in $SADF_PIDS; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$SADF_DIR"
+}
+trap cleanup_sadf EXIT
+
+go build -race -o "$SADF_DIR/sdfserved" ./cmd/sdfserved
+go build -o "$SADF_DIR/sdfrouter" ./cmd/sdfrouter
+go build -o "$SADF_DIR/sdftool" ./cmd/sdftool
+
+# The README's two-scenario model: worst-case period 4, from alternating
+# the heavy and light scenarios around the two-token ring.
+cat > "$SADF_DIR/wlan.sadf" <<'EOF'
+sadf wlan
+scenario lo
+actor A 1
+actor B 2
+chan A B 1 1 1
+chan B A 1 1 1
+scenario hi
+actor A 5
+actor B 3
+chan A B 1 1 1
+chan B A 1 1 1
+state slo lo
+state shi hi
+trans slo shi
+trans shi slo
+trans slo slo
+trans shi shi
+initial slo
+EOF
+# Structural model error: a state labeling an unknown scenario.
+cat > "$SADF_DIR/broken.sadf" <<'EOF'
+sadf broken
+scenario a
+actor A 1
+chan A A 1 1 1
+state s nosuch
+initial s
+EOF
+# Structurally valid, but the scenario fails the rate-consistency
+# precheck.
+cat > "$SADF_DIR/badscn.sadf" <<'EOF'
+sadf bad
+scenario a
+actor A 1
+actor B 1
+chan A B 2 1 1
+chan B A 1 1 1
+state s a
+trans s s
+initial s
+EOF
+
+# Local analysis with the certificate re-check.
+"$SADF_DIR/sdftool" sadf -verify "$SADF_DIR/wlan.sadf" > "$SADF_DIR/local.txt"
+grep -q 'worst-case period: 4' "$SADF_DIR/local.txt" || {
+    echo 'sadf: local analysis did not find worst-case period 4'
+    cat "$SADF_DIR/local.txt"
+    exit 1
+}
+grep -q '^verified:' "$SADF_DIR/local.txt" || {
+    echo 'sadf: local -verify printed no verified line'
+    cat "$SADF_DIR/local.txt"
+    exit 1
+}
+
+SADF_ADDR="127.0.0.1:$((24000 + $$ % 10000))"
+"$SADF_DIR/sdfserved" -addr "$SADF_ADDR" > "$SADF_DIR/served.log" 2>&1 &
+SADF_SERVED_PID=$!
+SADF_PIDS="$SADF_SERVED_PID"
+
+ready=0
+for _ in $(seq 1 100); do
+    if "$SADF_DIR/sdftool" query -server "http://$SADF_ADDR" -health >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { echo 'sadf: sdfserved never became ready'; cat "$SADF_DIR/served.log"; exit 1; }
+
+# Remote round-trip: the wire certificate must survive the client-side
+# rebuild and exact re-check.
+"$SADF_DIR/sdftool" sadf -server "http://$SADF_ADDR" -verify "$SADF_DIR/wlan.sadf" > "$SADF_DIR/remote.txt"
+grep -q 'worst-case period: 4' "$SADF_DIR/remote.txt" || {
+    echo 'sadf: remote analysis did not find worst-case period 4'
+    cat "$SADF_DIR/remote.txt"
+    exit 1
+}
+grep -q 're-checked locally' "$SADF_DIR/remote.txt" || {
+    echo 'sadf: remote -verify did not re-check the wire certificate'
+    cat "$SADF_DIR/remote.txt"
+    exit 1
+}
+# A repeat of the same model must come from the result cache, and the
+# cached answer's certificate must still verify.
+"$SADF_DIR/sdftool" sadf -server "http://$SADF_ADDR" -verify "$SADF_DIR/wlan.sadf" > "$SADF_DIR/cached.txt"
+grep -q 'served from the result cache' "$SADF_DIR/cached.txt" || {
+    echo 'sadf: repeat query was not served from the cache'
+    cat "$SADF_DIR/cached.txt"
+    exit 1
+}
+grep -q 're-checked locally' "$SADF_DIR/cached.txt" || {
+    echo 'sadf: cached answer failed the client-side certificate check'
+    cat "$SADF_DIR/cached.txt"
+    exit 1
+}
+
+# The sadf error taxonomy through the wire: structural model error exit
+# 1, precondition-failing scenario exit 2 (same codes as local runs).
+expect_sadf() {
+    want=$1
+    shift
+    rc=0
+    "$@" >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "sadf: '$*' exited $rc, want $want"
+        cat "$SADF_DIR/served.log"
+        exit 1
+    fi
+}
+expect_sadf 1 "$SADF_DIR/sdftool" sadf -server "http://$SADF_ADDR" "$SADF_DIR/broken.sadf"
+expect_sadf 2 "$SADF_DIR/sdftool" sadf -server "http://$SADF_ADDR" "$SADF_DIR/badscn.sadf"
+expect_sadf 1 "$SADF_DIR/sdftool" sadf "$SADF_DIR/broken.sadf"
+
+# The workload is on the metrics surface.
+curl -s "http://$SADF_ADDR/metrics" > "$SADF_DIR/metrics.txt"
+for series in \
+    'sdf_sadf_requests_total\{outcome="served"\} [1-9]' \
+    'sdf_sadf_automaton_nodes_total [1-9]'; do
+    grep -E "$series" "$SADF_DIR/metrics.txt" >/dev/null || {
+        echo "sadf: /metrics missing non-zero series $series"
+        cat "$SADF_DIR/metrics.txt"
+        exit 1
+    }
+done
+
+# The same round-trip through the fleet router: the certificate must
+# survive the extra hop verbatim.
+SADF_RADDR="127.0.0.1:$((34000 + $$ % 10000))"
+"$SADF_DIR/sdfrouter" -addr "$SADF_RADDR" -replicas "http://$SADF_ADDR" \
+    > "$SADF_DIR/router.log" 2>&1 &
+SADF_ROUTER_PID=$!
+SADF_PIDS="$SADF_PIDS $SADF_ROUTER_PID"
+ready=0
+for _ in $(seq 1 100); do
+    if curl -sf "http://$SADF_RADDR/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { echo 'sadf: sdfrouter never became ready'; cat "$SADF_DIR/router.log"; exit 1; }
+"$SADF_DIR/sdftool" sadf -server "http://$SADF_RADDR" -verify "$SADF_DIR/wlan.sadf" > "$SADF_DIR/fleet.txt"
+grep -q 'worst-case period: 4' "$SADF_DIR/fleet.txt" && grep -q 're-checked locally' "$SADF_DIR/fleet.txt" || {
+    echo 'sadf: certified answer did not survive the router hop'
+    cat "$SADF_DIR/fleet.txt"
+    cat "$SADF_DIR/router.log"
+    exit 1
+}
+# A broken model bounces at the router without burning a replica hop.
+expect_sadf 1 "$SADF_DIR/sdftool" sadf -server "http://$SADF_RADDR" "$SADF_DIR/broken.sadf"
+
+# SIGTERM: router and daemon drain cleanly.
+kill -TERM "$SADF_ROUTER_PID"
+rc=0
+wait "$SADF_ROUTER_PID" || rc=$?
+[ "$rc" -eq 0 ] || { echo "sadf: sdfrouter exited $rc after SIGTERM, want 0"; cat "$SADF_DIR/router.log"; exit 1; }
+kill -TERM "$SADF_SERVED_PID"
+rc=0
+wait "$SADF_SERVED_PID" || rc=$?
+[ "$rc" -eq 0 ] || { echo "sadf: sdfserved exited $rc after SIGTERM, want 0"; cat "$SADF_DIR/served.log"; exit 1; }
+grep -q 'drained cleanly' "$SADF_DIR/served.log" || {
+    echo 'sadf: no clean-drain line in the daemon log'
+    cat "$SADF_DIR/served.log"
+    exit 1
+}
+SADF_PIDS=
+cleanup_sadf
 trap - EXIT
 
 echo 'ci: all checks passed'

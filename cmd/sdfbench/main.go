@@ -6,6 +6,9 @@
 //	sdfbench -fig5       the §7 / Figure 5 prefetch model (1584 blocks)
 //	sdfbench -engines F  per-engine throughput wall times over the
 //	                     benchmark suite, written to the JSON file F
+//	sdfbench -sadf F     FSM-SADF analysis wall time vs automaton size
+//	                     over synthetic scenario ladders, merged into
+//	                     the JSON file F
 //	sdfbench -all        everything
 //
 // Output is aligned text with one row per table row or figure series
@@ -30,19 +33,25 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	blocks := flag.Int("blocks", 1584, "fig5: computations per frame")
 	engines := flag.String("engines", "", "measure throughput wall times per engine over the benchmark suite and write this JSON file")
-	deadline := flag.Duration("deadline", 10*time.Second, "engines: per-engine wall-clock cap (slow engines are recorded as deadline errors)")
+	sadfOut := flag.String("sadf", "", "measure FSM-SADF analysis wall time vs automaton size and merge the cases into this JSON file")
+	deadline := flag.Duration("deadline", 10*time.Second, "engines/sadf: per-case wall-clock cap (slow cases are recorded as deadline errors)")
 	flag.Parse()
 
 	if *all {
 		*table1, *fig1, *fig5 = true, true, true
 	}
-	if !*table1 && !*fig1 && !*fig5 && *engines == "" {
+	if !*table1 && !*fig1 && !*fig5 && *engines == "" && *sadfOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	w := os.Stdout
 	if *engines != "" {
 		if err := runEngines(w, *engines, *deadline); err != nil {
+			fail(err)
+		}
+	}
+	if *sadfOut != "" {
+		if err := runSADF(w, *sadfOut, *deadline); err != nil {
 			fail(err)
 		}
 	}

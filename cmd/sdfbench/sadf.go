@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/sadf"
+	"repro/internal/sdf"
+)
+
+// sadfCase is one synthetic FSM-SADF model's measured analysis: the
+// automaton size against the wall time of the full pipeline (symbolic
+// matrix extraction per scenario, Howard's iteration on the automaton,
+// certificate construction and re-check).
+type sadfCase struct {
+	Name           string `json:"name"`
+	Scenarios      int    `json:"scenarios"`
+	States         int    `json:"states"`
+	Tokens         int    `json:"tokens"`
+	AutomatonNodes int    `json:"automaton_nodes"`
+	AutomatonEdges int    `json:"automaton_edges"`
+	Period         string `json:"period,omitempty"`
+	Unbounded      bool   `json:"unbounded,omitempty"`
+	WallNS         int64  `json:"wall_ns"`
+	Verified       bool   `json:"verified"`
+	Error          string `json:"error,omitempty"`
+}
+
+// sadfModel builds a synthetic FSM-SADF instance: a ring of actors with
+// one token per channel (so the token count equals the ring size) under
+// scenarios that differ only in execution times, and an FSM that cycles
+// through all scenario states with a self-loop on each. Every scenario
+// shares the ring's token signature, so the model always validates.
+func sadfModel(scenarios, ring int) (*sadf.Model, error) {
+	m := &sadf.Model{Name: fmt.Sprintf("synth-s%d-r%d", scenarios, ring)}
+	for k := 0; k < scenarios; k++ {
+		g := sdf.NewGraph(fmt.Sprintf("scn%d", k))
+		for i := 0; i < ring; i++ {
+			// Exec times vary by actor and scenario so the critical
+			// cycle genuinely depends on the scenario sequence.
+			if _, err := g.AddActor(fmt.Sprintf("A%d", i), int64(1+(i*7+k*3)%5)); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < ring; i++ {
+			g.MustAddChannelByName(fmt.Sprintf("A%d", i), fmt.Sprintf("A%d", (i+1)%ring), 1, 1, 1)
+		}
+		m.Scenarios = append(m.Scenarios, sadf.Scenario{Name: fmt.Sprintf("s%d", k), Graph: g})
+	}
+	for k := 0; k < scenarios; k++ {
+		q := fmt.Sprintf("q%d", k)
+		m.States = append(m.States, sadf.State{Name: q, Scenario: fmt.Sprintf("s%d", k)})
+		m.Transitions = append(m.Transitions,
+			sadf.Transition{From: q, To: fmt.Sprintf("q%d", (k+1)%scenarios)})
+		if scenarios > 1 {
+			m.Transitions = append(m.Transitions, sadf.Transition{From: q, To: q})
+		}
+	}
+	m.Initial = "q0"
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// runSADF measures worst-case FSM-SADF analysis wall time against
+// automaton size on a ladder of synthetic models and merges the cases
+// into the JSON report at path (created if absent, other sections of an
+// existing report are preserved). Every answer's certificate is
+// re-checked against the scenario graphs before the case may claim
+// "verified".
+func runSADF(w io.Writer, path string, deadline time.Duration) error {
+	sizes := []struct{ scenarios, ring int }{
+		{2, 4}, {2, 16}, {4, 16}, {4, 64}, {8, 64}, {16, 128},
+	}
+	fmt.Fprintln(w, "FSM-SADF analysis wall time vs automaton size (synthetic scenario ladders):")
+	fmt.Fprintf(w, "%-16s %10s %8s %8s %8s %12s   %s\n",
+		"case", "scenarios", "tokens", "nodes", "edges", "wall", "worst-case period")
+	var cases []sadfCase
+	for _, sz := range sizes {
+		m, err := sadfModel(sz.scenarios, sz.ring)
+		if err != nil {
+			return err
+		}
+		c := sadfCase{Name: m.Name, Scenarios: sz.scenarios, States: sz.scenarios, Tokens: m.Tokens()}
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		t0 := time.Now()
+		res, cert, err := sadf.Analyze(ctx, m)
+		c.WallNS = time.Since(t0).Nanoseconds()
+		result := ""
+		if err != nil {
+			c.Error = err.Error()
+			result = "error: " + c.Error
+		} else {
+			c.AutomatonNodes = res.AutomatonNodes
+			c.AutomatonEdges = res.AutomatonEdges
+			c.Unbounded = res.Unbounded
+			if res.Unbounded {
+				result = "unbounded"
+			} else {
+				c.Period = res.Period.String()
+				result = c.Period
+			}
+			if err := cert.Check(ctx, m.Graphs()); err != nil {
+				result += "  CERT FAILED: " + err.Error()
+			} else {
+				c.Verified = true
+			}
+		}
+		cancel()
+		fmt.Fprintf(w, "%-16s %10d %8d %8d %8d %12v   %s\n",
+			c.Name, c.Scenarios, c.Tokens, c.AutomatonNodes, c.AutomatonEdges,
+			time.Duration(c.WallNS).Round(time.Microsecond), result)
+		cases = append(cases, c)
+	}
+	if err := mergeSADFCases(path, cases); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "merged %d sadf cases into %s\n\n", len(cases), path)
+	return nil
+}
+
+// mergeSADFCases writes the cases under the "sadf_cases" key of the
+// JSON report at path, preserving whatever other sections (the engine
+// timings, say) an earlier run put there.
+func mergeSADFCases(path string, cases []sadfCase) error {
+	report := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("sadf: existing report %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	enc, err := json.Marshal(cases)
+	if err != nil {
+		return err
+	}
+	report["sadf_cases"] = enc
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	out := json.NewEncoder(f)
+	out.SetIndent("", "  ")
+	return out.Encode(report)
+}

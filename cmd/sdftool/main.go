@@ -35,6 +35,12 @@
 //	            errors map onto the same exit codes as local analyses;
 //	            -exact-only refuses brownout answers (a degraded server
 //	            answers 429 instead of a certified bound or stale result)
+//	sadf        worst-case throughput of an FSM-SADF model (scenario
+//	            graphs + a finite-state machine over them): locally, or
+//	            through a daemon/fleet router with -server; -verify
+//	            re-checks the certificate against the local parse of the
+//	            model, rebuilding it from the wire payload for remote
+//	            answers so the proof survives any proxy hop
 //	batch       analyse a multi-graph file in one POST /v1/batch round
 //	            trip (-server, -deadline shared across the batch, -method,
 //	            -budget and -timeout applied per item, -json for the raw
@@ -231,6 +237,8 @@ func run(args []string, out io.Writer) error {
 		}, fs)
 	case "query":
 		return cmdQuery(rest, out)
+	case "sadf":
+		return cmdSADF(rest, out)
 	case "batch":
 		return cmdBatch(rest, out)
 	case "help", "-h", "--help":
@@ -241,7 +249,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|lint|reduce|matrix|report|bottleneck|buffers|fmt|query|batch> [flags] <graph file>")
+	return fmt.Errorf("usage: sdftool <info|rv|throughput|latency|convert|abstract|unfold|simulate|lint|reduce|matrix|report|bottleneck|buffers|fmt|query|sadf|batch> [flags] <graph file>")
 }
 
 // withGraph parses flags (when fs is non-nil), loads the graph named by

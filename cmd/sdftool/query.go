@@ -41,6 +41,9 @@ func (e *remoteError) Error() string {
 // — shrink the graph, retrying cannot help — so it shares code 1 with
 // the other request-shaped failures.
 func (e *remoteError) exitCode() int {
+	if code, ok := sadfExitCode(e.kind); ok {
+		return code
+	}
 	switch e.kind {
 	case "precondition":
 		return 2

@@ -1,0 +1,14 @@
+// Fixture for the kindmap check's sadf side: the exit-code table that
+// must carry an explicit case for every sadf-specific wire kind the
+// fixture serve.SADFKindOf can return.
+package main
+
+func sadfExitCode(kind string) (int, bool) {
+	switch kind {
+	case "sadf-model":
+		return 1, true
+	case "sadf-scenario":
+		return 2, true
+	}
+	return 0, false
+}

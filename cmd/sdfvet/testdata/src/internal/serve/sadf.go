@@ -1,0 +1,26 @@
+// Fixture for the kindmap check's sadf side: SADFKindOf defines the
+// sadf-specific wire kinds. "sadf-model" and "sadf-scenario" have cases
+// in the fixture sadfExitCode table under cmd/sdftool; "sadf-orphan"
+// deliberately has none. The delegation to KindOf contributes no
+// literal and is covered by the first mapping.
+package serve
+
+import "errors"
+
+var (
+	errBadModel    = errors.New("bad model")
+	errBadScenario = errors.New("bad scenario")
+	errSadfOrphan  = errors.New("sadf orphan")
+)
+
+func SADFKindOf(err error) string {
+	switch {
+	case errors.Is(err, errBadModel):
+		return "sadf-model"
+	case errors.Is(err, errBadScenario):
+		return "sadf-scenario"
+	case errors.Is(err, errSadfOrphan):
+		return "sadf-orphan" // want kindmap
+	}
+	return KindOf(err)
+}

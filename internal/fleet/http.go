@@ -17,6 +17,10 @@ import (
 // accepts a request it could not forward.
 const maxRequestBytes = 1 << 20
 
+// maxSADFRequestBytes mirrors the replicas' sadf wire cap (a model
+// carries several scenario graphs).
+const maxSADFRequestBytes = 4 << 20
+
 // Health is the router's self-report, served by /healthz.
 type Health struct {
 	Draining bool           `json:"draining"`
@@ -44,6 +48,7 @@ type Health struct {
 func NewHandler(r *Router) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/throughput", r.handleThroughput)
+	mux.HandleFunc("POST /v1/sadf", r.handleSADF)
 	mux.HandleFunc("POST /v1/batch", r.handleBatch)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, Health{
@@ -162,6 +167,84 @@ func (r *Router) handleThroughput(w http.ResponseWriter, req *http.Request) {
 	if dg := out.header.Get("X-SDF-Degradation"); dg != "" {
 		// The brownout marker survives the hop: the client learns its
 		// answer was degraded even through the fleet.
+		w.Header().Set("X-SDF-Degradation", dg)
+	}
+	w.Header().Set("X-SDF-Replica", out.m.addr)
+	w.WriteHeader(out.status)
+	_, _ = w.Write(out.body)
+}
+
+// handleSADF proxies the scenario-aware analysis path with the same
+// discipline as handleThroughput: decode with the replicas' own decoder
+// (malformed models bounce at the router), route by the model's
+// canonical key so identical models land on their cache-warm replica,
+// and relay the winning answer — certificate, degradation marker and
+// all — verbatim.
+func (r *Router) handleSADF(w http.ResponseWriter, req *http.Request) {
+	start := r.reg.Now()
+	outcome := "ok"
+	defer func() {
+		r.reg.Histogram(obs.MetricFleetRequestSeconds, "outcome", outcome).
+			Observe(r.reg.Now().Sub(start))
+	}()
+
+	if !r.admit() {
+		outcome = "unavailable"
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "draining", "fleet: router draining")
+		return
+	}
+	defer r.finish()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxSADFRequestBytes))
+	if err != nil {
+		outcome = "error"
+		writeError(w, http.StatusBadRequest, "bad-request", "fleet: "+err.Error())
+		return
+	}
+	decoded, err := serve.DecodeSADFRequest(body)
+	if err != nil {
+		outcome = "error"
+		kind := serve.SADFKindOf(err)
+		writeError(w, http.StatusBadRequest, kind, err.Error())
+		return
+	}
+
+	budget := decoded.Timeout
+	if budget <= 0 {
+		budget = r.opts.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), budget+2*time.Second)
+	defer cancel()
+
+	out, _, err := r.routeOn(ctx, "/v1/sadf", decoded.Key(), r.opts.HedgeDelay, body)
+	switch {
+	case errors.Is(err, errNoReplicas):
+		outcome = "unavailable"
+		w.Header().Set("Retry-After", strconv.Itoa(r.unavailableRetryAfter()))
+		writeError(w, http.StatusServiceUnavailable, "unavailable",
+			"fleet: no alive replicas (all ejected; probes will re-admit recovering ones)")
+		return
+	case err != nil:
+		outcome = "error"
+		writeError(w, http.StatusBadGateway, "unavailable", "fleet: "+err.Error())
+		return
+	case out.err != nil:
+		outcome = "unavailable"
+		w.Header().Set("Retry-After", strconv.Itoa(r.unavailableRetryAfter()))
+		writeError(w, http.StatusBadGateway, "unavailable", "fleet: "+out.err.Error())
+		return
+	}
+	if !out.ok() {
+		outcome = "error"
+	}
+	if ra := out.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if ct := out.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if dg := out.header.Get("X-SDF-Degradation"); dg != "" {
 		w.Header().Set("X-SDF-Degradation", dg)
 	}
 	w.Header().Set("X-SDF-Replica", out.m.addr)

@@ -116,6 +116,32 @@ func (m *Matrix) Mul(o *Matrix) *Matrix {
 	return p
 }
 
+// Permute returns the matrix conjugated by the permutation perm, where
+// perm[i] is the new index of old index i: Permute(P)[perm[i]][perm[j]] =
+// m[i][j]. It relabels the coordinate system of both the domain and the
+// codomain at once, so Apply in the new coordinates agrees with Apply in
+// the old ones. perm must be a permutation of 0..n-1; Permute panics
+// otherwise.
+func (m *Matrix) Permute(perm []int) *Matrix {
+	if len(perm) != m.n {
+		panic(fmt.Sprintf("maxplus: Permute: matrix %d×%d, permutation length %d", m.n, m.n, len(perm)))
+	}
+	seen := make([]bool, m.n)
+	for _, p := range perm {
+		if p < 0 || p >= m.n || seen[p] {
+			panic(fmt.Sprintf("maxplus: Permute: not a permutation of 0..%d", m.n-1))
+		}
+		seen[p] = true
+	}
+	out := NewMatrix(m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			out.rows[perm[i]][perm[j]] = m.rows[i][j]
+		}
+	}
+	return out
+}
+
 // FiniteCount returns the number of finite entries of m; this is the number
 // of matrix actors in the paper's Figure-4 HSDF construction.
 func (m *Matrix) FiniteCount() int {

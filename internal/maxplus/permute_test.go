@@ -1,0 +1,53 @@
+package maxplus
+
+import "testing"
+
+func TestMatrixPermute(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, FromInt(5))
+	m.Set(1, 2, FromInt(7))
+	m.Set(2, 2, FromInt(1))
+
+	perm := []int{2, 0, 1} // old 0 -> new 2, old 1 -> new 0, old 2 -> new 1
+	p := m.Permute(perm)
+	if got := p.At(2, 0); got != FromInt(5) {
+		t.Fatalf("entry (0,1) landed at (2,0)=%v, want 5", got)
+	}
+	if got := p.At(0, 1); got != FromInt(7) {
+		t.Fatalf("entry (1,2) landed at (0,1)=%v, want 7", got)
+	}
+	if got := p.At(1, 1); got != FromInt(1) {
+		t.Fatalf("diagonal entry (2,2) landed at (1,1)=%v, want 1", got)
+	}
+
+	// Conjugation preserves Apply: permuting matrix and vector together
+	// must permute the result.
+	x := Vec{FromInt(0), FromInt(10), FromInt(20)}
+	px := NewVec(3)
+	for i := range x {
+		px[perm[i]] = x[i]
+	}
+	y := m.Apply(x)
+	py := p.Apply(px)
+	for i := range y {
+		if py[perm[i]] != y[i] {
+			t.Fatalf("Apply after Permute disagrees at %d: %v vs %v", i, py[perm[i]], y[i])
+		}
+	}
+
+	// Identity permutation is a no-op.
+	if !m.Permute([]int{0, 1, 2}).Equal(m) {
+		t.Fatalf("identity permutation changed the matrix")
+	}
+
+	for _, bad := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Permute(%v) did not panic", bad)
+				}
+			}()
+			m.Permute(bad)
+		}()
+	}
+}

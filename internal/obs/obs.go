@@ -140,6 +140,23 @@ const (
 	// merge invariant keeps entries, so "lost" means lost answers, not
 	// lost entries; chaos tests assert the counter stays meaningful.
 	MetricBatchLostItems = "sdf_batch_lost_items_total"
+	// MetricBatchDedupItems counts batch items answered by another
+	// identical item in the same batch (cross-item dedup): the leader
+	// item computed, the duplicates fanned its answer out.
+	MetricBatchDedupItems = "sdf_batch_dedup_items_total"
+
+	// Scenario-aware dataflow metrics (POST /v1/sadf).
+
+	// MetricSADFRequests counts FSM-SADF analysis requests by outcome
+	// (label outcome: served, failed, refused, degraded-refusal).
+	MetricSADFRequests = "sdf_sadf_requests_total"
+	// MetricSADFSeconds is the end-to-end sadf request latency
+	// histogram (label outcome).
+	MetricSADFSeconds = "sdf_sadf_seconds"
+	// MetricSADFAutomatonNodes accumulates the max-plus automaton node
+	// counts of analysed models: automaton size is the cost driver of
+	// the workload, and the benchmark plots wall time against it.
+	MetricSADFAutomatonNodes = "sdf_sadf_automaton_nodes_total"
 )
 
 // Kind distinguishes the instrument families of a Registry.

@@ -1,0 +1,27 @@
+package passes
+
+import (
+	"context"
+
+	"repro/internal/sdf"
+)
+
+// ReducedCost prices a graph for admission the way the serving layer
+// does: run the reduction fixpoint, then charge the analysis cost of the
+// *reduced* graph. The paper's reduction techniques thereby become the
+// admission-cost reducer for every workload that prices by this helper —
+// a graph the rules shrink is cheaper to admit than its face value.
+// When the fixpoint fails (budget, cancellation) the unreduced cost is
+// charged instead: pricing degrades conservatively rather than failing
+// the request.
+func ReducedCost(ctx context.Context, g *sdf.Graph) int64 {
+	base := NewFacts(g).Cost()
+	red, err := Reduce(ctx, g, Options{})
+	if err != nil || red == nil || len(red.Steps) == 0 {
+		return base
+	}
+	if c := red.Facts().Cost(); c < base {
+		return c
+	}
+	return base
+}

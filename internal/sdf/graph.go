@@ -149,6 +149,15 @@ func (g *Graph) MustAddChannel(src, dst ActorID, prod, cons, initial int) Channe
 	return id
 }
 
+// MustAddChannelByName is AddChannelByName panicking on error.
+func (g *Graph) MustAddChannelByName(src, dst string, prod, cons, initial int) ChannelID {
+	id, err := g.AddChannelByName(src, dst, prod, cons, initial)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
 // AddChannelByName is AddChannel resolving endpoints by actor name.
 func (g *Graph) AddChannelByName(src, dst string, prod, cons, initial int) (ChannelID, error) {
 	s, ok := g.byName[src]

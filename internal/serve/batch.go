@@ -216,6 +216,30 @@ func (s *Server) analyzeBatch(ctx context.Context, breq *BatchRequest) (*BatchRe
 
 	plan := s.planBatch(breq)
 
+	// Cross-item dedup: items with identical canonical keys (same
+	// graph, method and budget — Request.Key — plus the exact-only
+	// gate) are analysed once. The first occurrence in plan order
+	// leads; duplicates skip execution entirely and are filled from the
+	// leader's entry after the batch settles. Fault-injected items
+	// never dedup, mirroring dispatch: they are deliberately sick and
+	// must neither adopt nor donate a healthy answer.
+	leaderOf := make(map[*plannedItem]*plannedItem)
+	seen := make(map[string]*plannedItem)
+	for _, pi := range plan {
+		if pi.err != nil || len(pi.req.Faults) > 0 {
+			continue
+		}
+		key := pi.req.Key()
+		if pi.req.ExactOnly {
+			key += "|exact"
+		}
+		if lead, ok := seen[key]; ok {
+			leaderOf[pi] = lead
+		} else {
+			seen[key] = pi
+		}
+	}
+
 	results := make([]BatchItemResult, len(breq.Items))
 	// Workers-sized launch gate: items start in plan order (cheap
 	// first), and at most Workers batch items compete for the engine
@@ -223,9 +247,11 @@ func (s *Server) analyzeBatch(ctx context.Context, breq *BatchRequest) (*BatchRe
 	// against single requests.
 	gate := make(chan struct{}, s.opts.Workers)
 	var wg sync.WaitGroup
+	// The deadline is carved across the items that will actually run:
+	// leaders only, never the duplicates they answer for.
 	left := 0
 	for _, pi := range plan {
-		if pi.err == nil {
+		if pi.err == nil && leaderOf[pi] == nil {
 			left++
 		}
 	}
@@ -233,6 +259,9 @@ func (s *Server) analyzeBatch(ctx context.Context, breq *BatchRequest) (*BatchRe
 		pi := pi
 		if pi.err != nil {
 			results[pi.index] = s.batchItemResult(pi, nil, pi.err)
+			continue
+		}
+		if leaderOf[pi] != nil {
 			continue
 		}
 		gate <- struct{}{}
@@ -252,6 +281,15 @@ func (s *Server) analyzeBatch(ctx context.Context, breq *BatchRequest) (*BatchRe
 		}()
 	}
 	wg.Wait()
+
+	// Fan the leaders' answers out to their duplicates.
+	for _, pi := range plan {
+		lead := leaderOf[pi]
+		if lead == nil {
+			continue
+		}
+		results[pi.index] = s.dedupItemResult(pi, results[lead.index])
+	}
 
 	out := &BatchResultPayload{Items: results}
 	for _, it := range results {
@@ -367,6 +405,23 @@ func (s *Server) runBatchItem(ctx context.Context, pi *plannedItem, budget time.
 		s.served.Add(1)
 	}
 	return s.batchItemResult(pi, res, err)
+}
+
+// dedupItemResult fills one deduplicated item's entry from its
+// leader's: the same answer (marked Deduped) or the same error, under
+// the item's own index, counted both as a batch item and as a dedup
+// hit.
+func (s *Server) dedupItemResult(pi *plannedItem, lead BatchItemResult) BatchItemResult {
+	out := lead
+	out.Index = pi.index
+	if out.Result != nil {
+		res := *out.Result
+		res.Deduped = true
+		out.Result = &res
+	}
+	s.reg.Counter(obs.MetricBatchItems, "status", out.Status).Inc()
+	s.reg.Counter(obs.MetricBatchDedupItems).Inc()
+	return out
 }
 
 // batchItemResult renders one item outcome into its wire entry and

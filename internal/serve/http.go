@@ -190,6 +190,32 @@ func NewHandler(s *Server) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
+	mux.HandleFunc("POST /v1/sadf", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSADFRequestBytes))
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.writeSADFError(w, fmt.Errorf("%w: sadf body exceeds the %d-byte limit", ErrTooLarge, mbe.Limit))
+				return
+			}
+			s.writeSADFError(w, errors.Join(ErrBadRequest, err))
+			return
+		}
+		req, err := DecodeSADFRequest(body)
+		if err != nil {
+			s.writeSADFError(w, err)
+			return
+		}
+		res, err := s.AnalyzeSADF(r.Context(), req)
+		if err != nil {
+			s.writeSADFError(w, err)
+			return
+		}
+		if res.Degradation != "" {
+			w.Header().Set("X-SDF-Degradation", res.Degradation)
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchRequestBytes))
 		if err != nil {
@@ -305,6 +331,17 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(kind)))
 	}
 	writeJSON(w, statusOf(kind), ErrorPayload{Error: err.Error(), Kind: kind})
+}
+
+// writeSADFError is writeError under the sadf error taxonomy: the two
+// sadf-specific kinds map through sadfStatusOf, everything else is the
+// shared classification.
+func (s *Server) writeSADFError(w http.ResponseWriter, err error) {
+	kind := SADFKindOf(err)
+	if retryable(kind) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(kind)))
+	}
+	writeJSON(w, sadfStatusOf(kind), ErrorPayload{Error: err.Error(), Kind: kind})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,616 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/lint"
+	"repro/internal/maxplus"
+	"repro/internal/obs"
+	"repro/internal/passes"
+	"repro/internal/rat"
+	"repro/internal/sadf"
+	"repro/internal/sdf"
+	"repro/internal/sdfio"
+	"repro/internal/verify"
+)
+
+// maxSADFRequestBytes caps the /v1/sadf request body: a model carries
+// several scenario graphs, so the cap is a few of the single-graph cap.
+const maxSADFRequestBytes = 4 << 20
+
+var (
+	// ErrBadModel marks a request whose FSM-SADF model is structurally
+	// invalid: unparsable, dangling cross-references, unreachable
+	// states, or scenarios that do not share one token signature.
+	ErrBadModel = errors.New("serve: invalid sadf model")
+	// ErrBadScenario marks a model whose structure is fine but whose
+	// scenario graphs fail the analysis preconditions (inconsistent
+	// rates, deadlock cycles).
+	ErrBadScenario = errors.New("serve: sadf scenario fails preconditions")
+)
+
+// SADFKindOf classifies an AnalyzeSADF error into the stable wire
+// string of ErrorPayload.Kind. The sadf endpoint adds two kinds of its
+// own — "sadf-model" for structural model errors and "sadf-scenario"
+// for scenario graphs failing analysis preconditions — and defers
+// everything else to the single-request taxonomy.
+func SADFKindOf(err error) string {
+	switch {
+	case errors.Is(err, ErrBadModel):
+		return "sadf-model"
+	case errors.Is(err, ErrBadScenario):
+		return "sadf-scenario"
+	}
+	return KindOf(err)
+}
+
+// sadfStatusOf maps the sadf-specific kinds to HTTP statuses and defers
+// the rest to statusOf.
+func sadfStatusOf(kind string) int {
+	switch kind {
+	case "sadf-model":
+		return 400
+	case "sadf-scenario":
+		return 422
+	}
+	return statusOf(kind)
+}
+
+// SADFRequestPayload is the JSON wire form of a /v1/sadf request. The
+// model arrives either as the JSON document of sdfio.ReadSADFJSON or as
+// the native text format; exactly one must be set.
+type SADFRequestPayload struct {
+	Model     json.RawMessage `json:"model,omitempty"`
+	ModelText string          `json:"model_text,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	ExactOnly bool            `json:"exact_only,omitempty"`
+}
+
+// SADFRequest is a decoded, validated sadf analysis request.
+type SADFRequest struct {
+	Model   *sadf.Model
+	Timeout time.Duration
+	// ExactOnly refuses degraded answers instead of serving a brownout
+	// bound. Excluded from Key: the cached exact answer is the same.
+	ExactOnly bool
+}
+
+// DecodeSADFRequest parses and validates a /v1/sadf body. Structural
+// model errors wrap ErrBadModel; transport-shape errors wrap
+// ErrBadRequest.
+func DecodeSADFRequest(data []byte) (*SADFRequest, error) {
+	if len(data) > maxSADFRequestBytes {
+		return nil, fmt.Errorf("%w: request body is %d bytes, limit %d", ErrTooLarge, len(data), maxSADFRequestBytes)
+	}
+	var p SADFRequestPayload
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after the request object", ErrBadRequest)
+	}
+	return p.decode()
+}
+
+func (p *SADFRequestPayload) decode() (*SADFRequest, error) {
+	if len(p.Model) > 0 && p.ModelText != "" {
+		return nil, fmt.Errorf("%w: both model and model_text set", ErrBadRequest)
+	}
+	if p.TimeoutMS < 0 {
+		return nil, fmt.Errorf("%w: negative timeout", ErrBadRequest)
+	}
+	var (
+		m   *sadf.Model
+		err error
+	)
+	switch {
+	case len(p.Model) > 0:
+		m, err = sdfio.ReadSADFJSON(bytes.NewReader(p.Model))
+	case p.ModelText != "":
+		m, err = sdfio.ParseSADFText(p.ModelText)
+	default:
+		return nil, fmt.Errorf("%w: neither model nor model_text set", ErrBadRequest)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	return &SADFRequest{
+		Model:     m,
+		Timeout:   time.Duration(p.TimeoutMS) * time.Millisecond,
+		ExactOnly: p.ExactOnly,
+	}, nil
+}
+
+// Key is the canonical cache key of the request: a hash of the model's
+// canonical text rendering, which covers scenario graphs, FSM structure
+// and the initial state. Two syntactically different documents of the
+// same model share a key.
+func (r *SADFRequest) Key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sadf\n%s", sdfio.SADFTextString(r.Model))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SADFCertPayload is the JSON wire form of a verify.SADFCert, complete
+// enough for a client to rebuild the certificate and re-check it
+// against its own parse of the model — certified answers survive any
+// number of proxy hops (the fleet router included) because the proof
+// travels with them. Matrix entries use null for −∞; schedules carry
+// actor names, resolved against the client's scenario graphs.
+type SADFCertPayload struct {
+	ScenarioNames []string     `json:"scenario_names"`
+	Matrices      [][][]*int64 `json:"matrices"`
+	Schedules     [][]string   `json:"schedules"`
+	StateNames    []string     `json:"state_names"`
+	StateScenario []int        `json:"state_scenario"`
+	Transitions   [][2]int     `json:"transitions"`
+	Initial       int          `json:"initial"`
+	Unbounded     bool         `json:"unbounded,omitempty"`
+	PeriodNum     int64        `json:"period_num,omitempty"`
+	PeriodDen     int64        `json:"period_den,omitempty"`
+	Potentials    []int64      `json:"potentials,omitempty"`
+	Cycle         []int        `json:"cycle,omitempty"`
+	Order         []int        `json:"order,omitempty"`
+}
+
+// NewSADFCertPayload renders a certificate for the wire.
+func NewSADFCertPayload(c *verify.SADFCert, scenarios []*sdf.Graph) *SADFCertPayload {
+	p := &SADFCertPayload{
+		ScenarioNames: c.ScenarioNames,
+		StateNames:    c.StateNames,
+		StateScenario: c.StateScenario,
+		Transitions:   c.Transitions,
+		Initial:       c.Initial,
+		Unbounded:     c.Unbounded,
+		Potentials:    c.Potentials,
+		Cycle:         c.Cycle,
+		Order:         c.Order,
+	}
+	if !c.Unbounded {
+		p.PeriodNum, p.PeriodDen = c.Period.Num(), c.Period.Den()
+	}
+	for k, mc := range c.Matrices {
+		n := mc.Matrix.Size()
+		rows := make([][]*int64, n)
+		for i := 0; i < n; i++ {
+			rows[i] = make([]*int64, n)
+			for j := 0; j < n; j++ {
+				if e := mc.Matrix.At(i, j); !e.IsNegInf() {
+					v := e.Int()
+					rows[i][j] = &v
+				}
+			}
+		}
+		p.Matrices = append(p.Matrices, rows)
+		sched := make([]string, len(mc.Schedule))
+		for i, a := range mc.Schedule {
+			sched[i] = scenarios[k].Actor(a).Name
+		}
+		p.Schedules = append(p.Schedules, sched)
+	}
+	return p
+}
+
+// Cert rebuilds the verify.SADFCert against the given model (the
+// client's own parse): schedules resolve actor names per scenario, the
+// scenario order is matched by name. Everything the rebuild cannot
+// resolve is a certificate error.
+func (p *SADFCertPayload) Cert(m *sadf.Model) (*verify.SADFCert, error) {
+	if len(p.Matrices) != len(p.ScenarioNames) || len(p.Schedules) != len(p.ScenarioNames) {
+		return nil, fmt.Errorf("serve: sadf certificate payload: %d names, %d matrices, %d schedules",
+			len(p.ScenarioNames), len(p.Matrices), len(p.Schedules))
+	}
+	cert := &verify.SADFCert{
+		ScenarioNames: p.ScenarioNames,
+		StateNames:    p.StateNames,
+		StateScenario: p.StateScenario,
+		Transitions:   p.Transitions,
+		Initial:       p.Initial,
+		Unbounded:     p.Unbounded,
+		Potentials:    p.Potentials,
+		Cycle:         p.Cycle,
+		Order:         p.Order,
+	}
+	if !p.Unbounded {
+		period, err := rat.New(p.PeriodNum, p.PeriodDen)
+		if err != nil {
+			return nil, fmt.Errorf("serve: sadf certificate payload: period %d/%d: %w", p.PeriodNum, p.PeriodDen, err)
+		}
+		cert.Period = period
+	}
+	for k, name := range p.ScenarioNames {
+		idx, ok := m.ScenarioIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("serve: sadf certificate names unknown scenario %q", name)
+		}
+		g := m.Scenarios[idx].Graph
+		n := len(p.Matrices[k])
+		mat := maxplus.NewMatrix(n)
+		for i, row := range p.Matrices[k] {
+			if len(row) != n {
+				return nil, fmt.Errorf("serve: sadf certificate matrix %d is ragged", k)
+			}
+			for j, e := range row {
+				if e != nil {
+					mat.Set(i, j, maxplus.FromInt(*e))
+				}
+			}
+		}
+		sched := make([]sdf.ActorID, len(p.Schedules[k]))
+		for i, an := range p.Schedules[k] {
+			id, ok := g.ActorByName(an)
+			if !ok {
+				return nil, fmt.Errorf("serve: sadf certificate schedule names unknown actor %q in scenario %q", an, name)
+			}
+			sched[i] = id
+		}
+		cert.Matrices = append(cert.Matrices, &verify.MatrixCert{Matrix: mat, Schedule: sched})
+	}
+	return cert, nil
+}
+
+// CertGraphs returns the scenario graphs of m ordered as the payload's
+// ScenarioNames, the order Cert's certificate expects in Check.
+func (p *SADFCertPayload) CertGraphs(m *sadf.Model) ([]*sdf.Graph, error) {
+	graphs := make([]*sdf.Graph, len(p.ScenarioNames))
+	for k, name := range p.ScenarioNames {
+		idx, ok := m.ScenarioIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("serve: sadf certificate names unknown scenario %q", name)
+		}
+		graphs[k] = m.Scenarios[idx].Graph
+	}
+	return graphs, nil
+}
+
+// SADFResultPayload is the JSON wire form of a sadf analysis answer.
+type SADFResultPayload struct {
+	Model     string `json:"model"`
+	Scenarios int    `json:"scenarios"`
+	States    int    `json:"states"`
+	Tokens    int    `json:"tokens"`
+
+	Unbounded bool   `json:"unbounded,omitempty"`
+	Period    string `json:"period,omitempty"`
+	PeriodNum int64  `json:"period_num,omitempty"`
+	PeriodDen int64  `json:"period_den,omitempty"`
+
+	AutomatonNodes int      `json:"automaton_nodes,omitempty"`
+	AutomatonEdges int      `json:"automaton_edges,omitempty"`
+	Critical       []string `json:"critical,omitempty"`
+
+	Verified    bool             `json:"verified,omitempty"`
+	Certificate string           `json:"certificate,omitempty"`
+	Cert        *SADFCertPayload `json:"cert,omitempty"`
+
+	Cached      bool   `json:"cached,omitempty"`
+	Deduped     bool   `json:"deduped,omitempty"`
+	Degradation string `json:"degradation,omitempty"`
+	Stale       bool   `json:"stale,omitempty"`
+
+	// PeriodLower carries the brownout bound's floor when one exists
+	// (an FSM self-loop anchors it).
+	PeriodLower    string `json:"period_lower,omitempty"`
+	PeriodLowerNum int64  `json:"period_lower_num,omitempty"`
+	PeriodLowerDen int64  `json:"period_lower_den,omitempty"`
+}
+
+// sadfAnswer is the engine-layer result of a sadf analysis before
+// rendering, carried inside the shared answer struct so the result
+// cache and singleflight group serve this workload unchanged.
+type sadfAnswer struct {
+	res  *sadf.Result
+	cert *verify.SADFCert
+}
+
+// AnalyzeSADF serves one FSM-SADF worst-case throughput request with
+// the full production discipline of the single-graph path: admission
+// control and the bounded queue, per-scenario prechecks, admission
+// pricing by the summed per-scenario *reduced* cost, the result cache
+// with singleflight dedup, and the brownout ladder.
+func (s *Server) AnalyzeSADF(ctx context.Context, req *SADFRequest) (*SADFResultPayload, error) {
+	start := s.reg.Now()
+	res, err := s.analyzeSADF(ctx, req)
+	elapsed := s.reg.Now().Sub(start)
+	outcome := outcomeOf(err)
+	s.reg.Histogram(obs.MetricSADFSeconds, "outcome", outcome).Observe(elapsed)
+	if outcome == "served" || outcome == "failed" {
+		s.ctrl.observe(elapsed)
+	}
+	s.reg.Counter(obs.MetricSADFRequests, "outcome", outcome).Inc()
+	return res, err
+}
+
+func (s *Server) analyzeSADF(ctx context.Context, req *SADFRequest) (*SADFResultPayload, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	defer s.finish()
+
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.ctrl.update(cap(s.slots))
+		s.overloaded.Add(1)
+		return nil, fmt.Errorf("%w: all %d request slots taken", ErrOverloaded, cap(s.slots))
+	}
+	defer func() { <-s.slots }()
+	s.admitted.Add(1)
+
+	level := s.ctrl.update(len(s.slots))
+
+	// Per-scenario structural prechecks: an inconsistent or deadlocked
+	// scenario fails the whole model for almost nothing, before any
+	// budget is reserved.
+	sp := s.reg.StartSpan("sadf.precheck")
+	err := s.precheckScenarios(req.Model)
+	sp.Finish()
+	if err != nil {
+		s.failed.Add(1)
+		return nil, err
+	}
+
+	// Admission pricing: the sum of per-scenario reduced costs — each
+	// scenario runs through the reduction fixpoint and is charged at
+	// its reduced size, so the paper's reduction techniques price this
+	// workload too.
+	cost := s.sadfCost(req.Model)
+
+	res, err := s.sadfAdmitted(ctx, req, cost, level)
+	if err != nil {
+		if !errors.Is(err, ErrDegraded) {
+			s.failed.Add(1)
+		}
+		return nil, err
+	}
+	s.served.Add(1)
+	return res, nil
+}
+
+// precheckScenarios runs the lint prechecks on every scenario graph.
+func (s *Server) precheckScenarios(m *sadf.Model) error {
+	for _, sc := range m.Scenarios {
+		if err := lint.PrecheckWith(passes.NewFacts(sc.Graph)); err != nil {
+			return fmt.Errorf("%w: scenario %q: %v", ErrBadScenario, sc.Name, err)
+		}
+	}
+	return nil
+}
+
+// sadfCost prices the model by the summed per-scenario reduced cost,
+// saturating instead of overflowing.
+func (s *Server) sadfCost(m *sadf.Model) int64 {
+	rctx := obs.WithRegistry(s.baseCtx, s.reg)
+	total := int64(0)
+	for _, sc := range m.Scenarios {
+		next, ok := rat.AddChecked(total, passes.ReducedCost(rctx, sc.Graph))
+		if !ok {
+			// Saturate at the running total: it is already far past any
+			// pool capacity, so the request is refused either way.
+			return total
+		}
+		total = next
+	}
+	return total
+}
+
+// sadfAdmitted executes one admitted, prechecked sadf request at the
+// given degradation level, mirroring analyzeAdmitted.
+func (s *Server) sadfAdmitted(ctx context.Context, req *SADFRequest, cost int64, level Level) (*SADFResultPayload, error) {
+	if req.ExactOnly && level > LevelExact {
+		s.reg.Counter(obs.MetricDegraded, "level", "exact-only").Inc()
+		return nil, fmt.Errorf("%w: serving at level %s and the request is exact-only", ErrDegraded, level)
+	}
+	if level > LevelExact {
+		return s.sadfDegraded(ctx, req, level)
+	}
+	ans, err := s.dispatchWith(ctx, "sadf|"+req.Key(), func() (*answer, error) {
+		return s.executeSADF(req, cost)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.renderSADF(req.Model, ans)
+}
+
+// sadfDegraded is the brownout ladder of the sadf path: a fresh cache
+// hit is full-fidelity at any level; at stale-cache and shed an expired
+// exact answer is served marked stale with a background refresh; what
+// remains is answered with the cheap certified-by-construction
+// per-scenario-worst bound, and refused outright at shed.
+func (s *Server) sadfDegraded(ctx context.Context, req *SADFRequest, level Level) (*SADFResultPayload, error) {
+	key := "sadf|" + req.Key()
+	if ans, stale, ok := s.cache.getStale(key); ok {
+		serveIt := !stale || level >= LevelStale
+		if serveIt {
+			res, err := s.renderSADF(req.Model, ans)
+			if err == nil {
+				if stale {
+					res.Degradation = LevelStale.String()
+					res.Stale = true
+					s.reg.Counter(obs.MetricDegraded, "level", LevelStale.String()).Inc()
+					s.spawnSADFRefresh(req, key)
+				}
+				return res, nil
+			}
+		}
+	}
+	if level >= LevelShed {
+		s.reg.Counter(obs.MetricDegraded, "level", LevelShed.String()).Inc()
+		return nil, fmt.Errorf("%w: shedding fresh work and no cached answer exists", ErrDegraded)
+	}
+	res, err := s.sadfBounded(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Counter(obs.MetricDegraded, "level", LevelBounded.String()).Inc()
+	return res, nil
+}
+
+// spawnSADFRefresh recomputes a stale sadf cache entry in the
+// background, singleflighted and drain-tracked like spawnRefresh.
+func (s *Server) spawnSADFRefresh(req *SADFRequest, key string) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.refreshWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.refreshWG.Done()
+		f, leader := s.flights.join(key)
+		if !leader {
+			return
+		}
+		res, err := s.executeSADF(req, s.sadfCost(req.Model))
+		if err == nil {
+			s.cache.put(key, res)
+		}
+		s.flights.finish(key, f, res, err)
+	}()
+}
+
+// executeSADF reserves pool cost and a worker slot, then runs the full
+// automaton analysis under the request deadline.
+func (s *Server) executeSADF(req *SADFRequest, cost int64) (*answer, error) {
+	if !s.pool.TryAcquire(cost) {
+		s.overloaded.Add(1)
+		return nil, fmt.Errorf("%w: request cost %d exceeds pool headroom %d",
+			ErrOverloaded, cost, s.pool.Headroom())
+	}
+	defer s.pool.Release(cost)
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	if timeout > s.opts.MaxTimeout {
+		timeout = s.opts.MaxTimeout
+	}
+	actx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	actx = guard.WithBudget(actx, guard.BudgetFrom(actx))
+	actx = obs.WithRegistry(actx, s.reg)
+
+	select {
+	case s.work <- struct{}{}:
+	case <-actx.Done():
+		return nil, fmt.Errorf("%w: queued past the deadline: %w", guard.ErrCanceled, context.Cause(actx))
+	}
+	defer func() { <-s.work }()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	res, cert, err := sadf.Analyze(actx, req.Model)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Counter(obs.MetricSADFAutomatonNodes).Add(int64(res.AutomatonNodes))
+	return &answer{engine: "sadf", sadf: &sadfAnswer{res: res, cert: cert}}, nil
+}
+
+// renderSADF turns a sadf answer into the wire payload. The certificate
+// is re-checked against the requesting model's own scenario graphs on
+// every serve — cached and deduplicated entries included — before the
+// payload claims Verified, and ships on the wire so clients can repeat
+// the check behind any proxy.
+func (s *Server) renderSADF(m *sadf.Model, ans *answer) (*SADFResultPayload, error) {
+	sa := ans.sadf
+	if sa == nil {
+		return nil, fmt.Errorf("serve: cached entry is not a sadf answer")
+	}
+	if err := sa.cert.Check(context.Background(), m.Graphs()); err != nil {
+		return nil, fmt.Errorf("serve: sadf certificate rejected: %w", err)
+	}
+	res := &SADFResultPayload{
+		Model:          m.Name,
+		Scenarios:      len(m.Scenarios),
+		States:         len(m.States),
+		Tokens:         sa.res.Tokens,
+		Unbounded:      sa.res.Unbounded,
+		AutomatonNodes: sa.res.AutomatonNodes,
+		AutomatonEdges: sa.res.AutomatonEdges,
+		Critical:       sa.res.CriticalStates,
+		Verified:       true,
+		Certificate:    sa.cert.String(),
+		Cert:           NewSADFCertPayload(sa.cert, m.Graphs()),
+		Cached:         ans.cached,
+		Deduped:        ans.deduped,
+	}
+	if !sa.res.Unbounded {
+		res.Period = sa.res.Period.String()
+		res.PeriodNum = sa.res.Period.Num()
+		res.PeriodDen = sa.res.Period.Den()
+	}
+	return res, nil
+}
+
+// sadfBounded answers with the certified-by-construction
+// per-scenario-worst bound: the worst scenario's serial makespan
+// Σ q_a·exec_a bounds every automaton matrix entry from above (all
+// tokens available at time zero, self-timed execution finishes no later
+// than the serial schedule), and every automaton edge carries delay 1,
+// so no cycle mean — hence no worst-case period — exceeds it. When the
+// FSM lets a state repeat immediately, that scenario's period floor
+// anchors the answer from below. The bound is re-derived from the model
+// on every serve, never cached: re-derivation is the check.
+func (s *Server) sadfBounded(m *sadf.Model) (*SADFResultPayload, error) {
+	res := &SADFResultPayload{
+		Model:       m.Name,
+		Scenarios:   len(m.Scenarios),
+		States:      len(m.States),
+		Tokens:      m.Tokens(),
+		Degradation: LevelBounded.String(),
+	}
+	looped := m.SelfLoopScenarios()
+	var upper, lower rat.Rat
+	hasLower := false
+	for k, sc := range m.Scenarios {
+		facts := passes.NewFacts(sc.Graph)
+		q, err := facts.Repetition()
+		if err != nil {
+			return nil, fmt.Errorf("%w: scenario %q: %v", ErrBadScenario, sc.Name, err)
+		}
+		makespan := int64(0)
+		for a, copies := range q {
+			work, ok := rat.MulChecked(copies, sc.Graph.Actor(sdf.ActorID(a)).Exec)
+			if !ok {
+				return nil, fmt.Errorf("%w: scenario %q serial makespan overflows int64", ErrBadScenario, sc.Name)
+			}
+			if makespan, ok = rat.AddChecked(makespan, work); !ok {
+				return nil, fmt.Errorf("%w: scenario %q serial makespan overflows int64", ErrBadScenario, sc.Name)
+			}
+		}
+		if ms := rat.FromInt(makespan); k == 0 || ms.Cmp(upper) > 0 {
+			upper = ms
+		}
+		if looped[sc.Name] {
+			if floor, ok := facts.PeriodFloor(); ok {
+				if !hasLower || floor.Cmp(lower) > 0 {
+					lower = floor
+					hasLower = true
+				}
+			}
+		}
+	}
+	res.Period = upper.String()
+	res.PeriodNum = upper.Num()
+	res.PeriodDen = upper.Den()
+	if hasLower && !lower.IsZero() {
+		res.PeriodLower = lower.String()
+		res.PeriodLowerNum = lower.Num()
+		res.PeriodLowerDen = lower.Den()
+	}
+	return res, nil
+}

@@ -506,6 +506,11 @@ type answer struct {
 	// (tp, cert) and (bound, redCert) is populated.
 	bound   *analysis.Bound
 	redCert *verify.ReductionCert
+
+	// sadf carries an FSM-SADF answer: the automaton analysis result
+	// and its scenario-level certificate. When set, every field above
+	// except the bookkeeping trio (engine, cached, deduped) is empty.
+	sadf *sadfAnswer
 }
 
 // dispatch routes a request through the cache and singleflight group;

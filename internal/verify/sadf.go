@@ -1,0 +1,375 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/maxplus"
+	"repro/internal/rat"
+	"repro/internal/sdf"
+)
+
+// SADFEdge is one edge of the max-plus automaton of an FSM-SADF model.
+// Nodes are (FSM state, initial token) pairs numbered state·N + token
+// over the N shared tokens; for every FSM transition q1→q2 and every
+// finite entry M(i,j) of the destination state's scenario matrix (in the
+// shared global token order) the automaton carries an edge
+// (q1,j)→(q2,i) of weight M(i,j) and delay 1. The maximum cycle ratio
+// of this edge list is the worst-case iteration period over all infinite
+// scenario sequences the FSM accepts (Skelin & Geilen, arXiv 1404.0089).
+type SADFEdge struct {
+	From, To int
+	W, D     int64
+}
+
+// SADFTokenPerm returns the permutation from g's local token order (the
+// replay order: channels in slice order, front of each FIFO first) to
+// the canonical global order shared by all scenarios of a model: tokens
+// sorted by (source actor name, destination actor name, FIFO position).
+// perm[local] = global. Actor names pin the coordinates, so two
+// scenario graphs over the same actor namespace with the same token
+// signature agree on the global order even when their channel slices
+// are ordered differently.
+func SADFTokenPerm(g *sdf.Graph) []int {
+	type tok struct {
+		src, dst string
+		pos      int
+		local    int
+	}
+	var toks []tok
+	local := 0
+	for _, c := range g.Channels() {
+		src, dst := g.Actor(c.Src).Name, g.Actor(c.Dst).Name
+		for k := 0; k < c.Initial; k++ {
+			toks = append(toks, tok{src: src, dst: dst, pos: k, local: local})
+			local++
+		}
+	}
+	sort.Slice(toks, func(a, b int) bool {
+		ta, tb := toks[a], toks[b]
+		if ta.src != tb.src {
+			return ta.src < tb.src
+		}
+		if ta.dst != tb.dst {
+			return ta.dst < tb.dst
+		}
+		return ta.pos < tb.pos
+	})
+	perm := make([]int, local)
+	for global, t := range toks {
+		perm[t.local] = global
+	}
+	return perm
+}
+
+// SADFTokenSignature summarises g's initial tokens as a canonical
+// string: the sorted multiset of src→dst channel names with their token
+// counts. Two scenario graphs are automaton-compatible exactly when
+// their signatures match — then and only then do their max-plus
+// matrices act on the same global token coordinates.
+func SADFTokenSignature(g *sdf.Graph) string {
+	var lines []string
+	for _, c := range g.Channels() {
+		if c.Initial == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s\x00%s\x00%d", g.Actor(c.Src).Name, g.Actor(c.Dst).Name, c.Initial))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\x01")
+}
+
+// SADFAutomaton enumerates the max-plus automaton of an FSM-SADF model
+// from its per-scenario matrices in global token coordinates. The
+// enumeration is deterministic — transitions in slice order, matrix
+// entries in row-major order — so the analyzer and the certificate
+// checker derive the identical edge list, and critical-cycle witnesses
+// can reference edges by index. All matrices must share one dimension N
+// ≥ 1 and every state/transition index must be in range.
+func SADFAutomaton(stateScenario []int, transitions [][2]int, mats []*maxplus.Matrix) (int, []SADFEdge, error) {
+	if len(mats) == 0 {
+		return 0, nil, fmt.Errorf("verify: sadf automaton needs at least one scenario matrix")
+	}
+	n := mats[0].Size()
+	if n < 1 {
+		return 0, nil, fmt.Errorf("verify: sadf automaton needs at least one shared token")
+	}
+	for k, m := range mats {
+		if m == nil || m.Size() != n {
+			return 0, nil, fmt.Errorf("verify: scenario matrix %d does not share dimension %d", k, n)
+		}
+	}
+	states := len(stateScenario)
+	if states == 0 {
+		return 0, nil, fmt.Errorf("verify: sadf automaton needs at least one FSM state")
+	}
+	for q, s := range stateScenario {
+		if s < 0 || s >= len(mats) {
+			return 0, nil, fmt.Errorf("verify: state %d labels unknown scenario %d", q, s)
+		}
+	}
+	var edges []SADFEdge
+	for _, tr := range transitions {
+		q1, q2 := tr[0], tr[1]
+		if q1 < 0 || q1 >= states || q2 < 0 || q2 >= states {
+			return 0, nil, fmt.Errorf("verify: transition %d->%d outside 0..%d", q1, q2, states-1)
+		}
+		m := mats[stateScenario[q2]]
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if e := m.At(i, j); !e.IsNegInf() {
+					edges = append(edges, SADFEdge{From: q1*n + j, To: q2*n + i, W: e.Int(), D: 1})
+				}
+			}
+		}
+	}
+	return states * n, edges, nil
+}
+
+// SADFCert certifies the worst-case iteration period of an FSM-SADF
+// model: per-scenario matrix certificates bind each scenario's max-plus
+// matrix to its SDF graph (in the graph's own local token order), the
+// FSM structure is carried verbatim, and the throughput claim about the
+// max-plus automaton is witnessed in the classical double-sided style —
+// node potentials prove no automaton cycle exceeds the period, a
+// critical cycle attains it exactly, and for acyclic automata a
+// topological order proves unboundedness. On top of the witness checks,
+// Check replays the critical scenario sequence through the scenario
+// matrices themselves (exact max-plus vector arithmetic), so the edge
+// arithmetic of the automaton is cross-validated against the matrices
+// it was derived from.
+type SADFCert struct {
+	// ScenarioNames and Matrices pair each scenario with its matrix
+	// certificate; Matrices[k].Matrix uses scenario k's local token
+	// order (the order MatrixCert.Check replays).
+	ScenarioNames []string
+	Matrices      []*MatrixCert
+	// StateNames, StateScenario, Transitions and Initial carry the FSM:
+	// state q is labeled with scenario StateScenario[q], transitions
+	// are (from, to) state-index pairs, Initial is the start state.
+	StateNames    []string
+	StateScenario []int
+	Transitions   [][2]int
+	Initial       int
+	// Unbounded claims the automaton is acyclic (Order is the witness);
+	// otherwise Period is the worst-case iteration period with
+	// Potentials/Cycle as the double-sided witness. Cycle holds indices
+	// into the canonical SADFAutomaton edge enumeration.
+	Unbounded  bool
+	Period     rat.Rat
+	Potentials []int64
+	Cycle      []int
+	Order      []int
+}
+
+// Kind identifies the claim.
+func (c *SADFCert) Kind() Kind { return KindSADF }
+
+// String summarises the certificate for reports.
+func (c *SADFCert) String() string {
+	if c.Unbounded {
+		return fmt.Sprintf("sadf certificate: %d scenarios, %d states, acyclic automaton (topological witness over %d nodes)",
+			len(c.ScenarioNames), len(c.StateNames), len(c.Order))
+	}
+	return fmt.Sprintf("sadf certificate: %d scenarios, %d states, worst-case period %v (potentials over %d nodes, critical cycle of %d edges)",
+		len(c.ScenarioNames), len(c.StateNames), c.Period, len(c.Potentials), len(c.Cycle))
+}
+
+// NewSADFCert packages an analyzed FSM-SADF model into a certificate,
+// extracting the throughput witnesses for the claimed answer from the
+// automaton. scenarios and mcs run parallel to scenarioNames; the
+// matrices are in local token order and are conjugated into global
+// coordinates here.
+func NewSADFCert(ctx context.Context, scenarios []*sdf.Graph, scenarioNames []string, mcs []*MatrixCert,
+	stateNames []string, stateScenario []int, transitions [][2]int, initial int,
+	unbounded bool, period rat.Rat) (*SADFCert, error) {
+	cert := &SADFCert{
+		ScenarioNames: scenarioNames,
+		Matrices:      mcs,
+		StateNames:    stateNames,
+		StateScenario: stateScenario,
+		Transitions:   transitions,
+		Initial:       initial,
+		Unbounded:     unbounded,
+		Period:        period,
+	}
+	nodes, edges, err := sadfRef(scenarios, mcs, stateScenario, transitions)
+	if err != nil {
+		return nil, err
+	}
+	if unbounded {
+		order, err := extractTopoOrder(nodes, edges)
+		if err != nil {
+			return nil, err
+		}
+		cert.Order = order
+		return cert, nil
+	}
+	p, cycle, err := extractWitness(ctx, nodes, edges, period)
+	if err != nil {
+		return nil, err
+	}
+	cert.Potentials, cert.Cycle = p, cycle
+	return cert, nil
+}
+
+// sadfRef derives the reference automaton from the scenario graphs and
+// the carried matrices: permute each local matrix into global token
+// coordinates (the permutations are re-derived from the graphs, never
+// trusted from the certificate) and enumerate the canonical edge list.
+func sadfRef(scenarios []*sdf.Graph, mcs []*MatrixCert, stateScenario []int, transitions [][2]int) (int, []refEdge, error) {
+	mats := make([]*maxplus.Matrix, len(mcs))
+	for k, mc := range mcs {
+		if mc == nil || mc.Matrix == nil {
+			return 0, nil, invalidf("scenario %d carries no matrix certificate", k)
+		}
+		tokens := scenarios[k].TotalInitialTokens()
+		if mc.Matrix.Size() != tokens {
+			return 0, nil, invalidf("scenario %d matrix is %d×%d, the graph has %d tokens",
+				k, mc.Matrix.Size(), mc.Matrix.Size(), tokens)
+		}
+		mats[k] = mc.Matrix.Permute(SADFTokenPerm(scenarios[k]))
+	}
+	nodes, sedges, err := SADFAutomaton(stateScenario, transitions, mats)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	edges := make([]refEdge, len(sedges))
+	for i, e := range sedges {
+		edges[i] = refEdge{from: e.From, to: e.To, w: e.W, d: e.D}
+	}
+	return nodes, edges, nil
+}
+
+// Check validates the certificate against the original scenario graphs
+// (parallel to ScenarioNames). It re-derives everything the claim
+// depends on — FSM well-formedness and reachability, the shared token
+// signature, the global token order, the automaton edge list — and
+// trusts only the carried witnesses.
+func (c *SADFCert) Check(ctx context.Context, scenarios []*sdf.Graph) error {
+	if err := c.checkStructure(scenarios); err != nil {
+		return err
+	}
+	// Bind each scenario matrix to its graph: MatrixCert.Check replays
+	// concrete iterations in the graph's local token order.
+	for k, mc := range c.Matrices {
+		if err := mc.Check(ctx, scenarios[k]); err != nil {
+			return invalidf("scenario %q matrix certificate: %v", c.ScenarioNames[k], err)
+		}
+	}
+	nodes, edges, err := sadfRef(scenarios, c.Matrices, c.StateScenario, c.Transitions)
+	if err != nil {
+		return err
+	}
+	if c.Unbounded {
+		return checkTopoOrder(nodes, edges, c.Order)
+	}
+	if c.Period.Sign() < 0 {
+		return invalidf("claimed period %v is negative", c.Period)
+	}
+	if err := checkPotentials(nodes, edges, c.Potentials, c.Period); err != nil {
+		return err
+	}
+	if err := checkCycle(edges, c.Cycle, c.Period); err != nil {
+		return err
+	}
+	return c.replayCriticalCycle(scenarios, edges)
+}
+
+// checkStructure re-derives FSM well-formedness and scenario
+// compatibility from the graphs and carried indices.
+func (c *SADFCert) checkStructure(scenarios []*sdf.Graph) error {
+	if len(scenarios) == 0 || len(scenarios) != len(c.ScenarioNames) || len(scenarios) != len(c.Matrices) {
+		return invalidf("certificate covers %d scenarios, %d graphs given", len(c.ScenarioNames), len(scenarios))
+	}
+	states := len(c.StateNames)
+	if states == 0 || len(c.StateScenario) != states {
+		return invalidf("certificate labels %d of %d states", len(c.StateScenario), states)
+	}
+	for q, s := range c.StateScenario {
+		if s < 0 || s >= len(scenarios) {
+			return invalidf("state %q labels unknown scenario %d", c.StateNames[q], s)
+		}
+	}
+	if c.Initial < 0 || c.Initial >= states {
+		return invalidf("initial state %d outside 0..%d", c.Initial, states-1)
+	}
+	adj := make([][]int, states)
+	for _, tr := range c.Transitions {
+		if tr[0] < 0 || tr[0] >= states || tr[1] < 0 || tr[1] >= states {
+			return invalidf("transition %d->%d outside 0..%d", tr[0], tr[1], states-1)
+		}
+		adj[tr[0]] = append(adj[tr[0]], tr[1])
+	}
+	// Reachability from the initial state: the analyzer only admits
+	// models whose states are all reachable, so analyzer and checker
+	// enumerate the same automaton. A state the FSM can never reach
+	// would let a forged certificate hide the critical cycle behind it.
+	seen := make([]bool, states)
+	stack := []int{c.Initial}
+	seen[c.Initial] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, to := range adj[q] {
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	for q, ok := range seen {
+		if !ok {
+			return invalidf("state %q is unreachable from the initial state", c.StateNames[q])
+		}
+	}
+	sig := SADFTokenSignature(scenarios[0])
+	if sig == "" {
+		return invalidf("scenarios carry no initial tokens")
+	}
+	for k := 1; k < len(scenarios); k++ {
+		if SADFTokenSignature(scenarios[k]) != sig {
+			return invalidf("scenario %q does not share the token signature of %q",
+				c.ScenarioNames[k], c.ScenarioNames[0])
+		}
+	}
+	return nil
+}
+
+// replayCriticalCycle replays the witness scenario sequence through the
+// scenario matrices: starting from the unit vector of the cycle's entry
+// token, applying the matrix of each visited state's scenario must
+// reproduce the cycle weight exactly. The replay is a max over all
+// token chains with this scenario sequence, so together with the
+// potential witness (no cycle exceeds the period) equality is forced —
+// any discrepancy means the automaton edges and the matrices disagree.
+func (c *SADFCert) replayCriticalCycle(scenarios []*sdf.Graph, edges []refEdge) error {
+	mats := make([]*maxplus.Matrix, len(c.Matrices))
+	for k, mc := range c.Matrices {
+		mats[k] = mc.Matrix.Permute(SADFTokenPerm(scenarios[k]))
+	}
+	n := mats[0].Size()
+	first := edges[c.Cycle[0]]
+	j0 := first.from % n
+	x := maxplus.UnitVec(n, j0)
+	sumW := int64(0)
+	for _, idx := range c.Cycle {
+		e := edges[idx]
+		s := c.StateScenario[e.to/n]
+		x = mats[s].Apply(x)
+		var ok bool
+		if sumW, ok = rat.AddChecked(sumW, e.w); !ok {
+			return invalidf("critical-cycle replay weight overflows int64")
+		}
+	}
+	got := x[j0]
+	if got.IsNegInf() {
+		return invalidf("critical-cycle replay loses the dependency on token %d", j0)
+	}
+	if got.Int() != sumW {
+		return invalidf("critical-cycle replay reaches %d, the witness cycle weighs %d", got.Int(), sumW)
+	}
+	return nil
+}

@@ -73,6 +73,9 @@ const (
 	// KindReduction certifies a throughput answer lifted through a
 	// chain of reduction steps back to the original graph.
 	KindReduction
+	// KindSADF certifies a worst-case iteration period of an FSM-SADF
+	// model via its max-plus automaton.
+	KindSADF
 )
 
 // String names the kind.
@@ -92,6 +95,8 @@ func (k Kind) String() string {
 		return "abstraction"
 	case KindReduction:
 		return "reduction"
+	case KindSADF:
+		return "sadf"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
